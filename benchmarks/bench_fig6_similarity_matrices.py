@@ -1,0 +1,82 @@
+"""Figure 6 — CP similarity matrices: h-motifs vs. network motifs.
+
+The paper compares the dataset-by-dataset correlation matrix of h-motif CPs
+against the matrix obtained from conventional network motifs counted on the
+star-expansion bipartite graphs, and reports that h-motif CPs separate domains
+much better (within/across gap 0.324 vs. 0.069). This benchmark regenerates
+both matrices and both gaps on the synthetic corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import (
+    graph_similarity_matrix,
+    network_motif_profile,
+)
+from repro.profile import domain_separation, similarity_matrix
+
+from benchmarks.conftest import NUM_RANDOM, write_report
+
+
+def _matrix_text(names, matrix):
+    width = max(len(name) for name in names)
+    lines = []
+    for row_name, row in zip(names, matrix):
+        cells = " ".join(f"{value:+.2f}" for value in row)
+        lines.append(f"{row_name:<{width}} {cells}")
+    return "\n".join(lines)
+
+
+def _gap(matrix, domains):
+    within, across = [], []
+    for row in range(len(domains)):
+        for column in range(row + 1, len(domains)):
+            (within if domains[row] == domains[column] else across).append(
+                matrix[row, column]
+            )
+    return float(np.mean(within) - np.mean(across))
+
+
+def test_fig6_similarity_matrices(benchmark, corpus, corpus_profiles, corpus_domains):
+    names = list(corpus_profiles)
+    domains = [corpus_domains[name] for name in names]
+
+    hmotif_matrix = similarity_matrix([corpus_profiles[name] for name in names])
+    hmotif_gap = _gap(hmotif_matrix, domains)
+
+    graph_profiles = {
+        name: network_motif_profile(corpus[name][0], num_random=NUM_RANDOM, seed=0)
+        for name in names
+    }
+    graph_matrix = graph_similarity_matrix([graph_profiles[name] for name in names])
+    graph_gap = _gap(graph_matrix, domains)
+
+    # Benchmark the graph-motif profile computation on the smallest dataset.
+    smallest = min(names, key=lambda name: corpus[name][0].num_hyperedges)
+    benchmark.pedantic(
+        network_motif_profile,
+        args=(corpus[smallest][0],),
+        kwargs={"num_random": 1, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = ["similarity matrix based on h-motif CPs:", _matrix_text(names, hmotif_matrix)]
+    lines.append("")
+    lines.append("similarity matrix based on network-motif CPs (star expansion):")
+    lines.append(_matrix_text(names, graph_matrix))
+    lines.append("")
+    lines.append(f"h-motif CP gap (within - across)       : {hmotif_gap:.3f}")
+    lines.append(f"network-motif CP gap (within - across) : {graph_gap:.3f}")
+    lines.append(
+        "\nShape check vs. the paper's Figure 6: the paper reports gaps of 0.324 "
+        "(h-motifs) vs. 0.069 (network motifs); our synthetic corpus should show a "
+        "positive h-motif gap. The network-motif baseline here uses exact counts of "
+        "3/4-node patterns rather than Motivo's 3-5-node sampling, so its gap is only "
+        "indicative."
+    )
+    write_report("fig6_similarity_matrices", "\n".join(lines))
+
+    assert hmotif_gap > 0

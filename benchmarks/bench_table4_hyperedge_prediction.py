@@ -1,0 +1,80 @@
+"""Table 4 — hyperedge prediction with h-motif features.
+
+The paper trains five classifier families on three feature sets (HM26, HM7,
+HC) to distinguish real from fake hyperedges and finds that the h-motif based
+features give consistently better accuracy and AUC than the hand-crafted
+baseline (HM26 > HM7 > HC). This benchmark regenerates the full grid on a
+synthetic temporal co-authorship hypergraph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.generators import generate_temporal_coauthorship
+from repro.ml import LogisticRegression, RandomForestClassifier
+from repro.prediction import FEATURE_SETS, build_prediction_dataset, run_prediction_experiment
+
+from benchmarks.conftest import write_report
+
+
+def test_table4_hyperedge_prediction(benchmark):
+    temporal = generate_temporal_coauthorship(
+        num_years=5,
+        initial_authors=150,
+        initial_papers=100,
+        seed=7,
+    )
+    years = temporal.timestamps()
+    result = run_prediction_experiment(
+        temporal,
+        context_start=years[0],
+        context_end=years[-2],
+        test_start=years[-1],
+        test_end=years[-1],
+        max_positives=80,
+        seed=0,
+    )
+
+    # Benchmark the feature-extraction + training step on a reduced dataset.
+    def _small_run():
+        dataset = build_prediction_dataset(
+            temporal,
+            context_start=years[0],
+            context_end=years[-2],
+            test_start=years[-1],
+            test_end=years[-1],
+            max_positives=25,
+            seed=1,
+        )
+        model = LogisticRegression(num_iterations=100)
+        model.fit(dataset.features_train["HM26"], dataset.labels_train)
+        return model
+
+    benchmark.pedantic(_small_run, rounds=1, iterations=1)
+
+    header = f"{'classifier':<22} {'features':<6} {'ACC':>7} {'AUC':>7}"
+    lines = [header, "-" * len(header)]
+    for classifier, feature_set, acc, auc in result.as_rows():
+        lines.append(f"{classifier:<22} {feature_set:<6} {acc:>7.3f} {auc:>7.3f}")
+    lines.append("")
+    for metric in ("accuracy", "auc"):
+        means = {fs: result.mean_metric(fs, metric) for fs in FEATURE_SETS}
+        ordering = " >= ".join(sorted(means, key=means.get, reverse=True))
+        lines.append(
+            f"mean {metric.upper():>3} per feature set: "
+            + ", ".join(f"{fs}={value:.3f}" for fs, value in means.items())
+            + f"   (observed ordering: {ordering})"
+        )
+    lines.append(
+        "\nShape check vs. the paper's Table 4: the paper finds HM26 > HM7 > HC for "
+        "both metrics. On the synthetic temporal co-authorship data the h-motif "
+        "features are informative (AUC above chance) and HM26 >= HM7, but the "
+        "degree-based HC baseline is unrealistically strong because fake hyperedges "
+        "swap in uniformly random (hence low-degree) nodes; see EXPERIMENTS.md for the "
+        "discussion of this deviation."
+    )
+    write_report("table4_hyperedge_prediction", "\n".join(lines))
+
+    assert result.mean_metric("HM26", "auc") > 0.5
+    assert result.mean_metric("HM26", "auc") >= result.mean_metric("HM7", "auc") - 0.05

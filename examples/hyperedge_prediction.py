@@ -1,0 +1,54 @@
+"""Hyperedge prediction with h-motif features (paper Section 4.4, Table 4).
+
+Builds a temporal co-authorship hypergraph, uses the earlier years as context,
+and predicts which candidate hyperedges of the final year are real, comparing
+the HM26 / HM7 / HC feature sets across the five classifier families.
+
+Run with ``python examples/hyperedge_prediction.py`` (takes a few minutes).
+"""
+
+from __future__ import annotations
+
+from repro import generate_temporal_coauthorship
+from repro.prediction import FEATURE_SETS, run_prediction_experiment
+
+
+def main() -> None:
+    temporal = generate_temporal_coauthorship(
+        num_years=5,
+        initial_authors=170,
+        initial_papers=110,
+        seed=21,
+    )
+    years = temporal.timestamps()
+    print(
+        f"temporal co-authorship hypergraph: years {years[0]}-{years[-1]}, "
+        f"{temporal.num_hyperedges} timestamped hyperedges"
+    )
+    print(f"context window: {years[0]}-{years[-2]}, test year: {years[-1]}")
+
+    result = run_prediction_experiment(
+        temporal,
+        context_start=years[0],
+        context_end=years[-2],
+        test_start=years[-1],
+        test_end=years[-1],
+        max_positives=100,
+        seed=0,
+    )
+
+    print(f"\n{'classifier':<22} {'features':<6} {'ACC':>7} {'AUC':>7}")
+    for classifier, feature_set, accuracy, auc in result.as_rows():
+        print(f"{classifier:<22} {feature_set:<6} {accuracy:>7.3f} {auc:>7.3f}")
+
+    print("\nmean AUC per feature set:")
+    for feature_set in FEATURE_SETS:
+        print(f"  {feature_set:<5}: {result.mean_metric(feature_set, 'auc'):.3f}")
+    print(
+        "\nAs in the paper's Table 4, features derived from h-motifs (HM26, HM7) "
+        "should outperform the hand-crafted baseline (HC)."
+    )
+
+
+if __name__ == "__main__":
+    main()

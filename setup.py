@@ -1,0 +1,4 @@
+"""Setup shim: enables legacy editable installs in offline environments without the 'wheel' package."""
+from setuptools import setup
+
+setup()

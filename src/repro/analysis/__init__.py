@@ -1,0 +1,37 @@
+"""Discovery-level analyses: real-vs-random tables, domain comparison, evolution."""
+
+from repro.analysis.real_vs_random import (
+    MotifComparisonRow,
+    RealVsRandomReport,
+    compare_counts,
+    format_report,
+    real_vs_random,
+)
+from repro.analysis.domains import (
+    DomainAnalysis,
+    analyze_domains,
+    classify_domain,
+    leave_one_out_domain_accuracy,
+    per_motif_domain_importance,
+)
+from repro.analysis.evolution import (
+    EvolutionPoint,
+    EvolutionSeries,
+    motif_fraction_evolution,
+)
+
+__all__ = [
+    "MotifComparisonRow",
+    "RealVsRandomReport",
+    "compare_counts",
+    "format_report",
+    "real_vs_random",
+    "DomainAnalysis",
+    "analyze_domains",
+    "classify_domain",
+    "leave_one_out_domain_accuracy",
+    "per_motif_domain_importance",
+    "EvolutionPoint",
+    "EvolutionSeries",
+    "motif_fraction_evolution",
+]

@@ -1,0 +1,124 @@
+"""Real-vs-random count comparison (paper Table 3).
+
+For each h-motif the paper reports, per dataset: the count of its instances in
+the real hypergraph, the average count in randomized hypergraphs, the motif's
+rank by count in each, the rank difference (RD) and the relative count
+(RC = (M - M_rand) / (M + M_rand)). This module computes the same rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.counting.runner import ALGORITHM_EXACT, count_motifs
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.motifs.counts import MotifCounts
+from repro.motifs.patterns import NUM_MOTIFS
+from repro.profile.significance import relative_count
+from repro.randomization.null_model import NULL_MODEL_CHUNG_LU, random_motif_counts
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class MotifComparisonRow:
+    """One row of the Table-3 style comparison for a single h-motif."""
+
+    motif: int
+    real_count: float
+    random_count: float
+    real_rank: int
+    random_rank: int
+    relative_count: float
+
+    @property
+    def rank_difference(self) -> int:
+        """Absolute difference between the real and random ranks (Table 3's RD)."""
+        return abs(self.real_rank - self.random_rank)
+
+
+@dataclass(frozen=True)
+class RealVsRandomReport:
+    """The full 26-row comparison of one dataset."""
+
+    dataset: str
+    rows: List[MotifComparisonRow]
+
+    def row(self, motif: int) -> MotifComparisonRow:
+        """The comparison row of a specific motif."""
+        for entry in self.rows:
+            if entry.motif == motif:
+                return entry
+        raise KeyError(f"motif {motif} not present in the report")
+
+    def mean_rank_difference(self) -> float:
+        """Mean rank difference over all motifs — a scalar summary of divergence."""
+        return sum(entry.rank_difference for entry in self.rows) / len(self.rows)
+
+    def most_overrepresented(self, top: int = 3) -> List[int]:
+        """Motifs with the largest relative counts (most over-represented in real data)."""
+        ordered = sorted(self.rows, key=lambda entry: -entry.relative_count)
+        return [entry.motif for entry in ordered[:top]]
+
+    def most_underrepresented(self, top: int = 3) -> List[int]:
+        """Motifs with the smallest relative counts (over-represented in random data)."""
+        ordered = sorted(self.rows, key=lambda entry: entry.relative_count)
+        return [entry.motif for entry in ordered[:top]]
+
+
+def compare_counts(
+    real_counts: MotifCounts, random_counts: MotifCounts, dataset: str = "hypergraph"
+) -> RealVsRandomReport:
+    """Build the Table-3 style report from precomputed real and random counts."""
+    real_ranks = real_counts.ranks()
+    random_ranks = random_counts.ranks()
+    rows = [
+        MotifComparisonRow(
+            motif=motif,
+            real_count=real_counts[motif],
+            random_count=random_counts[motif],
+            real_rank=real_ranks[motif],
+            random_rank=random_ranks[motif],
+            relative_count=relative_count(real_counts[motif], random_counts[motif]),
+        )
+        for motif in range(1, NUM_MOTIFS + 1)
+    ]
+    return RealVsRandomReport(dataset=dataset, rows=rows)
+
+
+def real_vs_random(
+    hypergraph: Hypergraph,
+    num_random: int = 5,
+    algorithm: str = ALGORITHM_EXACT,
+    sampling_ratio: Optional[float] = None,
+    null_model: str = NULL_MODEL_CHUNG_LU,
+    seed: SeedLike = None,
+) -> RealVsRandomReport:
+    """Count the real hypergraph and its randomizations, then compare them."""
+    real_counts = count_motifs(
+        hypergraph, algorithm=algorithm, sampling_ratio=sampling_ratio, seed=seed
+    )
+    null = random_motif_counts(
+        hypergraph,
+        num_random=num_random,
+        null_model=null_model,
+        algorithm=algorithm,
+        sampling_ratio=sampling_ratio,
+        seed=seed,
+    )
+    return compare_counts(real_counts, null.mean_counts, dataset=hypergraph.name)
+
+
+def format_report(report: RealVsRandomReport) -> str:
+    """Plain-text rendering of a report, one line per motif (for the CLI and benches)."""
+    lines = [
+        f"dataset: {report.dataset}",
+        f"{'motif':>5} {'real':>14} {'rank':>4} {'random':>14} {'rank':>4} {'RD':>3} {'RC':>6}",
+    ]
+    for row in report.rows:
+        lines.append(
+            f"{row.motif:>5} {row.real_count:>14.4g} {row.real_rank:>4} "
+            f"{row.random_count:>14.4g} {row.random_rank:>4} "
+            f"{row.rank_difference:>3} {row.relative_count:>6.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Graph substrate and network-motif baseline used for the Figure 6 comparison."""
+
+from repro.baselines.graph import Graph
+from repro.baselines.network_motifs import (
+    GRAPH_MOTIF_NAMES,
+    GraphMotifProfile,
+    count_graph_motifs,
+    graph_motif_vector,
+    graph_profile_correlation,
+    graph_similarity_matrix,
+    network_motif_profile,
+)
+
+__all__ = [
+    "Graph",
+    "GRAPH_MOTIF_NAMES",
+    "GraphMotifProfile",
+    "count_graph_motifs",
+    "graph_motif_vector",
+    "graph_profile_correlation",
+    "graph_similarity_matrix",
+    "network_motif_profile",
+]

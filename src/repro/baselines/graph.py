@@ -1,0 +1,151 @@
+"""A lightweight undirected simple graph.
+
+Used by the network-motif baseline (paper Figure 6b): hypergraphs are turned
+into their star-expansion bipartite graphs and conventional graph motifs are
+counted on them. The class intentionally supports only what the baseline
+needs — adjacency sets, degrees and edge iteration — keeping it independent of
+the hypergraph machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Set, Tuple
+
+from repro.exceptions import HypergraphError
+from repro.hypergraph.hypergraph import Hypergraph
+
+Vertex = Hashable
+
+
+class Graph:
+    """An undirected simple graph backed by adjacency sets."""
+
+    def __init__(self, edges: Iterable[Tuple[Vertex, Vertex]] = ()) -> None:
+        self._adjacency: Dict[Vertex, Set[Vertex]] = {}
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------- mutation
+    def add_vertex(self, vertex: Vertex) -> None:
+        """Add an isolated vertex (no-op if already present)."""
+        self._adjacency.setdefault(vertex, set())
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the undirected edge ``{u, v}``; self-loops are rejected."""
+        if u == v:
+            raise HypergraphError(f"self-loop on vertex {u!r} is not allowed")
+        self._adjacency.setdefault(u, set()).add(v)
+        self._adjacency.setdefault(v, set()).add(u)
+
+    # -------------------------------------------------------------- queries
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(neighbors) for neighbors in self._adjacency.values()) // 2
+
+    def vertices(self) -> List[Vertex]:
+        """All vertices in a deterministic order."""
+        return sorted(self._adjacency, key=repr)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Whether the edge ``{u, v}`` exists."""
+        return v in self._adjacency.get(u, set())
+
+    def neighbors(self, vertex: Vertex) -> FrozenSet[Vertex]:
+        """Neighbors of *vertex*."""
+        try:
+            return frozenset(self._adjacency[vertex])
+        except KeyError:
+            raise HypergraphError(f"vertex {vertex!r} not in graph") from None
+
+    def degree(self, vertex: Vertex) -> int:
+        """Degree of *vertex*."""
+        try:
+            return len(self._adjacency[vertex])
+        except KeyError:
+            raise HypergraphError(f"vertex {vertex!r} not in graph") from None
+
+    def degrees(self) -> Dict[Vertex, int]:
+        """Mapping of every vertex to its degree."""
+        return {vertex: len(neighbors) for vertex, neighbors in self._adjacency.items()}
+
+    def edges(self) -> Iterator[Tuple[Vertex, Vertex]]:
+        """Iterate over each undirected edge exactly once."""
+        seen: Set[FrozenSet[Vertex]] = set()
+        for u in self.vertices():
+            for v in self._adjacency[u]:
+                key = frozenset((u, v))
+                if key not in seen:
+                    seen.add(key)
+                    yield (u, v)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._adjacency
+
+    def __repr__(self) -> str:
+        return f"Graph(num_vertices={self.num_vertices}, num_edges={self.num_edges})"
+
+    # --------------------------------------------------------- constructors
+    @classmethod
+    def from_star_expansion(cls, hypergraph: Hypergraph) -> "Graph":
+        """The star expansion of *hypergraph* as a plain graph.
+
+        Node-side vertices keep their labels wrapped as ``("node", label)``;
+        hyperedge-side vertices become ``("edge", index)`` so the two sides
+        can never collide.
+        """
+        graph = cls()
+        for node in hypergraph.nodes():
+            graph.add_vertex(("node", node))
+        for index, edge in enumerate(hypergraph.hyperedges()):
+            edge_vertex = ("edge", index)
+            graph.add_vertex(edge_vertex)
+            for node in edge:
+                graph.add_edge(("node", node), edge_vertex)
+        return graph
+
+    @classmethod
+    def from_clique_expansion(cls, hypergraph: Hypergraph) -> "Graph":
+        """The clique expansion: nodes of each hyperedge become a clique.
+
+        Provided for completeness (the paper discusses why the projected /
+        clique views lose information); not used by the main pipeline.
+        """
+        graph = cls()
+        for node in hypergraph.nodes():
+            graph.add_vertex(node)
+        for edge in hypergraph.hyperedges():
+            members = sorted(edge, key=repr)
+            for position, u in enumerate(members):
+                for v in members[position + 1 :]:
+                    graph.add_edge(u, v)
+        return graph
+
+    @classmethod
+    def from_biadjacency(
+        cls, memberships: List[List[int]], num_left: int
+    ) -> "Graph":
+        """Build a bipartite graph from per-right-vertex member lists.
+
+        ``memberships[j]`` lists the left-vertex indices adjacent to right
+        vertex ``j``. Left vertices are labelled ``("node", i)`` and right
+        vertices ``("edge", j)``, mirroring :meth:`from_star_expansion`.
+        """
+        graph = cls()
+        for left in range(num_left):
+            graph.add_vertex(("node", left))
+        for right, members in enumerate(memberships):
+            right_vertex = ("edge", right)
+            graph.add_vertex(right_vertex)
+            for left in members:
+                if not 0 <= left < num_left:
+                    raise HypergraphError(
+                        f"left index {left} out of range [0, {num_left})"
+                    )
+                graph.add_edge(("node", left), right_vertex)
+        return graph

@@ -1,0 +1,204 @@
+"""Command-line interface for the MoCHy reproduction.
+
+Sub-commands
+------------
+``count``
+    Count h-motif instances in a hypergraph file with a chosen MoCHy variant.
+``profile``
+    Compute the characteristic profile of a hypergraph file.
+``compare``
+    Real-vs-random comparison table (Table 3 style) for a hypergraph file.
+``generate``
+    Generate one of the synthetic corpus datasets (or a whole domain) to disk.
+``predict``
+    Run the hyperedge-prediction experiment on a synthetic temporal
+    co-authorship hypergraph and print the Table-4 style grid.
+
+Hypergraph files use the plain one-hyperedge-per-line format
+(see :mod:`repro.hypergraph.io`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.real_vs_random import format_report, real_vs_random
+from repro.counting.runner import ALGORITHMS, run_counting
+from repro.exceptions import CLIError, ReproError
+from repro.generators.corpus import dataset_names, generate_dataset
+from repro.generators.temporal import generate_temporal_coauthorship
+from repro.hypergraph import io as hio
+from repro.motifs.patterns import NUM_MOTIFS, motif_is_open
+from repro.prediction.task import run_prediction_experiment
+from repro.profile.characteristic_profile import characteristic_profile
+from repro.utils.logging import enable_console_logging
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mochy",
+        description="Hypergraph motif (h-motif) counting and analysis (VLDB 2020 reproduction)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="enable console logging"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    count = subparsers.add_parser("count", help="count h-motif instances")
+    count.add_argument("path", type=Path, help="hypergraph file (one hyperedge per line)")
+    count.add_argument(
+        "--algorithm",
+        default="exact",
+        help=f"counting algorithm: one of {ALGORITHMS} or MoCHy aliases",
+    )
+    count.add_argument("--samples", type=int, default=None, help="number of samples")
+    count.add_argument(
+        "--ratio", type=float, default=None, help="sampling ratio of the population"
+    )
+    count.add_argument("--workers", type=int, default=1, help="number of parallel workers")
+    count.add_argument("--seed", type=int, default=None, help="random seed")
+
+    profile = subparsers.add_parser("profile", help="compute the characteristic profile")
+    profile.add_argument("path", type=Path, help="hypergraph file")
+    profile.add_argument("--random", type=int, default=5, help="number of randomizations")
+    profile.add_argument("--algorithm", default="exact", help="counting algorithm")
+    profile.add_argument("--ratio", type=float, default=None, help="sampling ratio")
+    profile.add_argument("--seed", type=int, default=0, help="random seed")
+
+    compare = subparsers.add_parser("compare", help="real vs. random comparison table")
+    compare.add_argument("path", type=Path, help="hypergraph file")
+    compare.add_argument("--random", type=int, default=5, help="number of randomizations")
+    compare.add_argument("--seed", type=int, default=0, help="random seed")
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument(
+        "dataset",
+        choices=dataset_names(),
+        help="which synthetic stand-in dataset to generate",
+    )
+    generate.add_argument("output", type=Path, help="output file (plain format)")
+    generate.add_argument("--scale", type=float, default=1.0, help="size multiplier")
+
+    predict = subparsers.add_parser(
+        "predict", help="hyperedge prediction experiment on synthetic temporal data"
+    )
+    predict.add_argument("--years", type=int, default=6, help="number of simulated years")
+    predict.add_argument("--seed", type=int, default=0, help="random seed")
+    predict.add_argument(
+        "--max-positives", type=int, default=120, help="cap on positives per split"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    if arguments.verbose:
+        enable_console_logging()
+    try:
+        if arguments.command == "count":
+            _run_count(arguments)
+        elif arguments.command == "profile":
+            _run_profile(arguments)
+        elif arguments.command == "compare":
+            _run_compare(arguments)
+        elif arguments.command == "generate":
+            _run_generate(arguments)
+        elif arguments.command == "predict":
+            _run_predict(arguments)
+        else:  # pragma: no cover - argparse enforces the choices
+            raise CLIError(f"unknown command {arguments.command!r}")
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _load(path: Path):
+    if not path.exists():
+        raise CLIError(f"no such file: {path}")
+    return hio.read_plain(path)
+
+
+def _run_count(arguments) -> None:
+    hypergraph = _load(arguments.path)
+    run = run_counting(
+        hypergraph,
+        algorithm=arguments.algorithm,
+        num_samples=arguments.samples,
+        sampling_ratio=arguments.ratio,
+        num_workers=arguments.workers,
+        seed=arguments.seed,
+    )
+    print(f"# dataset: {hypergraph.name}")
+    print(f"# algorithm: {run.algorithm}  samples: {run.num_samples}")
+    print(
+        f"# projection: {run.projection_seconds:.3f}s  counting: {run.counting_seconds:.3f}s"
+    )
+    print(f"{'motif':>5} {'open':>5} {'count':>16}")
+    for motif, value in run.counts.items():
+        print(f"{motif:>5} {str(motif_is_open(motif)):>5} {value:>16.4f}")
+    print(f"total instances: {run.counts.total():.1f}")
+
+
+def _run_profile(arguments) -> None:
+    hypergraph = _load(arguments.path)
+    profile = characteristic_profile(
+        hypergraph,
+        num_random=arguments.random,
+        algorithm=arguments.algorithm,
+        sampling_ratio=arguments.ratio,
+        seed=arguments.seed,
+    )
+    print(f"# characteristic profile of {hypergraph.name}")
+    print(f"{'motif':>5} {'significance':>13} {'CP':>9}")
+    for motif in range(1, NUM_MOTIFS + 1):
+        print(
+            f"{motif:>5} {profile.significances[motif - 1]:>13.4f} "
+            f"{profile.values[motif - 1]:>9.4f}"
+        )
+
+
+def _run_compare(arguments) -> None:
+    hypergraph = _load(arguments.path)
+    report = real_vs_random(
+        hypergraph, num_random=arguments.random, seed=arguments.seed
+    )
+    print(format_report(report))
+
+
+def _run_generate(arguments) -> None:
+    hypergraph = generate_dataset(arguments.dataset, scale=arguments.scale)
+    hio.write_plain(hypergraph, arguments.output)
+    print(
+        f"wrote {arguments.dataset}: {hypergraph.num_nodes} nodes, "
+        f"{hypergraph.num_hyperedges} hyperedges -> {arguments.output}"
+    )
+
+
+def _run_predict(arguments) -> None:
+    temporal = generate_temporal_coauthorship(
+        num_years=arguments.years, seed=arguments.seed
+    )
+    years = temporal.timestamps()
+    result = run_prediction_experiment(
+        temporal,
+        context_start=years[0],
+        context_end=years[-2],
+        test_start=years[-1],
+        test_end=years[-1],
+        max_positives=arguments.max_positives,
+        seed=arguments.seed,
+    )
+    print(f"{'classifier':<22} {'features':<6} {'ACC':>7} {'AUC':>7}")
+    for classifier, feature_set, acc, auc in result.as_rows():
+        print(f"{classifier:<22} {feature_set:<6} {acc:>7.3f} {auc:>7.3f}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Shared instance-classification helper for the MoCHy counters.
+
+Every counter ultimately needs ``h({e_i, e_j, e_k})`` for triples drawn from
+the projected graph. This module centralizes that step so the exact and
+approximate counters cannot drift apart: hyperedge sizes come from the
+hypergraph, pairwise overlaps from the projection (hyperwedge weights ``ω``),
+and the triple overlap is computed by scanning the smallest hyperedge
+(Lemma 2).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.motifs.classify import classify_from_cardinalities, triple_overlap_size
+
+
+class NeighborhoodProvider(Protocol):
+    """The projection interface the counters rely on.
+
+    Both :class:`repro.projection.ProjectedGraph` and
+    :class:`repro.projection.LazyProjection` satisfy it.
+    """
+
+    def neighbors(self, i: int) -> dict:  # pragma: no cover - protocol
+        ...
+
+    def overlap(self, i: int, j: int) -> int:  # pragma: no cover - protocol
+        ...
+
+
+def classify_triple(
+    hypergraph: Hypergraph,
+    projection: NeighborhoodProvider,
+    i: int,
+    j: int,
+    k: int,
+) -> int:
+    """Motif index of the instance ``{e_i, e_j, e_k}``.
+
+    The caller is responsible for ensuring the triple is connected (which is
+    guaranteed when ``j`` and ``k`` are drawn from neighborhoods as in the
+    MoCHy algorithms); a disconnected or degenerate triple raises the same
+    exceptions as :func:`repro.motifs.classify_instance`.
+    """
+    edge_i = hypergraph.hyperedge(i)
+    edge_j = hypergraph.hyperedge(j)
+    edge_k = hypergraph.hyperedge(k)
+    # Query overlaps from the endpoints whose neighborhoods the calling
+    # algorithm has already touched (i and j): with a lazy projection this
+    # avoids materializing the neighborhood of every candidate e_k.
+    overlap_ij = projection.overlap(i, j)
+    overlap_jk = projection.overlap(j, k)
+    overlap_ki = projection.overlap(i, k)
+    overlap_ijk = triple_overlap_size(edge_i, edge_j, edge_k)
+    return classify_from_cardinalities(
+        len(edge_i),
+        len(edge_j),
+        len(edge_k),
+        overlap_ij,
+        overlap_jk,
+        overlap_ki,
+        overlap_ijk,
+    )

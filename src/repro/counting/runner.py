@@ -1,0 +1,188 @@
+"""High-level entry point for h-motif counting.
+
+:func:`count_motifs` dispatches to the requested MoCHy variant with sensible
+defaults, handling projection construction and sample-size selection from a
+sampling ratio. It is the function most users (and the CLI, examples and
+benchmarks) call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.counting.edge_sampling import count_approx_edge_sampling
+from repro.counting.exact import count_exact
+from repro.counting.parallel import (
+    count_approx_edge_sampling_parallel,
+    count_approx_wedge_sampling_parallel,
+    count_exact_parallel,
+)
+from repro.counting.wedge_sampling import count_approx_wedge_sampling
+from repro.exceptions import SamplingError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.motifs.counts import MotifCounts
+from repro.projection.builder import project
+from repro.projection.projected_graph import ProjectedGraph
+from repro.utils.rng import SeedLike
+from repro.utils.timer import Timer
+
+#: Supported algorithm names.
+ALGORITHM_EXACT = "exact"
+ALGORITHM_EDGE_SAMPLING = "edge-sampling"
+ALGORITHM_WEDGE_SAMPLING = "wedge-sampling"
+ALGORITHMS = (ALGORITHM_EXACT, ALGORITHM_EDGE_SAMPLING, ALGORITHM_WEDGE_SAMPLING)
+
+#: Aliases matching the paper's algorithm names.
+ALGORITHM_ALIASES = {
+    "mochy-e": ALGORITHM_EXACT,
+    "mochy-a": ALGORITHM_EDGE_SAMPLING,
+    "mochy-a+": ALGORITHM_WEDGE_SAMPLING,
+    ALGORITHM_EXACT: ALGORITHM_EXACT,
+    ALGORITHM_EDGE_SAMPLING: ALGORITHM_EDGE_SAMPLING,
+    ALGORITHM_WEDGE_SAMPLING: ALGORITHM_WEDGE_SAMPLING,
+}
+
+
+@dataclass(frozen=True)
+class CountingRun:
+    """Result of one counting run, with timing metadata."""
+
+    counts: MotifCounts
+    algorithm: str
+    num_samples: Optional[int]
+    projection_seconds: float
+    counting_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Projection plus counting time."""
+        return self.projection_seconds + self.counting_seconds
+
+
+def resolve_algorithm(name: str) -> str:
+    """Normalize an algorithm name or paper alias (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in ALGORITHM_ALIASES:
+        raise SamplingError(
+            f"unknown algorithm {name!r}; choose from "
+            f"{sorted(set(ALGORITHM_ALIASES))}"
+        )
+    return ALGORITHM_ALIASES[key]
+
+
+def count_motifs(
+    hypergraph: Hypergraph,
+    algorithm: str = ALGORITHM_EXACT,
+    num_samples: Optional[int] = None,
+    sampling_ratio: Optional[float] = None,
+    num_workers: int = 1,
+    seed: SeedLike = None,
+    projection: Optional[ProjectedGraph] = None,
+) -> MotifCounts:
+    """Count (or estimate) the instances of every h-motif in *hypergraph*.
+
+    Parameters
+    ----------
+    algorithm:
+        ``"exact"`` (MoCHy-E), ``"edge-sampling"`` (MoCHy-A) or
+        ``"wedge-sampling"`` (MoCHy-A+); the paper names are accepted as
+        aliases.
+    num_samples / sampling_ratio:
+        For the approximate algorithms, either an explicit sample count or a
+        ratio of the population size (``s = ratio · |E|`` for MoCHy-A,
+        ``r = ratio · |∧|`` for MoCHy-A+). Exactly one may be given; the
+        default ratio is 0.1.
+    num_workers:
+        Use the parallel drivers when greater than one.
+    """
+    return run_counting(
+        hypergraph,
+        algorithm=algorithm,
+        num_samples=num_samples,
+        sampling_ratio=sampling_ratio,
+        num_workers=num_workers,
+        seed=seed,
+        projection=projection,
+    ).counts
+
+
+def run_counting(
+    hypergraph: Hypergraph,
+    algorithm: str = ALGORITHM_EXACT,
+    num_samples: Optional[int] = None,
+    sampling_ratio: Optional[float] = None,
+    num_workers: int = 1,
+    seed: SeedLike = None,
+    projection: Optional[ProjectedGraph] = None,
+) -> CountingRun:
+    """As :func:`count_motifs`, but also reporting timing metadata."""
+    algorithm = resolve_algorithm(algorithm)
+    if num_samples is not None and sampling_ratio is not None:
+        raise SamplingError("pass either num_samples or sampling_ratio, not both")
+
+    with Timer() as projection_timer:
+        if projection is None:
+            projection = project(hypergraph)
+    resolved_samples = _resolve_samples(
+        algorithm, hypergraph, projection, num_samples, sampling_ratio
+    )
+
+    with Timer() as counting_timer:
+        if algorithm == ALGORITHM_EXACT:
+            if num_workers > 1:
+                counts = count_exact_parallel(hypergraph, num_workers, projection)
+            else:
+                counts = count_exact(hypergraph, projection)
+        elif algorithm == ALGORITHM_EDGE_SAMPLING:
+            if num_workers > 1:
+                counts = count_approx_edge_sampling_parallel(
+                    hypergraph, resolved_samples, num_workers, seed=seed
+                )
+            else:
+                counts = count_approx_edge_sampling(
+                    hypergraph, resolved_samples, projection, seed=seed
+                )
+        else:
+            if num_workers > 1:
+                counts = count_approx_wedge_sampling_parallel(
+                    hypergraph,
+                    resolved_samples,
+                    num_workers,
+                    seed=seed,
+                    projection=projection,
+                )
+            else:
+                counts = count_approx_wedge_sampling(
+                    hypergraph, resolved_samples, projection, seed=seed
+                )
+    return CountingRun(
+        counts=counts,
+        algorithm=algorithm,
+        num_samples=resolved_samples if algorithm != ALGORITHM_EXACT else None,
+        projection_seconds=projection_timer.elapsed,
+        counting_seconds=counting_timer.elapsed,
+    )
+
+
+def _resolve_samples(
+    algorithm: str,
+    hypergraph: Hypergraph,
+    projection: ProjectedGraph,
+    num_samples: Optional[int],
+    sampling_ratio: Optional[float],
+) -> Optional[int]:
+    if algorithm == ALGORITHM_EXACT:
+        return None
+    if num_samples is not None:
+        if num_samples <= 0:
+            raise SamplingError(f"num_samples must be positive, got {num_samples}")
+        return int(num_samples)
+    ratio = 0.1 if sampling_ratio is None else float(sampling_ratio)
+    if ratio <= 0:
+        raise SamplingError(f"sampling_ratio must be positive, got {ratio}")
+    if algorithm == ALGORITHM_EDGE_SAMPLING:
+        population = hypergraph.num_hyperedges
+    else:
+        population = projection.num_hyperwedges
+    return max(1, int(round(ratio * population)))

@@ -1,0 +1,39 @@
+"""Synthetic hypergraph generators standing in for the paper's 11 real datasets."""
+
+from repro.generators.coauthorship import generate_coauthorship
+from repro.generators.contact import generate_contact
+from repro.generators.email import generate_email
+from repro.generators.tags import generate_tags
+from repro.generators.threads import generate_threads
+from repro.generators.random_hypergraph import (
+    generate_planted_triple,
+    generate_uniform_random,
+)
+from repro.generators.temporal import generate_temporal_coauthorship
+from repro.generators.corpus import (
+    DOMAINS,
+    DatasetSpec,
+    build_corpus,
+    dataset_domain,
+    dataset_names,
+    dataset_specs,
+    generate_dataset,
+)
+
+__all__ = [
+    "generate_coauthorship",
+    "generate_contact",
+    "generate_email",
+    "generate_tags",
+    "generate_threads",
+    "generate_uniform_random",
+    "generate_planted_triple",
+    "generate_temporal_coauthorship",
+    "DOMAINS",
+    "DatasetSpec",
+    "build_corpus",
+    "dataset_domain",
+    "dataset_names",
+    "dataset_specs",
+    "generate_dataset",
+]

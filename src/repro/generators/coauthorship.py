@@ -1,0 +1,84 @@
+"""Synthetic co-authorship hypergraphs.
+
+Formation mechanism mimicked from the real co-authorship data (coauth-DBLP,
+coauth-geology, coauth-history): authors belong to overlapping research
+groups, papers are written by small author sets drawn from one group with
+productivity-weighted (heavy-tailed) selection, and follow-up papers often
+reuse a subset of a previous team plus a newcomer. The team-reuse step is what
+produces the nested/overlapping triples (the paper observes h-motifs 10–12 are
+over-represented in co-authorship data).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.generators.base import (
+    assign_overlapping_communities,
+    bounded_size,
+    weighted_sample_without_replacement,
+    zipf_weights,
+)
+from repro.generators.base import unique_edges as _unique_edges
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_positive_int
+
+
+def generate_coauthorship(
+    num_authors: int = 600,
+    num_papers: int = 400,
+    num_groups: int = 30,
+    mean_team_size: float = 3.0,
+    max_team_size: int = 6,
+    team_reuse_probability: float = 0.45,
+    productivity_exponent: float = 1.1,
+    seed: SeedLike = None,
+    name: str = "coauthorship",
+) -> Hypergraph:
+    """Generate a co-authorship-like hypergraph.
+
+    Parameters
+    ----------
+    team_reuse_probability:
+        Probability that a new paper starts from a subset of a previous paper's
+        team instead of a fresh draw; higher values produce more overlapping
+        hyperedges and more closed h-motifs.
+    productivity_exponent:
+        Zipf exponent of author productivity within a group.
+    """
+    require_positive_int(num_authors, "num_authors")
+    require_positive_int(num_papers, "num_papers")
+    require_positive_int(num_groups, "num_groups")
+    rng = ensure_rng(seed)
+    groups = assign_overlapping_communities(
+        num_authors, num_groups, mean_memberships=1.3, rng=rng
+    )
+    group_weights = [zipf_weights(len(members), productivity_exponent) for members in groups]
+
+    papers: List[List[int]] = []
+    for _ in range(num_papers):
+        team_size = bounded_size(rng, mean_team_size, minimum=2, maximum=max_team_size)
+        if papers and rng.random() < team_reuse_probability:
+            # Follow-up paper: keep a subset of a recent team, add new members
+            # from the same group as one of the retained authors.
+            previous = papers[int(rng.integers(max(0, len(papers) - 50), len(papers)))]
+            keep = max(1, min(len(previous) - 1, int(rng.integers(1, len(previous) + 1))))
+            team = list(rng.choice(previous, size=keep, replace=False))
+            anchor_group = int(rng.integers(0, len(groups)))
+            pool = groups[anchor_group]
+            weights = group_weights[anchor_group]
+            while len(team) < team_size:
+                addition = weighted_sample_without_replacement(pool, weights, 1, rng)
+                if addition and addition[0] not in team:
+                    team.append(addition[0])
+                elif len(pool) <= len(team):
+                    break
+        else:
+            group_index = int(rng.integers(0, len(groups)))
+            pool = groups[group_index]
+            weights = group_weights[group_index]
+            team = weighted_sample_without_replacement(pool, weights, team_size, rng)
+        if len(team) >= 2:
+            papers.append([int(author) for author in set(team)])
+    return Hypergraph(_unique_edges(papers), name=name)

@@ -1,0 +1,56 @@
+"""Structure-free random hypergraphs, used as controls and in tests.
+
+:func:`generate_uniform_random` draws every hyperedge independently: a size
+from a bounded Poisson and members uniformly at random. It has none of the
+domain structure of the other generators, so it serves as a sanity control
+(its CP should sit near zero) and as a convenient source of arbitrary valid
+hypergraphs for property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.generators.base import bounded_size
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_positive_int
+
+
+def generate_uniform_random(
+    num_nodes: int = 200,
+    num_hyperedges: int = 300,
+    mean_size: float = 3.0,
+    max_size: int = 8,
+    seed: SeedLike = None,
+    name: str = "uniform-random",
+) -> Hypergraph:
+    """A hypergraph whose hyperedges are uniform random node subsets."""
+    require_positive_int(num_nodes, "num_nodes")
+    require_positive_int(num_hyperedges, "num_hyperedges")
+    rng = ensure_rng(seed)
+    edges: List[List[int]] = []
+    seen = set()
+    for _ in range(num_hyperedges):
+        size = bounded_size(rng, mean_size, minimum=1, maximum=min(max_size, num_nodes))
+        members = rng.choice(num_nodes, size=size, replace=False)
+        key = frozenset(int(node) for node in members)
+        if key in seen:
+            continue
+        seen.add(key)
+        edges.append([int(node) for node in members])
+    return Hypergraph(edges, name=name)
+
+
+def generate_planted_triple(
+    base: Hypergraph,
+    motif_edges: List[List[int]],
+    name: str | None = None,
+) -> Hypergraph:
+    """Append explicit hyperedges (e.g. a hand-built motif instance) to *base*.
+
+    Useful in tests that need a hypergraph guaranteed to contain a specific
+    h-motif instance.
+    """
+    edges = list(base.hyperedges()) + [list(edge) for edge in motif_edges]
+    return Hypergraph(edges, name=name or f"{base.name}+planted")

@@ -1,0 +1,73 @@
+"""Temporal co-authorship generator for the evolution study (paper Figure 7).
+
+The paper slices the coauth-DBLP data into 33 yearly hypergraphs (1984–2016)
+and tracks how h-motif fractions change: collaborations become less clustered
+(the open-motif fraction rises steadily after 2001) and motifs 2 and 22 come
+to dominate. The generator reproduces the mechanism behind that trend: over
+the simulated years the author population, paper volume and average team size
+grow, and an increasing share of papers is formed around prolific hub authors
+who collaborate with many otherwise-disjoint teams. Hub-centred collaboration
+is exactly what makes two papers that both intersect a third paper unlikely to
+intersect each other, so the open-motif fraction rises in later years.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.generators.coauthorship import generate_coauthorship
+from repro.hypergraph.builders import TemporalHypergraph
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_positive_int
+
+
+def generate_temporal_coauthorship(
+    num_years: int = 12,
+    start_year: int = 2005,
+    initial_authors: int = 220,
+    initial_papers: int = 120,
+    author_growth: float = 1.06,
+    paper_growth: float = 1.08,
+    initial_team_reuse: float = 0.2,
+    final_team_reuse: float = 0.65,
+    initial_team_size: float = 2.4,
+    final_team_size: float = 3.6,
+    seed: SeedLike = None,
+    name: str = "temporal-coauthorship",
+) -> TemporalHypergraph:
+    """Generate an evolving co-authorship hypergraph, one snapshot per year.
+
+    Parameters
+    ----------
+    author_growth / paper_growth:
+        Yearly multiplicative growth of the author population and paper count.
+    initial_team_reuse / final_team_reuse:
+        Probability that a paper grows out of an existing team (around a hub
+        author), interpolated linearly across the years; its rise is what
+        drives the rising open-motif fraction.
+    initial_team_size / final_team_size:
+        Mean team size interpolated linearly across the years.
+    """
+    require_positive_int(num_years, "num_years")
+    require_positive_int(initial_authors, "initial_authors")
+    require_positive_int(initial_papers, "initial_papers")
+    rng = ensure_rng(seed)
+    timestamped: List[Tuple[int, List[int]]] = []
+    for offset in range(num_years):
+        progress = offset / max(num_years - 1, 1)
+        num_authors = int(round(initial_authors * author_growth**offset))
+        num_papers = int(round(initial_papers * paper_growth**offset))
+        team_reuse = initial_team_reuse + progress * (final_team_reuse - initial_team_reuse)
+        team_size = initial_team_size + progress * (final_team_size - initial_team_size)
+        snapshot = generate_coauthorship(
+            num_authors=num_authors,
+            num_papers=num_papers,
+            num_groups=max(6, num_authors // 20),
+            mean_team_size=team_size,
+            team_reuse_probability=team_reuse,
+            seed=rng,
+            name=f"{name}-{start_year + offset}",
+        )
+        year = start_year + offset
+        timestamped.extend((year, list(edge)) for edge in snapshot.hyperedges())
+    return TemporalHypergraph(timestamped, name=name)

@@ -1,0 +1,55 @@
+"""Hypergraph substrate: container, builders, I/O, bipartite view, properties."""
+
+from repro.hypergraph.hypergraph import Hypergraph, Node, Hyperedge
+from repro.hypergraph.builders import (
+    TemporalHypergraph,
+    deduplicate_hyperedges,
+    filter_by_size,
+    from_hyperedge_list,
+    from_node_memberships,
+    merge_hypergraphs,
+    relabel_nodes_to_integers,
+)
+from repro.hypergraph.bipartite import BipartiteIncidenceGraph
+from repro.hypergraph.properties import (
+    HypergraphSummary,
+    count_hyperwedges,
+    degree_distribution,
+    density,
+    giant_component_fraction,
+    hyperedge_connected_components,
+    max_hyperedge_size,
+    mean_hyperedge_size,
+    mean_node_degree,
+    node_connected_components,
+    size_distribution,
+    summarize,
+)
+from repro.hypergraph import io
+
+__all__ = [
+    "Hypergraph",
+    "Node",
+    "Hyperedge",
+    "TemporalHypergraph",
+    "BipartiteIncidenceGraph",
+    "HypergraphSummary",
+    "io",
+    "from_hyperedge_list",
+    "from_node_memberships",
+    "deduplicate_hyperedges",
+    "filter_by_size",
+    "relabel_nodes_to_integers",
+    "merge_hypergraphs",
+    "count_hyperwedges",
+    "degree_distribution",
+    "size_distribution",
+    "max_hyperedge_size",
+    "mean_hyperedge_size",
+    "mean_node_degree",
+    "density",
+    "giant_component_fraction",
+    "node_connected_components",
+    "hyperedge_connected_components",
+    "summarize",
+]

@@ -1,0 +1,146 @@
+"""Bipartite (star-expansion) view of a hypergraph.
+
+The paper uses the bipartite incidence graph ``G' = (V ∪ E, {(v, e) : v ∈ e})``
+for two purposes:
+
+* as the substrate of the Chung–Lu null model (Section 2.3), and
+* as the graph on which the network-motif baseline CP is computed (Figure 6).
+
+:class:`BipartiteIncidenceGraph` stores the incidence explicitly and converts
+back and forth between the hypergraph and bipartite views.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Tuple
+
+from repro.exceptions import HypergraphError
+from repro.hypergraph.hypergraph import Hypergraph, Node
+
+
+class BipartiteIncidenceGraph:
+    """Star expansion of a hypergraph.
+
+    Left vertices are the hypergraph's nodes, right vertices are hyperedge
+    indices, and an undirected edge ``(v, e)`` exists iff ``v ∈ e``.
+    """
+
+    def __init__(
+        self,
+        node_neighbors: Dict[Node, FrozenSet[int]],
+        edge_members: Sequence[FrozenSet[Node]],
+        name: str = "bipartite",
+    ) -> None:
+        self._node_neighbors = dict(node_neighbors)
+        self._edge_members = list(edge_members)
+        self.name = str(name)
+        for edge_index, members in enumerate(self._edge_members):
+            for node in members:
+                if node not in self._node_neighbors:
+                    raise HypergraphError(
+                        f"edge {edge_index} references node {node!r} missing from "
+                        "the node side"
+                    )
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_hypergraph(cls, hypergraph: Hypergraph) -> "BipartiteIncidenceGraph":
+        """Build the star expansion of *hypergraph*."""
+        node_neighbors = {
+            node: frozenset(hypergraph.memberships(node))
+            for node in hypergraph.nodes()
+        }
+        edge_members = list(hypergraph.hyperedges())
+        return cls(node_neighbors, edge_members, name=f"{hypergraph.name}-bipartite")
+
+    # ----------------------------------------------------------------- queries
+    @property
+    def num_left(self) -> int:
+        """Number of node-side vertices."""
+        return len(self._node_neighbors)
+
+    @property
+    def num_right(self) -> int:
+        """Number of hyperedge-side vertices."""
+        return len(self._edge_members)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of incidences ``|{(v, e) : v ∈ e}| = Σ_e |e|``."""
+        return sum(len(members) for members in self._edge_members)
+
+    def left_vertices(self) -> List[Node]:
+        """Node-side vertex labels (deterministic order)."""
+        return sorted(self._node_neighbors, key=repr)
+
+    def right_vertices(self) -> List[int]:
+        """Hyperedge-side vertex indices."""
+        return list(range(len(self._edge_members)))
+
+    def node_degree(self, node: Node) -> int:
+        """Degree of a node-side vertex (number of hyperedges containing it)."""
+        try:
+            return len(self._node_neighbors[node])
+        except KeyError:
+            raise HypergraphError(f"node {node!r} not present") from None
+
+    def edge_degree(self, edge_index: int) -> int:
+        """Degree of a hyperedge-side vertex (the hyperedge's size)."""
+        if not 0 <= edge_index < len(self._edge_members):
+            raise HypergraphError(f"edge index {edge_index} out of range")
+        return len(self._edge_members[edge_index])
+
+    def node_neighbors(self, node: Node) -> FrozenSet[int]:
+        """Hyperedge indices adjacent to *node*."""
+        try:
+            return self._node_neighbors[node]
+        except KeyError:
+            raise HypergraphError(f"node {node!r} not present") from None
+
+    def edge_members(self, edge_index: int) -> FrozenSet[Node]:
+        """Nodes adjacent to hyperedge-side vertex *edge_index*."""
+        if not 0 <= edge_index < len(self._edge_members):
+            raise HypergraphError(f"edge index {edge_index} out of range")
+        return self._edge_members[edge_index]
+
+    def incidences(self) -> List[Tuple[Node, int]]:
+        """All ``(node, hyperedge index)`` incidence pairs."""
+        pairs: List[Tuple[Node, int]] = []
+        for edge_index, members in enumerate(self._edge_members):
+            pairs.extend((node, edge_index) for node in members)
+        return pairs
+
+    def degree_sequences(self) -> Tuple[List[int], List[int]]:
+        """``(node-side degrees, hyperedge-side degrees)`` in deterministic orders."""
+        node_degrees = [len(self._node_neighbors[node]) for node in self.left_vertices()]
+        edge_degrees = [len(members) for members in self._edge_members]
+        return node_degrees, edge_degrees
+
+    # ------------------------------------------------------------- conversion
+    def to_hypergraph(self, name: str | None = None, drop_empty: bool = True) -> Hypergraph:
+        """Convert back to a hypergraph.
+
+        Parameters
+        ----------
+        drop_empty:
+            Randomized bipartite graphs may leave some hyperedge-side vertices
+            with no incident nodes; those would be invalid hyperedges and are
+            dropped when this flag is set (the default, matching the paper's
+            null-model construction).
+        """
+        edges: List[FrozenSet[Node]] = []
+        for members in self._edge_members:
+            if members:
+                edges.append(members)
+            elif not drop_empty:
+                raise HypergraphError(
+                    "cannot convert: hyperedge-side vertex with no members "
+                    "(pass drop_empty=True to skip them)"
+                )
+        return Hypergraph(edges, name=name or self.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteIncidenceGraph(name={self.name!r}, left={self.num_left}, "
+            f"right={self.num_right}, incidences={self.num_edges})"
+        )

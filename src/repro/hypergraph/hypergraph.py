@@ -1,0 +1,215 @@
+"""The :class:`Hypergraph` container.
+
+A hypergraph ``G = (V, E)`` consists of a set of nodes ``V`` and a list of
+hyperedges ``E``, each hyperedge being a non-empty subset of ``V``
+(paper, Section 2.1). Hyperedges are indexed ``0 .. |E|-1``; the paper's
+``e_i`` corresponds to ``hypergraph.hyperedge(i)``.
+
+The container is immutable after construction: all MoCHy algorithms treat the
+hypergraph as read-only, and immutability lets us cache derived structures
+(node memberships ``E_v``, node/edge index maps) safely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.exceptions import (
+    EmptyHyperedgeError,
+    UnknownHyperedgeError,
+    UnknownNodeError,
+)
+
+Node = Hashable
+Hyperedge = FrozenSet[Node]
+
+
+class Hypergraph:
+    """An immutable hypergraph with indexed hyperedges.
+
+    Parameters
+    ----------
+    hyperedges:
+        Iterable of node collections. Each becomes one hyperedge; order is
+        preserved and defines hyperedge indices. Duplicate *nodes* inside one
+        hyperedge collapse (hyperedges are sets); duplicate *hyperedges* are
+        kept unless removed explicitly via
+        :func:`repro.hypergraph.builders.deduplicate_hyperedges`.
+    name:
+        Optional human-readable dataset name (used in reports and the CLI).
+
+    Raises
+    ------
+    EmptyHyperedgeError
+        If any supplied hyperedge is empty.
+    """
+
+    __slots__ = ("_hyperedges", "_memberships", "_nodes", "_name")
+
+    def __init__(
+        self, hyperedges: Iterable[Iterable[Node]], name: str = "hypergraph"
+    ) -> None:
+        edges: List[Hyperedge] = []
+        memberships: Dict[Node, List[int]] = {}
+        for index, raw in enumerate(hyperedges):
+            edge = frozenset(raw)
+            if not edge:
+                raise EmptyHyperedgeError(
+                    f"hyperedge at position {index} is empty; hyperedges must "
+                    "contain at least one node"
+                )
+            edges.append(edge)
+            for node in edge:
+                memberships.setdefault(node, []).append(index)
+        self._hyperedges: Tuple[Hyperedge, ...] = tuple(edges)
+        self._memberships: Dict[Node, Tuple[int, ...]] = {
+            node: tuple(indices) for node, indices in memberships.items()
+        }
+        self._nodes: Tuple[Node, ...] = tuple(
+            sorted(self._memberships, key=repr)
+        )
+        self._name = str(name)
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def name(self) -> str:
+        """Dataset name."""
+        return self._name
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of distinct nodes ``|V|``."""
+        return len(self._nodes)
+
+    @property
+    def num_hyperedges(self) -> int:
+        """Number of hyperedges ``|E|`` (duplicates, if any, count separately)."""
+        return len(self._hyperedges)
+
+    def nodes(self) -> Tuple[Node, ...]:
+        """All nodes in a deterministic order."""
+        return self._nodes
+
+    def hyperedges(self) -> Tuple[Hyperedge, ...]:
+        """All hyperedges as frozensets, in index order."""
+        return self._hyperedges
+
+    def hyperedge(self, index: int) -> Hyperedge:
+        """The hyperedge with the given index (the paper's ``e_index``)."""
+        self._check_edge_index(index)
+        return self._hyperedges[index]
+
+    def hyperedge_size(self, index: int) -> int:
+        """``|e_index|`` — the number of nodes in hyperedge *index*."""
+        self._check_edge_index(index)
+        return len(self._hyperedges[index])
+
+    def hyperedge_sizes(self) -> List[int]:
+        """Sizes of all hyperedges, in index order."""
+        return [len(edge) for edge in self._hyperedges]
+
+    # -------------------------------------------------------------- node side
+    def has_node(self, node: Node) -> bool:
+        """Whether *node* appears in at least one hyperedge."""
+        return node in self._memberships
+
+    def memberships(self, node: Node) -> Tuple[int, ...]:
+        """Indices of hyperedges containing *node* (the paper's ``E_v``)."""
+        try:
+            return self._memberships[node]
+        except KeyError:
+            raise UnknownNodeError(f"node {node!r} is not in the hypergraph") from None
+
+    def degree(self, node: Node) -> int:
+        """Node degree ``|E_v|`` — number of hyperedges containing *node*."""
+        return len(self.memberships(node))
+
+    def degrees(self) -> Dict[Node, int]:
+        """Mapping of every node to its degree."""
+        return {node: len(indices) for node, indices in self._memberships.items()}
+
+    def neighbors_of_node(self, node: Node) -> FrozenSet[Node]:
+        """Nodes co-appearing with *node* in at least one hyperedge (excluding itself)."""
+        result = set()
+        for edge_index in self.memberships(node):
+            result.update(self._hyperedges[edge_index])
+        result.discard(node)
+        return frozenset(result)
+
+    # -------------------------------------------------------------- edge side
+    def are_adjacent(self, i: int, j: int) -> bool:
+        """Whether hyperedges *i* and *j* share at least one node."""
+        self._check_edge_index(i)
+        self._check_edge_index(j)
+        first, second = self._hyperedges[i], self._hyperedges[j]
+        if len(first) > len(second):
+            first, second = second, first
+        return any(node in second for node in first)
+
+    def overlap_size(self, i: int, j: int) -> int:
+        """``|e_i ∩ e_j|`` — the hyperwedge weight ω(∧_ij) when positive."""
+        self._check_edge_index(i)
+        self._check_edge_index(j)
+        return len(self._hyperedges[i] & self._hyperedges[j])
+
+    def incident_hyperedges(self, i: int) -> FrozenSet[int]:
+        """Indices of hyperedges adjacent to hyperedge *i* (the paper's ``N_{e_i}``).
+
+        Computed from node memberships; for repeated queries prefer building a
+        :class:`repro.projection.ProjectedGraph`, which caches the adjacency.
+        """
+        self._check_edge_index(i)
+        result = set()
+        for node in self._hyperedges[i]:
+            result.update(self._memberships[node])
+        result.discard(i)
+        return frozenset(result)
+
+    # -------------------------------------------------------------- iteration
+    def __iter__(self) -> Iterator[Hyperedge]:
+        return iter(self._hyperedges)
+
+    def __len__(self) -> int:
+        return len(self._hyperedges)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._memberships
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return self._hyperedges == other._hyperedges
+
+    def __hash__(self) -> int:
+        return hash(self._hyperedges)
+
+    def __repr__(self) -> str:
+        return (
+            f"Hypergraph(name={self._name!r}, num_nodes={self.num_nodes}, "
+            f"num_hyperedges={self.num_hyperedges})"
+        )
+
+    # ------------------------------------------------------------- derivation
+    def restricted_to_hyperedges(
+        self, indices: Sequence[int], name: str | None = None
+    ) -> "Hypergraph":
+        """A new hypergraph containing only the hyperedges at *indices* (re-indexed)."""
+        for index in indices:
+            self._check_edge_index(index)
+        return Hypergraph(
+            (self._hyperedges[index] for index in indices),
+            name=name or f"{self._name}[subset]",
+        )
+
+    def with_name(self, name: str) -> "Hypergraph":
+        """A copy of this hypergraph under a different dataset name."""
+        return Hypergraph(self._hyperedges, name=name)
+
+    # --------------------------------------------------------------- internal
+    def _check_edge_index(self, index: int) -> None:
+        if not isinstance(index, int):
+            raise TypeError(f"hyperedge index must be an int, got {type(index).__name__}")
+        if not 0 <= index < len(self._hyperedges):
+            raise UnknownHyperedgeError(
+                f"hyperedge index {index} out of range [0, {len(self._hyperedges)})"
+            )

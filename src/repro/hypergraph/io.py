@@ -1,0 +1,209 @@
+"""Reading and writing hypergraphs.
+
+Three on-disk formats are supported:
+
+``plain``
+    One hyperedge per line; node labels separated by whitespace (or a custom
+    delimiter). This matches the format published with the MoCHy reference
+    implementation.
+
+``json``
+    ``{"name": ..., "hyperedges": [[...], ...]}`` — convenient for small
+    fixtures and round-tripping arbitrary (string) node labels.
+
+``benson``
+    The three-file simplex format of Benson et al. (nverts / simplices /
+    times), which is how the paper's 11 datasets are distributed. The *times*
+    file is optional; when present a :class:`TemporalHypergraph` can be built.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import DatasetError
+from repro.hypergraph.builders import TemporalHypergraph
+from repro.hypergraph.hypergraph import Hypergraph
+
+PathLike = Union[str, Path]
+
+
+# --------------------------------------------------------------------- plain
+def write_plain(hypergraph: Hypergraph, path: PathLike, delimiter: str = " ") -> None:
+    """Write one hyperedge per line, node labels joined by *delimiter*."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for edge in hypergraph.hyperedges():
+            labels = sorted(str(node) for node in edge)
+            handle.write(delimiter.join(labels))
+            handle.write("\n")
+
+
+def read_plain(
+    path: PathLike,
+    delimiter: Optional[str] = None,
+    name: Optional[str] = None,
+    node_type: type = str,
+) -> Hypergraph:
+    """Read a plain hyperedge-per-line file.
+
+    Parameters
+    ----------
+    delimiter:
+        ``None`` splits on arbitrary whitespace (like ``str.split``).
+    node_type:
+        Callable applied to each token, e.g. ``int`` for integer node ids.
+    """
+    path = Path(path)
+    edges: List[List] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            tokens = line.split(delimiter)
+            try:
+                edges.append([node_type(token) for token in tokens])
+            except ValueError as error:
+                raise DatasetError(
+                    f"{path}:{line_number}: cannot parse node label: {error}"
+                ) from error
+    return Hypergraph(edges, name=name or path.stem)
+
+
+# ---------------------------------------------------------------------- json
+def write_json(hypergraph: Hypergraph, path: PathLike) -> None:
+    """Write the hypergraph as a JSON document (labels are stringified)."""
+    path = Path(path)
+    payload = {
+        "name": hypergraph.name,
+        "hyperedges": [sorted(str(node) for node in edge) for edge in hypergraph.hyperedges()],
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def read_json(path: PathLike) -> Hypergraph:
+    """Read a hypergraph previously written by :func:`write_json`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if "hyperedges" not in payload:
+        raise DatasetError(f"{path}: JSON document lacks a 'hyperedges' key")
+    return Hypergraph(payload["hyperedges"], name=payload.get("name", path.stem))
+
+
+# -------------------------------------------------------------------- benson
+def write_benson(
+    hypergraph: Hypergraph,
+    directory: PathLike,
+    prefix: str,
+    timestamps: Optional[Sequence[int]] = None,
+) -> None:
+    """Write the Benson three-file simplex format.
+
+    Produces ``<prefix>-nverts.txt`` and ``<prefix>-simplices.txt`` (and
+    ``<prefix>-times.txt`` when *timestamps* is given). Node labels must be
+    integers in this format; non-integer labels raise :class:`DatasetError`.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if timestamps is not None and len(timestamps) != hypergraph.num_hyperedges:
+        raise DatasetError(
+            "timestamps must have one entry per hyperedge "
+            f"({len(timestamps)} given for {hypergraph.num_hyperedges} hyperedges)"
+        )
+    nverts_lines: List[str] = []
+    simplices_lines: List[str] = []
+    for edge in hypergraph.hyperedges():
+        members = sorted(edge)
+        for node in members:
+            if not isinstance(node, int):
+                raise DatasetError(
+                    "the Benson format requires integer node labels; "
+                    f"got {node!r} — relabel with relabel_nodes_to_integers first"
+                )
+        nverts_lines.append(str(len(members)))
+        simplices_lines.extend(str(node) for node in members)
+    (directory / f"{prefix}-nverts.txt").write_text(
+        "\n".join(nverts_lines) + "\n", encoding="utf-8"
+    )
+    (directory / f"{prefix}-simplices.txt").write_text(
+        "\n".join(simplices_lines) + "\n", encoding="utf-8"
+    )
+    if timestamps is not None:
+        (directory / f"{prefix}-times.txt").write_text(
+            "\n".join(str(int(stamp)) for stamp in timestamps) + "\n", encoding="utf-8"
+        )
+
+
+def read_benson(
+    directory: PathLike, prefix: str, name: Optional[str] = None
+) -> Hypergraph:
+    """Read a Benson-format dataset into a :class:`Hypergraph` (ignoring times)."""
+    edges, _ = _read_benson_raw(directory, prefix)
+    return Hypergraph(edges, name=name or prefix)
+
+
+def read_benson_temporal(
+    directory: PathLike, prefix: str, name: Optional[str] = None
+) -> TemporalHypergraph:
+    """Read a Benson-format dataset with its times file as a temporal hypergraph."""
+    edges, timestamps = _read_benson_raw(directory, prefix)
+    if timestamps is None:
+        raise DatasetError(
+            f"{prefix}: no '{prefix}-times.txt' file found; "
+            "use read_benson for static data"
+        )
+    return TemporalHypergraph(zip(timestamps, edges), name=name or prefix)
+
+
+def _read_benson_raw(
+    directory: PathLike, prefix: str
+) -> Tuple[List[List[int]], Optional[List[int]]]:
+    directory = Path(directory)
+    nverts_path = directory / f"{prefix}-nverts.txt"
+    simplices_path = directory / f"{prefix}-simplices.txt"
+    times_path = directory / f"{prefix}-times.txt"
+    if not nverts_path.exists() or not simplices_path.exists():
+        raise DatasetError(
+            f"missing {nverts_path.name} or {simplices_path.name} in {directory}"
+        )
+    nverts = _read_int_column(nverts_path)
+    simplices = _read_int_column(simplices_path)
+    if sum(nverts) != len(simplices):
+        raise DatasetError(
+            f"{prefix}: nverts sums to {sum(nverts)} but simplices has "
+            f"{len(simplices)} entries"
+        )
+    edges: List[List[int]] = []
+    cursor = 0
+    for size in nverts:
+        if size <= 0:
+            raise DatasetError(f"{prefix}: hyperedge with non-positive size {size}")
+        edges.append(simplices[cursor : cursor + size])
+        cursor += size
+    timestamps: Optional[List[int]] = None
+    if times_path.exists():
+        timestamps = _read_int_column(times_path)
+        if len(timestamps) != len(edges):
+            raise DatasetError(
+                f"{prefix}: {len(timestamps)} timestamps for {len(edges)} hyperedges"
+            )
+    return edges, timestamps
+
+
+def _read_int_column(path: Path) -> List[int]:
+    values: List[int] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                values.append(int(line))
+            except ValueError as error:
+                raise DatasetError(f"{path}:{line_number}: not an integer") from error
+    return values

@@ -1,0 +1,153 @@
+"""Structural properties of hypergraphs.
+
+These are the global statistics reported in the paper's Table 2 (numbers of
+nodes, hyperedges, maximum hyperedge size, number of hyperwedges) together
+with distributions used when validating the null model (node degree and
+hyperedge size distributions, Appendix D) and basic connectivity measures.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph, Node
+
+
+@dataclass(frozen=True)
+class HypergraphSummary:
+    """Container for the Table-2 style statistics of one hypergraph."""
+
+    name: str
+    num_nodes: int
+    num_hyperedges: int
+    max_hyperedge_size: int
+    mean_hyperedge_size: float
+    num_hyperwedges: int
+
+    def as_row(self) -> Tuple[str, int, int, int, float, int]:
+        """Tuple representation used by report printers."""
+        return (
+            self.name,
+            self.num_nodes,
+            self.num_hyperedges,
+            self.max_hyperedge_size,
+            self.mean_hyperedge_size,
+            self.num_hyperwedges,
+        )
+
+
+def degree_distribution(hypergraph: Hypergraph) -> Dict[int, int]:
+    """Histogram ``degree -> number of nodes with that degree``."""
+    counts = Counter(hypergraph.degrees().values())
+    return dict(sorted(counts.items()))
+
+
+def size_distribution(hypergraph: Hypergraph) -> Dict[int, int]:
+    """Histogram ``hyperedge size -> number of hyperedges of that size``."""
+    counts = Counter(hypergraph.hyperedge_sizes())
+    return dict(sorted(counts.items()))
+
+
+def max_hyperedge_size(hypergraph: Hypergraph) -> int:
+    """Largest hyperedge size (0 for an empty hypergraph)."""
+    sizes = hypergraph.hyperedge_sizes()
+    return max(sizes) if sizes else 0
+
+
+def mean_hyperedge_size(hypergraph: Hypergraph) -> float:
+    """Average hyperedge size (0.0 for an empty hypergraph)."""
+    sizes = hypergraph.hyperedge_sizes()
+    if not sizes:
+        return 0.0
+    return sum(sizes) / len(sizes)
+
+
+def count_hyperwedges(hypergraph: Hypergraph) -> int:
+    """Number of hyperwedges ``|∧|`` — unordered pairs of overlapping hyperedges.
+
+    Computed by scanning node memberships, which avoids materializing the
+    projected graph; complexity is the same as hypergraph projection.
+    """
+    seen: Set[Tuple[int, int]] = set()
+    for node in hypergraph.nodes():
+        members = hypergraph.memberships(node)
+        for position, i in enumerate(members):
+            for j in members[position + 1 :]:
+                pair = (i, j) if i < j else (j, i)
+                seen.add(pair)
+    return len(seen)
+
+
+def summarize(hypergraph: Hypergraph) -> HypergraphSummary:
+    """Compute the Table-2 style summary of *hypergraph*."""
+    return HypergraphSummary(
+        name=hypergraph.name,
+        num_nodes=hypergraph.num_nodes,
+        num_hyperedges=hypergraph.num_hyperedges,
+        max_hyperedge_size=max_hyperedge_size(hypergraph),
+        mean_hyperedge_size=mean_hyperedge_size(hypergraph),
+        num_hyperwedges=count_hyperwedges(hypergraph),
+    )
+
+
+def node_connected_components(hypergraph: Hypergraph) -> List[Set[Node]]:
+    """Connected components over nodes (two nodes connect if they share a hyperedge)."""
+    unvisited = set(hypergraph.nodes())
+    components: List[Set[Node]] = []
+    while unvisited:
+        start = unvisited.pop()
+        component = {start}
+        frontier = deque([start])
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in hypergraph.neighbors_of_node(node):
+                if neighbor in unvisited:
+                    unvisited.discard(neighbor)
+                    component.add(neighbor)
+                    frontier.append(neighbor)
+        components.append(component)
+    return components
+
+
+def giant_component_fraction(hypergraph: Hypergraph) -> float:
+    """Fraction of nodes in the largest connected component (0.0 if no nodes)."""
+    if hypergraph.num_nodes == 0:
+        return 0.0
+    components = node_connected_components(hypergraph)
+    largest = max(len(component) for component in components)
+    return largest / hypergraph.num_nodes
+
+
+def hyperedge_connected_components(hypergraph: Hypergraph) -> List[Set[int]]:
+    """Connected components over hyperedges (adjacency = shared node)."""
+    unvisited = set(range(hypergraph.num_hyperedges))
+    components: List[Set[int]] = []
+    while unvisited:
+        start = unvisited.pop()
+        component = {start}
+        frontier = deque([start])
+        while frontier:
+            edge_index = frontier.popleft()
+            for neighbor in hypergraph.incident_hyperedges(edge_index):
+                if neighbor in unvisited:
+                    unvisited.discard(neighbor)
+                    component.add(neighbor)
+                    frontier.append(neighbor)
+        components.append(component)
+    return components
+
+
+def density(hypergraph: Hypergraph) -> float:
+    """Hyperedge-to-node ratio ``|E| / |V|`` (0.0 when there are no nodes)."""
+    if hypergraph.num_nodes == 0:
+        return 0.0
+    return hypergraph.num_hyperedges / hypergraph.num_nodes
+
+
+def mean_node_degree(hypergraph: Hypergraph) -> float:
+    """Average node degree ``Σ_v |E_v| / |V|`` (0.0 when there are no nodes)."""
+    if hypergraph.num_nodes == 0:
+        return 0.0
+    return sum(hypergraph.degrees().values()) / hypergraph.num_nodes

@@ -1,0 +1,30 @@
+"""From-scratch binary classifiers used by the hyperedge-prediction application."""
+
+from repro.ml.base import BinaryClassifier, StandardScaler, validate_features_labels
+from repro.ml.logistic import LogisticRegression
+from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.ml.random_forest import RandomForestClassifier
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.mlp import MLPClassifier
+
+__all__ = [
+    "BinaryClassifier",
+    "StandardScaler",
+    "validate_features_labels",
+    "LogisticRegression",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "KNeighborsClassifier",
+    "MLPClassifier",
+]
+
+
+def default_classifiers(seed: int = 0) -> dict:
+    """The five classifier families of the paper's Table 4, with default settings."""
+    return {
+        "logistic-regression": LogisticRegression(),
+        "random-forest": RandomForestClassifier(seed=seed),
+        "decision-tree": DecisionTreeClassifier(seed=seed),
+        "k-nearest-neighbors": KNeighborsClassifier(),
+        "mlp": MLPClassifier(seed=seed),
+    }

@@ -1,0 +1,101 @@
+"""Base classes and preprocessing for the from-scratch classifiers.
+
+The paper's hyperedge-prediction study (Table 4) trains five standard
+classifier families on h-motif features. scikit-learn is not available in
+this environment, so :mod:`repro.ml` implements the five families directly on
+top of numpy. All classifiers follow the familiar ``fit`` / ``predict`` /
+``predict_proba`` protocol defined here.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ModelError, NotFittedError
+
+
+def validate_features_labels(
+    features: np.ndarray, labels: Optional[np.ndarray] = None
+) -> tuple:
+    """Coerce inputs to float/int arrays and check their shapes agree."""
+    features = np.asarray(features, dtype=float)
+    if features.ndim != 2:
+        raise ModelError(f"features must be a 2-D array, got shape {features.shape}")
+    if labels is None:
+        return features, None
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ModelError(f"labels must be a 1-D array, got shape {labels.shape}")
+    if labels.shape[0] != features.shape[0]:
+        raise ModelError(
+            f"features and labels disagree on sample count: "
+            f"{features.shape[0]} vs {labels.shape[0]}"
+        )
+    unique = np.unique(labels)
+    if not np.all(np.isin(unique, (0, 1))):
+        raise ModelError(f"labels must be binary (0/1), got values {unique}")
+    return features, labels.astype(int)
+
+
+class BinaryClassifier(ABC):
+    """Interface shared by all classifiers in :mod:`repro.ml`."""
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @abstractmethod
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "BinaryClassifier":
+        """Train on binary-labelled data and return ``self``."""
+
+    @abstractmethod
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Probability of the positive class for each row of *features*."""
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions at the given probability threshold."""
+        return (self.predict_proba(features) >= threshold).astype(int)
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before calling predict"
+            )
+
+
+class StandardScaler:
+    """Per-feature standardization to zero mean and unit variance.
+
+    Constant features are left unscaled (their standard deviation is treated
+    as 1) so they do not produce NaNs.
+    """
+
+    def __init__(self) -> None:
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        """Learn the per-feature mean and standard deviation."""
+        features, _ = validate_features_labels(features)
+        self._mean = features.mean(axis=0)
+        std = features.std(axis=0)
+        std[std == 0] = 1.0
+        self._std = std
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Apply the learned standardization."""
+        if self._mean is None or self._std is None:
+            raise NotFittedError("StandardScaler must be fitted before transform")
+        features, _ = validate_features_labels(features)
+        if features.shape[1] != self._mean.shape[0]:
+            raise ModelError(
+                f"expected {self._mean.shape[0]} features, got {features.shape[1]}"
+            )
+        return (features - self._mean) / self._std
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit and transform in one call."""
+        return self.fit(features).transform(features)

@@ -1,0 +1,149 @@
+"""CART-style decision tree classifier (Gini impurity, axis-aligned splits)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import BinaryClassifier, validate_features_labels
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_positive_int
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry a positive-class probability."""
+
+    probability: float
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _gini(labels: np.ndarray) -> float:
+    if labels.size == 0:
+        return 0.0
+    positive = labels.mean()
+    return 2.0 * positive * (1.0 - positive)
+
+
+class DecisionTreeClassifier(BinaryClassifier):
+    """Binary CART decision tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth.
+    min_samples_split:
+        Minimum number of samples needed to attempt a split.
+    max_features:
+        Number of candidate features examined per split (``None`` = all);
+        random forests pass ``sqrt``-sized subsets here.
+    seed:
+        Randomness for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_split: int = 4,
+        max_features: Optional[int] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        require_positive_int(max_depth, "max_depth")
+        require_positive_int(min_samples_split, "min_samples_split")
+        if max_features is not None:
+            require_positive_int(max_features, "max_features")
+        self.max_depth = int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self.max_features = max_features
+        self._rng = ensure_rng(seed)
+        self._root: Optional[_Node] = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTreeClassifier":
+        features, labels = validate_features_labels(features, labels)
+        self._root = self._grow(features, labels, depth=0)
+        self._fitted = True
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        features, _ = validate_features_labels(features)
+        return np.array([self._walk(row) for row in features])
+
+    # --------------------------------------------------------------- internal
+    def _grow(self, features: np.ndarray, labels: np.ndarray, depth: int) -> _Node:
+        probability = float(labels.mean()) if labels.size else 0.5
+        node = _Node(probability=probability)
+        if (
+            depth >= self.max_depth
+            or labels.size < self.min_samples_split
+            or probability in (0.0, 1.0)
+        ):
+            return node
+        split = self._best_split(features, labels)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = features[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(features[mask], labels[mask], depth + 1)
+        node.right = self._grow(features[~mask], labels[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> Optional[tuple]:
+        num_samples, num_features = features.shape
+        candidates = np.arange(num_features)
+        if self.max_features is not None and self.max_features < num_features:
+            candidates = self._rng.choice(
+                num_features, size=self.max_features, replace=False
+            )
+        parent_impurity = _gini(labels)
+        best_gain = 1e-12
+        best: Optional[tuple] = None
+        for feature in candidates:
+            values = features[:, feature]
+            order = np.argsort(values, kind="stable")
+            sorted_values = values[order]
+            sorted_labels = labels[order]
+            positives_left = np.cumsum(sorted_labels)
+            total_positives = positives_left[-1]
+            for split_index in range(1, num_samples):
+                if sorted_values[split_index] == sorted_values[split_index - 1]:
+                    continue
+                left_count = split_index
+                right_count = num_samples - split_index
+                left_positive = positives_left[split_index - 1]
+                right_positive = total_positives - left_positive
+                left_p = left_positive / left_count
+                right_p = right_positive / right_count
+                left_impurity = 2.0 * left_p * (1.0 - left_p)
+                right_impurity = 2.0 * right_p * (1.0 - right_p)
+                weighted = (
+                    left_count * left_impurity + right_count * right_impurity
+                ) / num_samples
+                gain = parent_impurity - weighted
+                if gain > best_gain:
+                    best_gain = gain
+                    threshold = (sorted_values[split_index] + sorted_values[split_index - 1]) / 2.0
+                    best = (int(feature), float(threshold))
+        return best
+
+    def _walk(self, row: np.ndarray) -> float:
+        node = self._root
+        while node is not None and not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.probability if node is not None else 0.5

@@ -1,0 +1,55 @@
+"""k-nearest-neighbours classifier on standardized Euclidean distance."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import BinaryClassifier, StandardScaler, validate_features_labels
+from repro.utils.validation import require_positive_int
+
+
+class KNeighborsClassifier(BinaryClassifier):
+    """Binary k-NN with an optional internal standardizer.
+
+    Parameters
+    ----------
+    num_neighbors:
+        Number of neighbours whose labels are averaged into the probability.
+    standardize:
+        Standardize features before computing distances (recommended when
+        feature scales differ, as with raw motif counts).
+    """
+
+    def __init__(self, num_neighbors: int = 5, standardize: bool = True) -> None:
+        super().__init__()
+        require_positive_int(num_neighbors, "num_neighbors")
+        self.num_neighbors = int(num_neighbors)
+        self.standardize = bool(standardize)
+        self._scaler: Optional[StandardScaler] = None
+        self._train_features: Optional[np.ndarray] = None
+        self._train_labels: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "KNeighborsClassifier":
+        features, labels = validate_features_labels(features, labels)
+        if self.standardize:
+            self._scaler = StandardScaler()
+            features = self._scaler.fit_transform(features)
+        self._train_features = features
+        self._train_labels = labels
+        self._fitted = True
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        features, _ = validate_features_labels(features)
+        if self._scaler is not None:
+            features = self._scaler.transform(features)
+        neighbors = min(self.num_neighbors, self._train_features.shape[0])
+        probabilities = np.empty(features.shape[0])
+        for row_index, row in enumerate(features):
+            distances = np.linalg.norm(self._train_features - row, axis=1)
+            nearest = np.argpartition(distances, neighbors - 1)[:neighbors]
+            probabilities[row_index] = self._train_labels[nearest].mean()
+        return probabilities

@@ -1,0 +1,110 @@
+"""A small multi-layer perceptron (one hidden ReLU layer, sigmoid output)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import BinaryClassifier, StandardScaler, validate_features_labels
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_positive_int
+
+
+def _sigmoid(values: np.ndarray) -> np.ndarray:
+    clipped = np.clip(values, -35.0, 35.0)
+    return 1.0 / (1.0 + np.exp(-clipped))
+
+
+class MLPClassifier(BinaryClassifier):
+    """Binary MLP trained with mini-batch gradient descent and cross-entropy loss.
+
+    Parameters
+    ----------
+    hidden_units:
+        Width of the single hidden layer.
+    learning_rate:
+        Gradient step size.
+    num_epochs:
+        Passes over the training data.
+    batch_size:
+        Mini-batch size (clamped to the dataset size).
+    l2_penalty:
+        Weight-decay coefficient.
+    seed:
+        Randomness for initialization and shuffling.
+    """
+
+    def __init__(
+        self,
+        hidden_units: int = 32,
+        learning_rate: float = 0.05,
+        num_epochs: int = 200,
+        batch_size: int = 32,
+        l2_penalty: float = 1e-4,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        require_positive_int(hidden_units, "hidden_units")
+        require_positive_int(num_epochs, "num_epochs")
+        require_positive_int(batch_size, "batch_size")
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if l2_penalty < 0:
+            raise ValueError(f"l2_penalty must be non-negative, got {l2_penalty}")
+        self.hidden_units = int(hidden_units)
+        self.learning_rate = float(learning_rate)
+        self.num_epochs = int(num_epochs)
+        self.batch_size = int(batch_size)
+        self.l2_penalty = float(l2_penalty)
+        self._rng = ensure_rng(seed)
+        self._scaler: Optional[StandardScaler] = None
+        self._weights_hidden: Optional[np.ndarray] = None
+        self._bias_hidden: Optional[np.ndarray] = None
+        self._weights_output: Optional[np.ndarray] = None
+        self._bias_output: float = 0.0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "MLPClassifier":
+        features, labels = validate_features_labels(features, labels)
+        self._scaler = StandardScaler()
+        features = self._scaler.fit_transform(features)
+        num_samples, num_features = features.shape
+        scale = 1.0 / np.sqrt(num_features)
+        self._weights_hidden = self._rng.normal(0.0, scale, size=(num_features, self.hidden_units))
+        self._bias_hidden = np.zeros(self.hidden_units)
+        self._weights_output = self._rng.normal(0.0, 1.0 / np.sqrt(self.hidden_units), size=self.hidden_units)
+        self._bias_output = 0.0
+        batch_size = min(self.batch_size, num_samples)
+        for _ in range(self.num_epochs):
+            order = self._rng.permutation(num_samples)
+            for start in range(0, num_samples, batch_size):
+                batch = order[start : start + batch_size]
+                self._step(features[batch], labels[batch])
+        self._fitted = True
+        return self
+
+    def _step(self, features: np.ndarray, labels: np.ndarray) -> None:
+        batch_size = features.shape[0]
+        hidden_pre = features @ self._weights_hidden + self._bias_hidden
+        hidden = np.maximum(hidden_pre, 0.0)
+        logits = hidden @ self._weights_output + self._bias_output
+        probabilities = _sigmoid(logits)
+        errors = probabilities - labels
+
+        grad_weights_output = hidden.T @ errors / batch_size + self.l2_penalty * self._weights_output
+        grad_bias_output = errors.mean()
+        grad_hidden = np.outer(errors, self._weights_output) * (hidden_pre > 0)
+        grad_weights_hidden = features.T @ grad_hidden / batch_size + self.l2_penalty * self._weights_hidden
+        grad_bias_hidden = grad_hidden.mean(axis=0)
+
+        self._weights_output -= self.learning_rate * grad_weights_output
+        self._bias_output -= self.learning_rate * grad_bias_output
+        self._weights_hidden -= self.learning_rate * grad_weights_hidden
+        self._bias_hidden -= self.learning_rate * grad_bias_hidden
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        features, _ = validate_features_labels(features)
+        features = self._scaler.transform(features)
+        hidden = np.maximum(features @ self._weights_hidden + self._bias_hidden, 0.0)
+        return _sigmoid(hidden @ self._weights_output + self._bias_output)

@@ -1,0 +1,71 @@
+"""Random forest: bagged decision trees with per-split feature subsampling."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.base import BinaryClassifier, validate_features_labels
+from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_positive_int
+
+
+class RandomForestClassifier(BinaryClassifier):
+    """An ensemble of CART trees trained on bootstrap samples.
+
+    Parameters
+    ----------
+    num_trees:
+        Number of trees in the ensemble.
+    max_depth / min_samples_split:
+        Passed to each tree.
+    max_features:
+        Features examined per split; ``None`` uses ``ceil(sqrt(num_features))``.
+    seed:
+        Randomness for bootstrapping and feature subsampling.
+    """
+
+    def __init__(
+        self,
+        num_trees: int = 25,
+        max_depth: int = 7,
+        min_samples_split: int = 4,
+        max_features: Optional[int] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        require_positive_int(num_trees, "num_trees")
+        self.num_trees = int(num_trees)
+        self.max_depth = int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self.max_features = max_features
+        self._rng = ensure_rng(seed)
+        self._trees: List[DecisionTreeClassifier] = []
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "RandomForestClassifier":
+        features, labels = validate_features_labels(features, labels)
+        num_samples, num_features = features.shape
+        max_features = self.max_features
+        if max_features is None:
+            max_features = max(1, int(np.ceil(np.sqrt(num_features))))
+        self._trees = []
+        for _ in range(self.num_trees):
+            bootstrap = self._rng.integers(0, num_samples, size=num_samples)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=max_features,
+                seed=self._rng,
+            )
+            tree.fit(features[bootstrap], labels[bootstrap])
+            self._trees.append(tree)
+        self._fitted = True
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        features, _ = validate_features_labels(features)
+        votes = np.stack([tree.predict_proba(features) for tree in self._trees])
+        return votes.mean(axis=0)

@@ -1,0 +1,157 @@
+"""Classifying an h-motif instance — the paper's ``h({e_i, e_j, e_k})``.
+
+Given three connected hyperedges, the classifier determines which of the 26
+h-motifs describes their connectivity pattern. Following Lemma 2, the seven
+region cardinalities are derived from the three hyperedge sizes, the three
+pairwise intersection sizes and the triple intersection size using
+inclusion–exclusion, so the only set scan needed is over the *smallest*
+hyperedge (to compute the triple intersection), giving
+``O(min(|e_i|, |e_j|, |e_k|))`` time when pairwise overlaps are available from
+the projected graph.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Optional, Tuple
+
+from repro.exceptions import DuplicateHyperedgeError, MotifError, NotConnectedError
+from repro.motifs.patterns import Pattern, motif_index, pattern_from_bits
+
+SetLike = AbstractSet
+
+
+def region_cardinalities_from_sizes(
+    size_i: int,
+    size_j: int,
+    size_k: int,
+    overlap_ij: int,
+    overlap_jk: int,
+    overlap_ki: int,
+    overlap_ijk: int,
+) -> Tuple[int, int, int, int, int, int, int]:
+    """Cardinalities of the seven Venn regions from set and intersection sizes.
+
+    Uses the inclusion–exclusion identities listed in the proof of Lemma 2.
+    Raises :class:`MotifError` if the inputs are inconsistent (some region
+    would have negative size).
+    """
+    only_i = size_i - overlap_ij - overlap_ki + overlap_ijk
+    only_j = size_j - overlap_ij - overlap_jk + overlap_ijk
+    only_k = size_k - overlap_ki - overlap_jk + overlap_ijk
+    pair_ij = overlap_ij - overlap_ijk
+    pair_jk = overlap_jk - overlap_ijk
+    pair_ki = overlap_ki - overlap_ijk
+    regions = (only_i, only_j, only_k, pair_ij, pair_jk, pair_ki, overlap_ijk)
+    if any(value < 0 for value in regions):
+        raise MotifError(
+            "inconsistent cardinalities: "
+            f"sizes=({size_i}, {size_j}, {size_k}), "
+            f"pairwise=({overlap_ij}, {overlap_jk}, {overlap_ki}), "
+            f"triple={overlap_ijk} produce negative region sizes {regions}"
+        )
+    return regions
+
+
+def pattern_from_cardinalities(
+    size_i: int,
+    size_j: int,
+    size_k: int,
+    overlap_ij: int,
+    overlap_jk: int,
+    overlap_ki: int,
+    overlap_ijk: int,
+) -> Pattern:
+    """Emptiness pattern of the seven regions given set and intersection sizes."""
+    regions = region_cardinalities_from_sizes(
+        size_i, size_j, size_k, overlap_ij, overlap_jk, overlap_ki, overlap_ijk
+    )
+    return pattern_from_bits([value > 0 for value in regions])
+
+
+def classify_from_cardinalities(
+    size_i: int,
+    size_j: int,
+    size_k: int,
+    overlap_ij: int,
+    overlap_jk: int,
+    overlap_ki: int,
+    overlap_ijk: int,
+) -> int:
+    """Motif index (1..26) from set and intersection sizes.
+
+    Raises
+    ------
+    NotConnectedError
+        If the three hyperedges are not connected.
+    DuplicateHyperedgeError
+        If two of the hyperedges are identical.
+    """
+    pattern = pattern_from_cardinalities(
+        size_i, size_j, size_k, overlap_ij, overlap_jk, overlap_ki, overlap_ijk
+    )
+    return _classify_pattern(pattern)
+
+
+def triple_overlap_size(
+    edge_i: SetLike, edge_j: SetLike, edge_k: SetLike
+) -> int:
+    """``|e_i ∩ e_j ∩ e_k|`` computed by scanning the smallest hyperedge."""
+    smallest, second, third = sorted((edge_i, edge_j, edge_k), key=len)
+    return sum(1 for node in smallest if node in second and node in third)
+
+
+def classify_instance(
+    edge_i: SetLike,
+    edge_j: SetLike,
+    edge_k: SetLike,
+    overlap_ij: Optional[int] = None,
+    overlap_jk: Optional[int] = None,
+    overlap_ki: Optional[int] = None,
+) -> int:
+    """Motif index (1..26) of the instance ``{edge_i, edge_j, edge_k}``.
+
+    Pairwise overlap sizes may be supplied (they are stored on the projected
+    graph as hyperwedge weights ``ω``); any that are omitted are computed from
+    the sets directly.
+
+    Raises
+    ------
+    NotConnectedError
+        If the three hyperedges are not connected.
+    DuplicateHyperedgeError
+        If two of the hyperedges are equal as sets.
+    """
+    if overlap_ij is None:
+        overlap_ij = len(edge_i & edge_j) if isinstance(edge_i, (set, frozenset)) else len(set(edge_i) & set(edge_j))
+    if overlap_jk is None:
+        overlap_jk = len(edge_j & edge_k) if isinstance(edge_j, (set, frozenset)) else len(set(edge_j) & set(edge_k))
+    if overlap_ki is None:
+        overlap_ki = len(edge_k & edge_i) if isinstance(edge_k, (set, frozenset)) else len(set(edge_k) & set(edge_i))
+    overlap_ijk = triple_overlap_size(edge_i, edge_j, edge_k)
+    pattern = pattern_from_cardinalities(
+        len(edge_i),
+        len(edge_j),
+        len(edge_k),
+        overlap_ij,
+        overlap_jk,
+        overlap_ki,
+        overlap_ijk,
+    )
+    return _classify_pattern(pattern)
+
+
+def _classify_pattern(pattern: Pattern) -> int:
+    from repro.motifs import patterns as pattern_module
+
+    if any(pattern_module.edge_is_empty(pattern, position) for position in range(3)):
+        raise MotifError("an h-motif instance cannot contain an empty hyperedge")
+    for first, second in ((0, 1), (1, 2), (0, 2)):
+        if pattern_module.edges_are_duplicated(pattern, first, second):
+            raise DuplicateHyperedgeError(
+                "h-motif instances must consist of three distinct hyperedges"
+            )
+    if not pattern_module.is_connected(pattern):
+        raise NotConnectedError(
+            "the three hyperedges are not connected and do not form an h-motif instance"
+        )
+    return motif_index(pattern)

@@ -1,0 +1,187 @@
+"""Containers for h-motif instance counts.
+
+:class:`MotifCounts` wraps a length-26 vector indexed by motif id (1..26). It
+is the common currency of the library: exact counters, samplers, null models,
+significance and CP computations all exchange ``MotifCounts`` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import MotifError
+from repro.motifs.patterns import NUM_MOTIFS, closed_motif_indices, open_motif_indices
+
+
+class MotifCounts:
+    """A vector of counts (or estimates) for the 26 h-motifs.
+
+    Values are stored as floats so the same container holds exact counts and
+    rescaled unbiased estimates from the sampling algorithms.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Sequence[float] | None = None) -> None:
+        if values is None:
+            self._values = np.zeros(NUM_MOTIFS, dtype=float)
+        else:
+            array = np.asarray(list(values), dtype=float)
+            if array.shape != (NUM_MOTIFS,):
+                raise MotifError(
+                    f"MotifCounts needs exactly {NUM_MOTIFS} values, got shape {array.shape}"
+                )
+            self._values = array.copy()
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def zeros(cls) -> "MotifCounts":
+        """A count vector of all zeros."""
+        return cls()
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[int, float]) -> "MotifCounts":
+        """Build from a ``{motif index: count}`` mapping; missing motifs are 0."""
+        counts = cls()
+        for index, value in mapping.items():
+            counts[index] = value
+        return counts
+
+    @classmethod
+    def mean(cls, many: Sequence["MotifCounts"]) -> "MotifCounts":
+        """Element-wise mean of several count vectors (used for random averages)."""
+        if not many:
+            raise MotifError("cannot average an empty collection of MotifCounts")
+        stacked = np.stack([counts.to_array() for counts in many])
+        return cls(stacked.mean(axis=0))
+
+    # ----------------------------------------------------------------- access
+    def __getitem__(self, index: int) -> float:
+        self._check_index(index)
+        return float(self._values[index - 1])
+
+    def __setitem__(self, index: int, value: float) -> None:
+        self._check_index(index)
+        self._values[index - 1] = float(value)
+
+    def increment(self, index: int, amount: float = 1.0) -> None:
+        """Add *amount* to the count of motif *index*."""
+        self._check_index(index)
+        self._values[index - 1] += amount
+
+    def to_array(self) -> np.ndarray:
+        """Copy of the underlying length-26 array (motif 1 at position 0)."""
+        return self._values.copy()
+
+    def to_dict(self) -> Dict[int, float]:
+        """``{motif index: count}`` for all 26 motifs."""
+        return {index: float(self._values[index - 1]) for index in range(1, NUM_MOTIFS + 1)}
+
+    def items(self) -> Iterator[Tuple[int, float]]:
+        """Iterate over ``(motif index, count)`` pairs in index order."""
+        for index in range(1, NUM_MOTIFS + 1):
+            yield index, float(self._values[index - 1])
+
+    # ------------------------------------------------------------- arithmetic
+    def __add__(self, other: "MotifCounts") -> "MotifCounts":
+        if not isinstance(other, MotifCounts):
+            return NotImplemented
+        return MotifCounts(self._values + other._values)
+
+    def __sub__(self, other: "MotifCounts") -> "MotifCounts":
+        if not isinstance(other, MotifCounts):
+            return NotImplemented
+        return MotifCounts(self._values - other._values)
+
+    def scaled(self, factor: float) -> "MotifCounts":
+        """A new vector with every count multiplied by *factor*."""
+        return MotifCounts(self._values * float(factor))
+
+    def scaled_per_motif(self, factors: Mapping[int, float]) -> "MotifCounts":
+        """A new vector where motif *t* is multiplied by ``factors[t]`` (default 1)."""
+        result = self._values.copy()
+        for index, factor in factors.items():
+            self._check_index(index)
+            result[index - 1] *= float(factor)
+        return MotifCounts(result)
+
+    def rounded(self) -> "MotifCounts":
+        """Counts rounded to the nearest integer (useful for exact counters)."""
+        return MotifCounts(np.rint(self._values))
+
+    # -------------------------------------------------------------- summaries
+    def total(self) -> float:
+        """Sum over all 26 motifs."""
+        return float(self._values.sum())
+
+    def fractions(self) -> Dict[int, float]:
+        """``count / total`` per motif (all zeros if the total is zero)."""
+        total = self.total()
+        if total == 0:
+            return {index: 0.0 for index in range(1, NUM_MOTIFS + 1)}
+        return {
+            index: float(self._values[index - 1] / total)
+            for index in range(1, NUM_MOTIFS + 1)
+        }
+
+    def open_total(self) -> float:
+        """Total count over the six open motifs."""
+        return float(sum(self._values[index - 1] for index in open_motif_indices()))
+
+    def closed_total(self) -> float:
+        """Total count over the twenty closed motifs."""
+        return float(sum(self._values[index - 1] for index in closed_motif_indices()))
+
+    def open_fraction(self) -> float:
+        """Fraction of instances whose motif is open (0.0 when empty)."""
+        total = self.total()
+        if total == 0:
+            return 0.0
+        return self.open_total() / total
+
+    def ranks(self) -> Dict[int, int]:
+        """Rank of each motif by count (1 = most frequent; ties broken by index)."""
+        order = sorted(
+            range(1, NUM_MOTIFS + 1), key=lambda index: (-self._values[index - 1], index)
+        )
+        return {index: rank for rank, index in enumerate(order, start=1)}
+
+    def relative_error(self, reference: "MotifCounts") -> float:
+        """The paper's relative error ``Σ|M[t] - M̂[t]| / ΣM[t]`` w.r.t. *reference*."""
+        reference_total = reference.to_array().sum()
+        if reference_total == 0:
+            raise MotifError("reference counts sum to zero; relative error undefined")
+        return float(np.abs(reference.to_array() - self._values).sum() / reference_total)
+
+    # ----------------------------------------------------------------- dunder
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MotifCounts):
+            return NotImplemented
+        return bool(np.array_equal(self._values, other._values))
+
+    def __len__(self) -> int:
+        return NUM_MOTIFS
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._values.tolist())
+
+    def __repr__(self) -> str:
+        nonzero = {index: value for index, value in self.items() if value}
+        return f"MotifCounts(total={self.total():g}, nonzero={len(nonzero)})"
+
+    @staticmethod
+    def _check_index(index: int) -> None:
+        if not isinstance(index, (int, np.integer)) or isinstance(index, bool):
+            raise TypeError(f"motif index must be an int, got {type(index).__name__}")
+        if not 1 <= int(index) <= NUM_MOTIFS:
+            raise MotifError(f"motif index must be in [1, {NUM_MOTIFS}], got {index}")
+
+
+def aggregate_counts(batches: Iterable[MotifCounts]) -> MotifCounts:
+    """Sum a collection of count vectors (used when merging worker results)."""
+    result = MotifCounts.zeros()
+    for batch in batches:
+        result = result + batch
+    return result

@@ -1,0 +1,322 @@
+"""H-motif patterns: the 26 connectivity classes of three connected hyperedges.
+
+A set of three hyperedges ``{e_i, e_j, e_k}`` partitions its union into seven
+Venn regions (paper Section 2.2)::
+
+    A   = e_i \\ e_j \\ e_k          AB  = e_i ∩ e_j \\ e_k
+    B   = e_j \\ e_k \\ e_i          BC  = e_j ∩ e_k \\ e_i
+    C   = e_k \\ e_i \\ e_j          CA  = e_k ∩ e_i \\ e_j
+    ABC = e_i ∩ e_j ∩ e_k
+
+An *emptiness pattern* is the 7-bit vector saying which regions are non-empty,
+stored here as a tuple of bools in the order ``(A, B, C, AB, BC, CA, ABC)``.
+Patterns that differ only by re-labelling the three hyperedges describe the
+same local structure, so each pattern is mapped to a canonical representative;
+after discarding patterns with an empty hyperedge, duplicated hyperedges, or a
+disconnected triple, exactly 26 canonical classes remain: the h-motifs.
+
+Index convention
+----------------
+The paper's Figure 3 fixes a drawing order we cannot fully recover from the
+text; we therefore assign indices deterministically under the constraints the
+text does pin down (see DESIGN.md §4):
+
+* indices 17–22 are the six *open* motifs, all others are *closed*;
+* index 16 is the closed motif with all seven regions non-empty;
+* indices 17 and 18 are the two open motifs consisting of a hyperedge and two
+  disjoint subsets of it;
+* index 22 is the open motif with every allowed region non-empty.
+
+Remaining indices are filled in order of (number of non-empty regions,
+canonical bit value), which is stable across runs and platforms.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import permutations
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.exceptions import MotifError
+
+#: Number of h-motifs for three hyperedges.
+NUM_MOTIFS = 26
+
+#: Names of the seven Venn regions, in pattern order.
+REGION_NAMES: Tuple[str, ...] = ("A", "B", "C", "AB", "BC", "CA", "ABC")
+
+#: A 7-bool emptiness pattern in region order (True = region non-empty).
+Pattern = Tuple[bool, bool, bool, bool, bool, bool, bool]
+
+# Index positions of the regions within a pattern tuple.
+_A, _B, _C, _AB, _BC, _CA, _ABC = range(7)
+
+# For each hyperedge position (0, 1, 2), the regions it participates in.
+_EDGE_REGIONS: Tuple[Tuple[int, ...], ...] = (
+    (_A, _AB, _CA, _ABC),
+    (_B, _AB, _BC, _ABC),
+    (_C, _BC, _CA, _ABC),
+)
+
+# For each unordered pair of hyperedge positions, its exclusive pair region.
+_PAIR_REGION: Dict[FrozenSet[int], int] = {
+    frozenset((0, 1)): _AB,
+    frozenset((1, 2)): _BC,
+    frozenset((2, 0)): _CA,
+}
+
+
+def pattern_from_bits(bits: Sequence[int]) -> Pattern:
+    """Build a pattern from any length-7 sequence of truthy/falsy values."""
+    if len(bits) != 7:
+        raise MotifError(f"a pattern needs exactly 7 entries, got {len(bits)}")
+    return tuple(bool(bit) for bit in bits)  # type: ignore[return-value]
+
+
+def pattern_to_int(pattern: Pattern) -> int:
+    """Encode a pattern as an integer in ``[0, 127]`` (bit ``r`` = region ``r``)."""
+    return sum(1 << position for position, filled in enumerate(pattern) if filled)
+
+
+def pattern_from_int(code: int) -> Pattern:
+    """Inverse of :func:`pattern_to_int`."""
+    if not 0 <= code < 128:
+        raise MotifError(f"pattern code must be in [0, 128), got {code}")
+    return tuple(bool((code >> position) & 1) for position in range(7))  # type: ignore[return-value]
+
+
+def permute_pattern(pattern: Pattern, perm: Sequence[int]) -> Pattern:
+    """Re-label the hyperedges of *pattern* according to *perm*.
+
+    ``perm[i]`` gives the old position of the hyperedge placed at new
+    position ``i``; single regions follow their hyperedge and pair regions
+    follow their pair, while the triple region is fixed.
+    """
+    if sorted(perm) != [0, 1, 2]:
+        raise MotifError(f"perm must be a permutation of (0, 1, 2), got {perm!r}")
+    singles = (pattern[_A], pattern[_B], pattern[_C])
+    pairs = {
+        frozenset((0, 1)): pattern[_AB],
+        frozenset((1, 2)): pattern[_BC],
+        frozenset((2, 0)): pattern[_CA],
+    }
+    new_singles = tuple(singles[perm[i]] for i in range(3))
+    new_pairs = {
+        frozenset((i, j)): pairs[frozenset((perm[i], perm[j]))]
+        for i, j in ((0, 1), (1, 2), (2, 0))
+    }
+    return (
+        new_singles[0],
+        new_singles[1],
+        new_singles[2],
+        new_pairs[frozenset((0, 1))],
+        new_pairs[frozenset((1, 2))],
+        new_pairs[frozenset((2, 0))],
+        pattern[_ABC],
+    )
+
+
+def canonicalize(pattern: Pattern) -> Pattern:
+    """The canonical representative of *pattern* under hyperedge re-labelling.
+
+    Defined as the permuted pattern with the largest integer encoding; any
+    fixed tie-break works because the orbit of a pattern under the six
+    permutations always contains a unique maximum.
+    """
+    return max(
+        (permute_pattern(pattern, perm) for perm in permutations(range(3))),
+        key=pattern_to_int,
+    )
+
+
+# --------------------------------------------------------------------- checks
+def edge_is_empty(pattern: Pattern, position: int) -> bool:
+    """Whether hyperedge *position* (0, 1 or 2) has no nodes under *pattern*."""
+    return not any(pattern[region] for region in _EDGE_REGIONS[position])
+
+
+def edges_are_duplicated(pattern: Pattern, first: int, second: int) -> bool:
+    """Whether hyperedges *first* and *second* are forced equal by *pattern*.
+
+    Two hyperedges are equal as sets iff every region belonging to exactly one
+    of them is empty.
+    """
+    third = ({0, 1, 2} - {first, second}).pop()
+    exclusive = (
+        _EDGE_REGIONS[first][0],  # single region of `first`
+        _EDGE_REGIONS[second][0],  # single region of `second`
+        _PAIR_REGION[frozenset((first, third))],
+        _PAIR_REGION[frozenset((second, third))],
+    )
+    return not any(pattern[region] for region in exclusive)
+
+
+def edges_are_adjacent(pattern: Pattern, first: int, second: int) -> bool:
+    """Whether hyperedges *first* and *second* overlap under *pattern*."""
+    return pattern[_PAIR_REGION[frozenset((first, second))]] or pattern[_ABC]
+
+
+def is_connected(pattern: Pattern) -> bool:
+    """Whether the three hyperedges form a connected triple under *pattern*."""
+    adjacency = [
+        (i, j)
+        for i, j in ((0, 1), (1, 2), (0, 2))
+        if edges_are_adjacent(pattern, i, j)
+    ]
+    if len(adjacency) < 2:
+        return False
+    touched = {position for pair in adjacency for position in pair}
+    return len(touched) == 3
+
+
+def is_closed(pattern: Pattern) -> bool:
+    """Whether all three pairs of hyperedges overlap (a *closed* pattern)."""
+    return all(
+        edges_are_adjacent(pattern, i, j) for i, j in ((0, 1), (1, 2), (0, 2))
+    )
+
+
+def is_valid(pattern: Pattern) -> bool:
+    """Whether *pattern* can arise from three distinct, connected hyperedges."""
+    if any(edge_is_empty(pattern, position) for position in range(3)):
+        return False
+    if any(
+        edges_are_duplicated(pattern, i, j) for i, j in ((0, 1), (1, 2), (0, 2))
+    ):
+        return False
+    return is_connected(pattern)
+
+
+# ---------------------------------------------------------------- enumeration
+def _subset_pattern(include_outer_only: bool) -> Pattern:
+    """Open pattern of a hyperedge containing two disjoint subsets (motifs 17/18)."""
+    bits = [False] * 7
+    bits[_AB] = True
+    bits[_CA] = True
+    bits[_A] = include_outer_only
+    return canonicalize(pattern_from_bits(bits))
+
+
+def _open_full_pattern() -> Pattern:
+    """Open pattern with every allowed region non-empty (motif 22)."""
+    bits = [True] * 7
+    bits[_BC] = False
+    bits[_ABC] = False
+    return canonicalize(pattern_from_bits(bits))
+
+
+def _closed_full_pattern() -> Pattern:
+    """Closed pattern with all seven regions non-empty (motif 16)."""
+    return canonicalize(pattern_from_bits([True] * 7))
+
+
+@lru_cache(maxsize=1)
+def _build_tables() -> Tuple[Tuple[Pattern, ...], Dict[Pattern, int]]:
+    """Enumerate canonical patterns and fix the motif index assignment."""
+    canonical: List[Pattern] = []
+    seen = set()
+    for code in range(128):
+        pattern = pattern_from_int(code)
+        if not is_valid(pattern):
+            continue
+        representative = canonicalize(pattern)
+        if representative not in seen:
+            seen.add(representative)
+            canonical.append(representative)
+    if len(canonical) != NUM_MOTIFS:
+        raise MotifError(
+            f"internal error: expected {NUM_MOTIFS} canonical patterns, "
+            f"found {len(canonical)}"
+        )
+
+    def sort_key(pattern: Pattern) -> Tuple[int, int]:
+        return (sum(pattern), pattern_to_int(pattern))
+
+    closed = sorted((p for p in canonical if is_closed(p)), key=sort_key)
+    open_ = sorted((p for p in canonical if not is_closed(p)), key=sort_key)
+
+    # Anchored patterns (see module docstring).
+    anchor_16 = _closed_full_pattern()
+    anchor_17 = _subset_pattern(include_outer_only=False)
+    anchor_18 = _subset_pattern(include_outer_only=True)
+    anchor_22 = _open_full_pattern()
+
+    closed_rest = [p for p in closed if p != anchor_16]
+    open_rest = [p for p in open_ if p not in (anchor_17, anchor_18, anchor_22)]
+    if len(closed_rest) != 19 or len(open_rest) != 3:
+        raise MotifError("internal error: anchored patterns not found among classes")
+
+    by_index: List[Pattern] = [None] * NUM_MOTIFS  # type: ignore[list-item]
+    # Closed motifs occupy 1-15, 16 (anchored), and 23-26.
+    closed_slots = list(range(1, 16)) + list(range(23, 27))
+    for slot, pattern in zip(closed_slots, closed_rest):
+        by_index[slot - 1] = pattern
+    by_index[16 - 1] = anchor_16
+    # Open motifs occupy 17-22 with 17, 18 and 22 anchored.
+    by_index[17 - 1] = anchor_17
+    by_index[18 - 1] = anchor_18
+    by_index[22 - 1] = anchor_22
+    for slot, pattern in zip((19, 20, 21), open_rest):
+        by_index[slot - 1] = pattern
+
+    ordered = tuple(by_index)
+    index_of = {pattern: position + 1 for position, pattern in enumerate(ordered)}
+    return ordered, index_of
+
+
+def all_motif_patterns() -> Tuple[Pattern, ...]:
+    """Canonical patterns of motifs 1..26 (position 0 holds motif 1)."""
+    return _build_tables()[0]
+
+
+def motif_pattern(index: int) -> Pattern:
+    """Canonical pattern of the h-motif with the given 1-based *index*."""
+    if not 1 <= index <= NUM_MOTIFS:
+        raise MotifError(f"motif index must be in [1, {NUM_MOTIFS}], got {index}")
+    return _build_tables()[0][index - 1]
+
+
+def motif_index(pattern: Pattern) -> int:
+    """1-based motif index of *pattern* (which may be non-canonical)."""
+    representative = canonicalize(pattern)
+    index = _build_tables()[1].get(representative)
+    if index is None:
+        raise MotifError(
+            f"pattern {pattern!r} is not a valid h-motif pattern "
+            "(empty, duplicated or disconnected hyperedges)"
+        )
+    return index
+
+
+def open_motif_indices() -> Tuple[int, ...]:
+    """Indices of the six open motifs (17..22 by construction)."""
+    patterns = all_motif_patterns()
+    return tuple(
+        index for index, pattern in enumerate(patterns, start=1) if not is_closed(pattern)
+    )
+
+
+def closed_motif_indices() -> Tuple[int, ...]:
+    """Indices of the twenty closed motifs."""
+    patterns = all_motif_patterns()
+    return tuple(
+        index for index, pattern in enumerate(patterns, start=1) if is_closed(pattern)
+    )
+
+
+def motif_is_open(index: int) -> bool:
+    """Whether motif *index* is open (contains a disjoint hyperedge pair)."""
+    return not is_closed(motif_pattern(index))
+
+
+def motif_is_closed(index: int) -> bool:
+    """Whether motif *index* is closed (all three pairs overlap)."""
+    return is_closed(motif_pattern(index))
+
+
+def describe_motif(index: int) -> str:
+    """Human-readable description of motif *index* (regions present, open/closed)."""
+    pattern = motif_pattern(index)
+    present = [name for name, filled in zip(REGION_NAMES, pattern) if filled]
+    kind = "closed" if is_closed(pattern) else "open"
+    return f"h-motif {index} ({kind}): non-empty regions {{{', '.join(present)}}}"

@@ -1,0 +1,40 @@
+"""Hyperedge prediction application (the paper's Table 4)."""
+
+from repro.prediction.features import (
+    HC_FEATURE_NAMES,
+    candidate_overlaps,
+    hc_features,
+    hm26_features,
+    motif_counts_for_candidate,
+    select_high_variance_features,
+)
+from repro.prediction.negatives import generate_fake_hyperedges, make_fake_hyperedge
+from repro.prediction.metrics import accuracy, confusion_matrix, roc_auc
+from repro.prediction.task import (
+    FEATURE_SETS,
+    PredictionDataset,
+    PredictionExperimentResult,
+    PredictionScore,
+    build_prediction_dataset,
+    run_prediction_experiment,
+)
+
+__all__ = [
+    "HC_FEATURE_NAMES",
+    "candidate_overlaps",
+    "hc_features",
+    "hm26_features",
+    "motif_counts_for_candidate",
+    "select_high_variance_features",
+    "generate_fake_hyperedges",
+    "make_fake_hyperedge",
+    "accuracy",
+    "confusion_matrix",
+    "roc_auc",
+    "FEATURE_SETS",
+    "PredictionDataset",
+    "PredictionExperimentResult",
+    "PredictionScore",
+    "build_prediction_dataset",
+    "run_prediction_experiment",
+]

@@ -1,0 +1,69 @@
+"""Evaluation metrics for the binary hyperedge-prediction task: ACC and AUC."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import PredictionTaskError
+
+
+def _validate(labels: Sequence[int], values: Sequence[float]) -> tuple:
+    labels = np.asarray(labels)
+    values = np.asarray(values, dtype=float)
+    if labels.shape != values.shape:
+        raise PredictionTaskError(
+            f"labels and predictions disagree in shape: {labels.shape} vs {values.shape}"
+        )
+    if labels.size == 0:
+        raise PredictionTaskError("cannot evaluate on an empty set")
+    unique = np.unique(labels)
+    if not np.all(np.isin(unique, (0, 1))):
+        raise PredictionTaskError(f"labels must be binary, got values {unique}")
+    return labels.astype(int), values
+
+
+def accuracy(labels: Sequence[int], predictions: Sequence[int]) -> float:
+    """Fraction of correct hard predictions."""
+    labels, predictions = _validate(labels, predictions)
+    return float((labels == predictions.astype(int)).mean())
+
+
+def roc_auc(labels: Sequence[int], scores: Sequence[float]) -> float:
+    """Area under the ROC curve, computed via the rank (Mann–Whitney) statistic.
+
+    Tied scores receive average ranks. Returns 0.5 when only one class is
+    present (the metric is undefined there; 0.5 is the uninformative value).
+    """
+    labels, scores = _validate(labels, scores)
+    num_positive = int(labels.sum())
+    num_negative = labels.size - num_positive
+    if num_positive == 0 or num_negative == 0:
+        return 0.5
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(labels.size, dtype=float)
+    sorted_scores = scores[order]
+    position = 0
+    while position < labels.size:
+        end = position
+        while end + 1 < labels.size and sorted_scores[end + 1] == sorted_scores[position]:
+            end += 1
+        average_rank = (position + end) / 2.0 + 1.0
+        ranks[order[position : end + 1]] = average_rank
+        position = end + 1
+    positive_rank_sum = ranks[labels == 1].sum()
+    statistic = positive_rank_sum - num_positive * (num_positive + 1) / 2.0
+    return float(statistic / (num_positive * num_negative))
+
+
+def confusion_matrix(labels: Sequence[int], predictions: Sequence[int]) -> dict:
+    """True/false positive/negative counts as a dictionary."""
+    labels, predictions = _validate(labels, predictions)
+    predictions = predictions.astype(int)
+    return {
+        "true_positive": int(np.sum((labels == 1) & (predictions == 1))),
+        "true_negative": int(np.sum((labels == 0) & (predictions == 0))),
+        "false_positive": int(np.sum((labels == 0) & (predictions == 1))),
+        "false_negative": int(np.sum((labels == 1) & (predictions == 0))),
+    }

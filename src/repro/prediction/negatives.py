@@ -1,0 +1,77 @@
+"""Fake-hyperedge generation for the prediction task (paper Appendix E).
+
+Negative examples are built from positive ones by replacing a fraction of each
+real hyperedge's nodes with nodes drawn at random from the context hypergraph,
+following Yoon et al. (the paper's reference [69]). The resulting fakes have
+realistic sizes but scrambled membership, which is exactly what the classifier
+must learn to reject.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.exceptions import PredictionTaskError
+from repro.hypergraph.hypergraph import Hypergraph, Node
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_probability
+
+
+def make_fake_hyperedge(
+    real: Iterable[Node],
+    node_pool: Sequence[Node],
+    replace_fraction: float,
+    rng,
+) -> frozenset:
+    """A fake hyperedge derived from *real* by swapping a fraction of its nodes."""
+    members = list(set(real))
+    if not members:
+        raise PredictionTaskError("cannot build a fake from an empty hyperedge")
+    num_replace = max(1, int(round(replace_fraction * len(members))))
+    num_replace = min(num_replace, len(members))
+    to_replace = rng.choice(len(members), size=num_replace, replace=False)
+    kept = [node for index, node in enumerate(members) if index not in set(int(x) for x in to_replace)]
+    fake = set(kept)
+    attempts = 0
+    while len(fake) < len(members) and attempts < 50 * len(members):
+        candidate = node_pool[int(rng.integers(0, len(node_pool)))]
+        fake.add(candidate)
+        attempts += 1
+    return frozenset(fake)
+
+
+def generate_fake_hyperedges(
+    context: Hypergraph,
+    positives: Sequence[Iterable[Node]],
+    replace_fraction: float = 0.5,
+    seed: SeedLike = None,
+) -> List[frozenset]:
+    """One fake hyperedge per positive example.
+
+    Parameters
+    ----------
+    context:
+        The hypergraph whose node set supplies replacement nodes.
+    replace_fraction:
+        Fraction of each positive's nodes replaced with random nodes.
+    """
+    require_probability(replace_fraction, "replace_fraction")
+    if replace_fraction == 0:
+        raise PredictionTaskError(
+            "replace_fraction must be positive, otherwise fakes equal the positives"
+        )
+    if context.num_nodes == 0:
+        raise PredictionTaskError("context hypergraph has no nodes to draw from")
+    rng = ensure_rng(seed)
+    node_pool = list(context.nodes())
+    existing = set(context.hyperedges())
+    fakes: List[frozenset] = []
+    for positive in positives:
+        fake = make_fake_hyperedge(positive, node_pool, replace_fraction, rng)
+        attempts = 0
+        # Avoid accidentally recreating a real hyperedge.
+        while (fake in existing or fake == frozenset(positive)) and attempts < 20:
+            fake = make_fake_hyperedge(positive, node_pool, replace_fraction, rng)
+            attempts += 1
+        fakes.append(fake)
+    return fakes

@@ -1,0 +1,37 @@
+"""Significance, characteristic profiles and their comparison."""
+
+from repro.profile.significance import (
+    DEFAULT_EPSILON,
+    motif_significance,
+    relative_count,
+    significance_dict,
+    significance_vector,
+)
+from repro.profile.characteristic_profile import (
+    CharacteristicProfile,
+    DomainSeparation,
+    characteristic_profile,
+    domain_separation,
+    normalize_significances,
+    profile_correlation,
+    profile_distance,
+    profile_from_counts,
+    similarity_matrix,
+)
+
+__all__ = [
+    "DEFAULT_EPSILON",
+    "motif_significance",
+    "relative_count",
+    "significance_dict",
+    "significance_vector",
+    "CharacteristicProfile",
+    "DomainSeparation",
+    "characteristic_profile",
+    "domain_separation",
+    "normalize_significances",
+    "profile_correlation",
+    "profile_distance",
+    "profile_from_counts",
+    "similarity_matrix",
+]

@@ -1,0 +1,180 @@
+"""Characteristic profiles (CPs) and their comparison (paper Eq. 2, Figures 1/5/6).
+
+The CP of a hypergraph is the L2-normalized vector of its 26 h-motif
+significances. CPs of hypergraphs from the same domain are similar while CPs
+from different domains differ, which is the paper's main discovery; similarity
+is measured with the Pearson correlation coefficient between CP vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.counting.runner import ALGORITHM_EXACT, count_motifs
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.motifs.counts import MotifCounts
+from repro.motifs.patterns import NUM_MOTIFS
+from repro.profile.significance import DEFAULT_EPSILON, significance_vector
+from repro.randomization.null_model import (
+    NULL_MODEL_CHUNG_LU,
+    random_motif_counts,
+)
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class CharacteristicProfile:
+    """The CP of one hypergraph, with the ingredients used to compute it."""
+
+    name: str
+    values: np.ndarray
+    significances: np.ndarray
+    real_counts: MotifCounts
+    random_counts: MotifCounts
+
+    def as_dict(self) -> Dict[int, float]:
+        """``{motif index: CP_t}``."""
+        return {index: float(self.values[index - 1]) for index in range(1, NUM_MOTIFS + 1)}
+
+    def correlation(self, other: "CharacteristicProfile") -> float:
+        """Pearson correlation between this CP and *other* (the Figure 6 measure)."""
+        return profile_correlation(self.values, other.values)
+
+    def __len__(self) -> int:
+        return NUM_MOTIFS
+
+
+def normalize_significances(significances: Sequence[float]) -> np.ndarray:
+    """L2-normalize a significance vector (Eq. 2); an all-zero vector stays zero."""
+    array = np.asarray(significances, dtype=float)
+    if array.shape != (NUM_MOTIFS,):
+        raise ValueError(f"expected {NUM_MOTIFS} significances, got shape {array.shape}")
+    norm = np.linalg.norm(array)
+    if norm == 0:
+        return array.copy()
+    return array / norm
+
+
+def profile_from_counts(
+    real_counts: MotifCounts,
+    random_counts: MotifCounts,
+    name: str = "hypergraph",
+    epsilon: float = DEFAULT_EPSILON,
+) -> CharacteristicProfile:
+    """Build a CP from already-computed real and random motif counts."""
+    significances = significance_vector(real_counts, random_counts, epsilon)
+    values = normalize_significances(significances)
+    return CharacteristicProfile(
+        name=name,
+        values=values,
+        significances=significances,
+        real_counts=real_counts,
+        random_counts=random_counts,
+    )
+
+
+def characteristic_profile(
+    hypergraph: Hypergraph,
+    num_random: int = 5,
+    algorithm: str = ALGORITHM_EXACT,
+    sampling_ratio: Optional[float] = None,
+    null_model: str = NULL_MODEL_CHUNG_LU,
+    seed: SeedLike = None,
+    epsilon: float = DEFAULT_EPSILON,
+    real_counts: Optional[MotifCounts] = None,
+) -> CharacteristicProfile:
+    """Compute the CP of *hypergraph* end to end.
+
+    Counts the real hypergraph (unless *real_counts* is supplied), generates
+    *num_random* randomized hypergraphs with the chosen null model, counts each
+    with the same algorithm, and normalizes the significances.
+    """
+    if real_counts is None:
+        real_counts = count_motifs(
+            hypergraph,
+            algorithm=algorithm,
+            sampling_ratio=sampling_ratio,
+            seed=seed,
+        )
+    null = random_motif_counts(
+        hypergraph,
+        num_random=num_random,
+        null_model=null_model,
+        algorithm=algorithm,
+        sampling_ratio=sampling_ratio,
+        seed=seed,
+    )
+    return profile_from_counts(
+        real_counts, null.mean_counts, name=hypergraph.name, epsilon=epsilon
+    )
+
+
+def profile_correlation(first: Sequence[float], second: Sequence[float]) -> float:
+    """Pearson correlation coefficient between two CP (or significance) vectors."""
+    first = np.asarray(first, dtype=float)
+    second = np.asarray(second, dtype=float)
+    if first.shape != second.shape:
+        raise ValueError("profiles must have the same length")
+    if np.std(first) == 0 or np.std(second) == 0:
+        return 0.0
+    return float(np.corrcoef(first, second)[0, 1])
+
+
+def similarity_matrix(
+    profiles: Sequence[CharacteristicProfile],
+) -> np.ndarray:
+    """Pairwise correlation matrix of CPs (Figure 6a)."""
+    size = len(profiles)
+    matrix = np.ones((size, size), dtype=float)
+    for row in range(size):
+        for column in range(row + 1, size):
+            value = profile_correlation(profiles[row].values, profiles[column].values)
+            matrix[row, column] = value
+            matrix[column, row] = value
+    return matrix
+
+
+def profile_distance(first: CharacteristicProfile, second: CharacteristicProfile) -> float:
+    """Euclidean distance between two CPs (an alternative similarity measure)."""
+    return float(np.linalg.norm(first.values - second.values))
+
+
+@dataclass(frozen=True)
+class DomainSeparation:
+    """Within- vs. across-domain similarity summary (the Figure 6 'gap')."""
+
+    within_mean: float
+    across_mean: float
+
+    @property
+    def gap(self) -> float:
+        """``within_mean - across_mean``; larger means domains separate better."""
+        return self.within_mean - self.across_mean
+
+
+def domain_separation(
+    profiles: Sequence[CharacteristicProfile], domains: Sequence[str]
+) -> DomainSeparation:
+    """Average within-domain and across-domain CP correlations.
+
+    The paper reports 0.978 within vs. 0.654 across for h-motif CPs (gap
+    0.324) and 0.988 vs. 0.919 for network-motif CPs (gap 0.069).
+    """
+    if len(profiles) != len(domains):
+        raise ValueError("profiles and domains must have the same length")
+    within: List[float] = []
+    across: List[float] = []
+    matrix = similarity_matrix(profiles)
+    for row in range(len(profiles)):
+        for column in range(row + 1, len(profiles)):
+            value = matrix[row, column]
+            if domains[row] == domains[column]:
+                within.append(value)
+            else:
+                across.append(value)
+    within_mean = float(np.mean(within)) if within else 0.0
+    across_mean = float(np.mean(across)) if across else 0.0
+    return DomainSeparation(within_mean=within_mean, across_mean=across_mean)

@@ -1,0 +1,72 @@
+"""H-motif significance (paper Eq. 1).
+
+The significance of h-motif ``t`` in a hypergraph compares its count ``M[t]``
+against the average count ``M_rand[t]`` in randomized hypergraphs::
+
+    Δ_t = (M[t] - M_rand[t]) / (M[t] + M_rand[t] + ε)
+
+with ``ε = 1`` throughout the paper. This form (borrowed from the network
+motif literature) is bounded in ``(-1, 1)`` and, unlike Z-scores, does not
+blow up with the hypergraph size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.motifs.counts import MotifCounts
+from repro.motifs.patterns import NUM_MOTIFS
+
+#: The paper fixes ε to 1 in Eq. (1).
+DEFAULT_EPSILON = 1.0
+
+
+def motif_significance(
+    real_count: float, random_count: float, epsilon: float = DEFAULT_EPSILON
+) -> float:
+    """Significance Δ of a single motif given real and random counts."""
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    denominator = real_count + random_count + epsilon
+    if denominator == 0:
+        return 0.0
+    return (real_count - random_count) / denominator
+
+
+def significance_vector(
+    real_counts: MotifCounts,
+    random_counts: MotifCounts,
+    epsilon: float = DEFAULT_EPSILON,
+) -> np.ndarray:
+    """Length-26 array of significances Δ_t (motif 1 at position 0)."""
+    real = real_counts.to_array()
+    random = random_counts.to_array()
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    denominator = real + random + epsilon
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = np.where(denominator == 0, 0.0, (real - random) / denominator)
+    return result
+
+
+def significance_dict(
+    real_counts: MotifCounts,
+    random_counts: MotifCounts,
+    epsilon: float = DEFAULT_EPSILON,
+) -> Dict[int, float]:
+    """``{motif index: Δ_t}`` for all 26 motifs."""
+    vector = significance_vector(real_counts, random_counts, epsilon)
+    return {index: float(vector[index - 1]) for index in range(1, NUM_MOTIFS + 1)}
+
+
+def relative_count(real_count: float, random_count: float) -> float:
+    """The paper's Table-3 relative count ``(M[t] - M_rand[t]) / (M[t] + M_rand[t])``.
+
+    Returns 0.0 when both counts are zero.
+    """
+    denominator = real_count + random_count
+    if denominator == 0:
+        return 0.0
+    return (real_count - random_count) / denominator

@@ -1,0 +1,21 @@
+"""Hypergraph projection: the projected graph, its builders and lazy variants."""
+
+from repro.projection.projected_graph import ProjectedGraph
+from repro.projection.builder import neighborhood_of, project, project_parallel
+from repro.projection.lazy import (
+    LazyProjection,
+    POLICY_DEGREE,
+    POLICY_LRU,
+    POLICY_RANDOM,
+)
+
+__all__ = [
+    "ProjectedGraph",
+    "project",
+    "project_parallel",
+    "neighborhood_of",
+    "LazyProjection",
+    "POLICY_DEGREE",
+    "POLICY_LRU",
+    "POLICY_RANDOM",
+]

@@ -1,0 +1,104 @@
+"""Hypergraph projection (paper Algorithm 1).
+
+``project`` builds the full projected graph ``G¯ = (E, ∧, ω)`` by scanning,
+for each hyperedge ``e_i`` and each node ``v ∈ e_i``, the hyperedges ``e_j``
+with ``j > i`` that also contain ``v``; every such co-occurrence increments
+``ω(∧_ij)``. Complexity is ``O(Σ_{∧_ij ∈ ∧} |e_i ∩ e_j|)`` (Lemma 1).
+
+``project_parallel`` splits the hyperedge range across processes and merges
+the partial weight maps; it exists to reproduce the parallelization discussion
+in Section 3.4 (Figure 10).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Sequence, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.projection.projected_graph import ProjectedGraph
+from repro.utils.validation import require_positive_int
+
+
+def project(hypergraph: Hypergraph) -> ProjectedGraph:
+    """Build the projected graph of *hypergraph* (Algorithm 1)."""
+    weights = _project_range(hypergraph, 0, hypergraph.num_hyperedges)
+    return _weights_to_graph(hypergraph.num_hyperedges, weights)
+
+
+def project_parallel(hypergraph: Hypergraph, num_workers: int = 2) -> ProjectedGraph:
+    """Build the projected graph using *num_workers* processes.
+
+    Each worker handles a contiguous slice of hyperedge indices; the partial
+    ``ω`` maps are disjoint by construction (pair ``(i, j)`` with ``i < j`` is
+    produced only by the worker owning ``i``), so merging is a plain union.
+    """
+    require_positive_int(num_workers, "num_workers")
+    total = hypergraph.num_hyperedges
+    if num_workers == 1 or total < 2 * num_workers:
+        return project(hypergraph)
+    boundaries = _split_range(total, num_workers)
+    partials: List[Dict[Tuple[int, int], int]] = []
+    with ProcessPoolExecutor(max_workers=num_workers) as executor:
+        futures = [
+            executor.submit(_project_range, hypergraph, start, end)
+            for start, end in boundaries
+        ]
+        for future in futures:
+            partials.append(future.result())
+    merged: Dict[Tuple[int, int], int] = {}
+    for partial in partials:
+        merged.update(partial)
+    return _weights_to_graph(total, merged)
+
+
+def _split_range(total: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into at most *parts* contiguous non-empty slices."""
+    parts = min(parts, total) if total > 0 else 1
+    base, remainder = divmod(total, parts)
+    boundaries: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(parts):
+        length = base + (1 if index < remainder else 0)
+        boundaries.append((start, start + length))
+        start += length
+    return boundaries
+
+
+def _project_range(
+    hypergraph: Hypergraph, start: int, end: int
+) -> Dict[Tuple[int, int], int]:
+    """Overlap weights for hyperwedges ``(i, j)`` with ``start <= i < end`` and ``j > i``."""
+    weights: Dict[Tuple[int, int], int] = {}
+    for i in range(start, end):
+        edge = hypergraph.hyperedge(i)
+        for node in edge:
+            for j in hypergraph.memberships(node):
+                if j > i:
+                    key = (i, j)
+                    weights[key] = weights.get(key, 0) + 1
+    return weights
+
+
+def _weights_to_graph(
+    num_hyperedges: int, weights: Dict[Tuple[int, int], int]
+) -> ProjectedGraph:
+    adjacency: Dict[int, Dict[int, int]] = {}
+    for (i, j), weight in weights.items():
+        adjacency.setdefault(i, {})[j] = weight
+        adjacency.setdefault(j, {})[i] = weight
+    return ProjectedGraph(num_hyperedges, adjacency)
+
+
+def neighborhood_of(hypergraph: Hypergraph, i: int) -> Dict[int, int]:
+    """Compute ``{j: ω(∧_ij)}`` for a single hyperedge *i* without full projection.
+
+    This is the unit of work that the lazy / memoized projection of Section 3.4
+    computes on demand.
+    """
+    weights: Dict[int, int] = {}
+    for node in hypergraph.hyperedge(i):
+        for j in hypergraph.memberships(node):
+            if j != i:
+                weights[j] = weights.get(j, 0) + 1
+    return weights

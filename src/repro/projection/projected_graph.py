@@ -1,0 +1,143 @@
+"""The projected graph ``G¯ = (E, ∧, ω)`` of a hypergraph.
+
+Hyperedges of the original hypergraph become vertices; two are adjacent iff
+they share at least one node, and the edge weight ``ω(∧_ij) = |e_i ∩ e_j|``
+records the overlap size (paper, Section 2.1). All MoCHy algorithms consume
+this structure: ``N_{e_i}`` is the neighborhood of vertex ``i`` and the
+hyperwedge set ``∧`` is its edge set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Tuple
+
+from repro.exceptions import ProjectionError
+
+
+class ProjectedGraph:
+    """Weighted adjacency over hyperedge indices.
+
+    Parameters
+    ----------
+    num_hyperedges:
+        Number of vertices (equals ``|E|`` of the source hypergraph).
+    adjacency:
+        Mapping ``i -> {j: ω(∧_ij)}``. Must be symmetric; the constructor
+        verifies symmetry and positive weights.
+    """
+
+    __slots__ = ("_num_hyperedges", "_adjacency", "_num_hyperwedges")
+
+    def __init__(
+        self, num_hyperedges: int, adjacency: Mapping[int, Mapping[int, int]]
+    ) -> None:
+        if num_hyperedges < 0:
+            raise ProjectionError("num_hyperedges must be non-negative")
+        self._num_hyperedges = int(num_hyperedges)
+        normalized: Dict[int, Dict[int, int]] = {}
+        for i, neighbors in adjacency.items():
+            if not 0 <= i < num_hyperedges:
+                raise ProjectionError(f"vertex {i} out of range")
+            normalized[int(i)] = {int(j): int(w) for j, w in neighbors.items()}
+        self._adjacency = normalized
+        self._validate()
+        self._num_hyperwedges = sum(len(n) for n in self._adjacency.values()) // 2
+
+    def _validate(self) -> None:
+        for i, neighbors in self._adjacency.items():
+            for j, weight in neighbors.items():
+                if not 0 <= j < self._num_hyperedges:
+                    raise ProjectionError(f"neighbor {j} of vertex {i} out of range")
+                if i == j:
+                    raise ProjectionError(f"self-loop on vertex {i}")
+                if weight <= 0:
+                    raise ProjectionError(
+                        f"hyperwedge ({i}, {j}) has non-positive weight {weight}"
+                    )
+                if self._adjacency.get(j, {}).get(i) != weight:
+                    raise ProjectionError(
+                        f"adjacency is not symmetric for pair ({i}, {j})"
+                    )
+
+    # ----------------------------------------------------------------- basics
+    @property
+    def num_hyperedges(self) -> int:
+        """Number of vertices (hyperedges of the source hypergraph)."""
+        return self._num_hyperedges
+
+    @property
+    def num_hyperwedges(self) -> int:
+        """Number of hyperwedges ``|∧|`` (edges of the projected graph)."""
+        return self._num_hyperwedges
+
+    def neighbors(self, i: int) -> Dict[int, int]:
+        """``{j: ω(∧_ij)}`` for all hyperedges adjacent to *i* (possibly empty)."""
+        self._check_vertex(i)
+        return dict(self._adjacency.get(i, {}))
+
+    def neighbor_indices(self, i: int) -> List[int]:
+        """Indices of hyperedges adjacent to *i* — the paper's ``N_{e_i}``."""
+        self._check_vertex(i)
+        return list(self._adjacency.get(i, {}))
+
+    def degree(self, i: int) -> int:
+        """``|N_{e_i}|`` — the degree of hyperedge *i* in the projected graph."""
+        self._check_vertex(i)
+        return len(self._adjacency.get(i, {}))
+
+    def degrees(self) -> List[int]:
+        """Degrees of all vertices, in index order."""
+        return [len(self._adjacency.get(i, {})) for i in range(self._num_hyperedges)]
+
+    def are_adjacent(self, i: int, j: int) -> bool:
+        """Whether hyperedges *i* and *j* overlap."""
+        self._check_vertex(i)
+        self._check_vertex(j)
+        return j in self._adjacency.get(i, {})
+
+    def overlap(self, i: int, j: int) -> int:
+        """``ω(∧_ij) = |e_i ∩ e_j|`` (0 if not adjacent)."""
+        self._check_vertex(i)
+        self._check_vertex(j)
+        return self._adjacency.get(i, {}).get(j, 0)
+
+    # ------------------------------------------------------------ hyperwedges
+    def hyperwedges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over hyperwedges as ordered pairs ``(i, j)`` with ``i < j``."""
+        for i in sorted(self._adjacency):
+            for j in self._adjacency[i]:
+                if i < j:
+                    yield (i, j)
+
+    def hyperwedge_list(self) -> List[Tuple[int, int]]:
+        """Materialized list of hyperwedges ``(i, j)`` with ``i < j``.
+
+        Hyperwedge-sampling algorithms (MoCHy-A+) index into this list.
+        """
+        return list(self.hyperwedges())
+
+    # -------------------------------------------------------------- estimators
+    def total_neighborhood_work(self) -> int:
+        """``Σ_i |N_{e_i}|²`` — the combinatorial term of Theorem 1's complexity."""
+        return sum(len(neighbors) ** 2 for neighbors in self._adjacency.values())
+
+    # ----------------------------------------------------------------- dunder
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProjectedGraph):
+            return NotImplemented
+        return (
+            self._num_hyperedges == other._num_hyperedges
+            and self._adjacency == other._adjacency
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ProjectedGraph(num_hyperedges={self._num_hyperedges}, "
+            f"num_hyperwedges={self._num_hyperwedges})"
+        )
+
+    def _check_vertex(self, i: int) -> None:
+        if not 0 <= i < self._num_hyperedges:
+            raise ProjectionError(
+                f"vertex {i} out of range [0, {self._num_hyperedges})"
+            )

@@ -1,0 +1,29 @@
+"""Null models for hypergraph randomization."""
+
+from repro.randomization.chung_lu import (
+    chung_lu_bipartite,
+    chung_lu_hypergraph,
+    weighted_slot_fill,
+)
+from repro.randomization.null_model import (
+    NULL_MODEL_CHUNG_LU,
+    NULL_MODEL_SLOT_FILL,
+    NULL_MODELS,
+    NullModelCounts,
+    get_randomizer,
+    random_motif_counts,
+    randomize,
+)
+
+__all__ = [
+    "chung_lu_bipartite",
+    "chung_lu_hypergraph",
+    "weighted_slot_fill",
+    "NULL_MODEL_CHUNG_LU",
+    "NULL_MODEL_SLOT_FILL",
+    "NULL_MODELS",
+    "NullModelCounts",
+    "get_randomizer",
+    "random_motif_counts",
+    "randomize",
+]

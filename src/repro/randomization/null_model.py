@@ -1,0 +1,102 @@
+"""Null-model driver: randomized hypergraphs and their averaged motif counts.
+
+The significance of an h-motif compares its count in the real hypergraph with
+the *average* count over several randomized hypergraphs (the paper uses five).
+:func:`random_motif_counts` runs the full loop: generate randomizations, count
+each with the chosen MoCHy variant, and average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.exceptions import RandomizationError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.motifs.counts import MotifCounts
+from repro.randomization.chung_lu import chung_lu_hypergraph, weighted_slot_fill
+from repro.counting.runner import ALGORITHM_EXACT, count_motifs
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+from repro.utils.validation import require_positive_int
+
+#: Named null models available to callers and the CLI.
+NULL_MODEL_CHUNG_LU = "chung-lu"
+NULL_MODEL_SLOT_FILL = "slot-fill"
+NULL_MODELS = (NULL_MODEL_CHUNG_LU, NULL_MODEL_SLOT_FILL)
+
+RandomizerFn = Callable[..., Hypergraph]
+
+_RANDOMIZERS = {
+    NULL_MODEL_CHUNG_LU: chung_lu_hypergraph,
+    NULL_MODEL_SLOT_FILL: weighted_slot_fill,
+}
+
+
+def get_randomizer(null_model: str) -> RandomizerFn:
+    """The randomization function registered under *null_model*."""
+    try:
+        return _RANDOMIZERS[null_model]
+    except KeyError:
+        raise RandomizationError(
+            f"unknown null model {null_model!r}; choose from {NULL_MODELS}"
+        ) from None
+
+
+def randomize(
+    hypergraph: Hypergraph,
+    num_samples: int = 5,
+    null_model: str = NULL_MODEL_CHUNG_LU,
+    seed: SeedLike = None,
+) -> List[Hypergraph]:
+    """Generate *num_samples* randomized versions of *hypergraph*."""
+    require_positive_int(num_samples, "num_samples")
+    randomizer = get_randomizer(null_model)
+    rngs = spawn_rngs(seed, num_samples)
+    return [
+        randomizer(hypergraph, seed=rng, name=f"{hypergraph.name}-rand{index}")
+        for index, rng in enumerate(rngs)
+    ]
+
+
+@dataclass(frozen=True)
+class NullModelCounts:
+    """Averaged motif counts over randomized hypergraphs, with the per-sample counts."""
+
+    mean_counts: MotifCounts
+    per_sample_counts: List[MotifCounts]
+    null_model: str
+
+
+def random_motif_counts(
+    hypergraph: Hypergraph,
+    num_random: int = 5,
+    null_model: str = NULL_MODEL_CHUNG_LU,
+    algorithm: str = ALGORITHM_EXACT,
+    sampling_ratio: Optional[float] = None,
+    seed: SeedLike = None,
+) -> NullModelCounts:
+    """Average h-motif counts over *num_random* randomized hypergraphs.
+
+    Parameters
+    ----------
+    algorithm / sampling_ratio:
+        Passed through to :func:`repro.counting.count_motifs`; the paper uses
+        the same counting algorithm for the real and randomized hypergraphs.
+    """
+    require_positive_int(num_random, "num_random")
+    rng = ensure_rng(seed)
+    randomized = randomize(hypergraph, num_random, null_model, seed=rng)
+    per_sample: List[MotifCounts] = []
+    for sample in randomized:
+        counts = count_motifs(
+            sample,
+            algorithm=algorithm,
+            sampling_ratio=sampling_ratio,
+            seed=rng,
+        )
+        per_sample.append(counts)
+    return NullModelCounts(
+        mean_counts=MotifCounts.mean(per_sample),
+        per_sample_counts=per_sample,
+        null_model=null_model,
+    )

@@ -1,0 +1,22 @@
+"""Shared utilities: random number handling, timing, logging and validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timer import Timer
+from repro.utils.logging import get_logger
+from repro.utils.validation import (
+    require_positive_int,
+    require_non_negative_int,
+    require_probability,
+    require_in_range,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "get_logger",
+    "require_positive_int",
+    "require_non_negative_int",
+    "require_probability",
+    "require_in_range",
+]

@@ -1,0 +1,46 @@
+"""Library-wide logging configuration.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` to its own namespace so applications stay in control of
+formatting and verbosity. :func:`enable_console_logging` is a convenience for
+scripts and the CLI.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_LIBRARY_LOGGER_NAME = "repro"
+
+logging.getLogger(_LIBRARY_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger below the ``repro`` namespace.
+
+    Parameters
+    ----------
+    name:
+        Usually ``__name__`` of the calling module. Names outside the
+        ``repro`` namespace are re-parented under it to keep configuration in
+        one place.
+    """
+    if not name.startswith(_LIBRARY_LOGGER_NAME):
+        name = f"{_LIBRARY_LOGGER_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stream handler to the library logger and return it.
+
+    Intended for the CLI and examples; libraries embedding repro should
+    configure logging themselves instead.
+    """
+    logger = logging.getLogger(_LIBRARY_LOGGER_NAME)
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

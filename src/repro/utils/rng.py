@@ -1,0 +1,89 @@
+"""Random-number-generator helpers.
+
+All stochastic components of the library (samplers, null models, generators,
+classifiers) accept either an integer seed, a :class:`numpy.random.Generator`,
+or ``None``. :func:`ensure_rng` normalizes these into a ``Generator`` so the
+rest of the code never has to branch on the seed type.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for a non-deterministic generator, an ``int`` for a seeded
+        generator, or an existing ``Generator`` which is returned unchanged.
+
+    Raises
+    ------
+    TypeError
+        If *seed* is of an unsupported type.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator; got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> Sequence[np.random.Generator]:
+    """Derive *count* independent generators from a single seed.
+
+    Used by parallel counters so each worker gets its own stream and results
+    are reproducible regardless of scheduling order.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = ensure_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def sample_indices_with_replacement(
+    rng: np.random.Generator, population_size: int, sample_size: int
+) -> np.ndarray:
+    """Sample ``sample_size`` indices from ``range(population_size)`` with replacement."""
+    if population_size <= 0:
+        raise ValueError("population_size must be positive")
+    if sample_size < 0:
+        raise ValueError("sample_size must be non-negative")
+    return rng.integers(0, population_size, size=sample_size)
+
+
+def weighted_choice(
+    rng: np.random.Generator, weights: np.ndarray, size: Optional[int] = None
+) -> Union[int, np.ndarray]:
+    """Draw indices proportionally to non-negative *weights*.
+
+    Raises
+    ------
+    ValueError
+        If the weights are empty, contain negatives, or sum to zero.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.size == 0:
+        raise ValueError("weights must be non-empty")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    probabilities = weights / total
+    result = rng.choice(weights.size, size=size, p=probabilities)
+    if size is None:
+        return int(result)
+    return result

@@ -1,0 +1,68 @@
+"""Simple wall-clock timing helpers used by benchmarks and the CLI."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock time in seconds.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    499500
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._end: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self._end = None
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._end = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds; while the timer is running, time since start."""
+        if self._start is None:
+            return 0.0
+        end = self._end if self._end is not None else time.perf_counter()
+        return end - self._start
+
+
+@dataclass
+class StageTimings:
+    """Accumulates named stage timings, e.g. projection vs. counting time."""
+
+    timings: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record(self, stage: str, seconds: float) -> None:
+        """Record one observation of *seconds* for *stage*."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        self.timings.setdefault(stage, []).append(seconds)
+
+    def total(self, stage: str) -> float:
+        """Total recorded seconds for *stage* (0.0 if never recorded)."""
+        return sum(self.timings.get(stage, []))
+
+    def mean(self, stage: str) -> float:
+        """Mean recorded seconds for *stage* (0.0 if never recorded)."""
+        values = self.timings.get(stage, [])
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def stages(self) -> List[str]:
+        """Names of all recorded stages."""
+        return sorted(self.timings)

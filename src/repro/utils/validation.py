@@ -1,0 +1,49 @@
+"""Small argument-validation helpers shared across the library.
+
+They raise ``ValueError``/``TypeError`` with consistent messages so public
+functions can validate inputs in one line each.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+
+
+def require_positive_int(value, name: str) -> int:
+    """Validate that *value* is an integer greater than zero and return it."""
+    if isinstance(value, bool) or not isinstance(value, Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_non_negative_int(value, name: str) -> int:
+    """Validate that *value* is an integer >= 0 and return it."""
+    if isinstance(value, bool) or not isinstance(value, Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def require_probability(value, name: str) -> float:
+    """Validate that *value* lies in the closed interval [0, 1] and return it."""
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def require_in_range(value, name: str, low: float, high: float) -> float:
+    """Validate that ``low <= value <= high`` and return ``float(value)``."""
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    value = float(value)
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value

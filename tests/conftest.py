@@ -1,0 +1,111 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.hypergraph import Hypergraph
+from repro.generators import generate_uniform_random
+from repro.motifs import MotifCounts, classify_instance
+from repro.projection import project
+
+
+@pytest.fixture
+def paper_hypergraph() -> Hypergraph:
+    """The running example of the paper's Figure 2.
+
+    Hyperedges: e1 = {L, K, F}, e2 = {L, H, K}, e3 = {B, G, L}, e4 = {S, R, F}.
+    The paper states this hypergraph has exactly four hyperwedges
+    (∧12, ∧13, ∧23, ∧14).
+    """
+    return Hypergraph(
+        [
+            {"L", "K", "F"},
+            {"L", "H", "K"},
+            {"B", "G", "L"},
+            {"S", "R", "F"},
+        ],
+        name="figure-2",
+    )
+
+
+@pytest.fixture
+def triangle_hypergraph() -> Hypergraph:
+    """Three mutually overlapping hyperedges with a common core (closed instance)."""
+    return Hypergraph(
+        [
+            {0, 1, 2, 3},
+            {2, 3, 4, 5},
+            {3, 5, 6, 0},
+        ],
+        name="triangle",
+    )
+
+
+@pytest.fixture
+def open_chain_hypergraph() -> Hypergraph:
+    """Three hyperedges forming an open chain (the outer two are disjoint)."""
+    return Hypergraph(
+        [
+            {0, 1},
+            {1, 2, 3},
+            {3, 4},
+        ],
+        name="open-chain",
+    )
+
+
+@pytest.fixture
+def small_random_hypergraph() -> Hypergraph:
+    """A small random hypergraph with enough structure for counting tests."""
+    return generate_uniform_random(
+        num_nodes=20, num_hyperedges=30, mean_size=3.0, max_size=6, seed=7
+    )
+
+
+@pytest.fixture
+def medium_random_hypergraph() -> Hypergraph:
+    """A somewhat larger random hypergraph used by sampling-accuracy tests."""
+    return generate_uniform_random(
+        num_nodes=40, num_hyperedges=80, mean_size=3.0, max_size=6, seed=11
+    )
+
+
+def brute_force_counts(hypergraph: Hypergraph) -> MotifCounts:
+    """Reference motif counts by explicit enumeration of all hyperedge triples.
+
+    Quadratic/cubic in the number of hyperedges, so only usable on small
+    fixtures, but completely independent of the MoCHy implementation.
+    """
+    counts = MotifCounts.zeros()
+    edges = hypergraph.hyperedges()
+    for i, j, k in itertools.combinations(range(len(edges)), 3):
+        first, second, third = edges[i], edges[j], edges[k]
+        if first == second or second == third or first == third:
+            continue
+        adjacent_pairs = sum(
+            1 for a, b in ((first, second), (second, third), (first, third)) if a & b
+        )
+        if adjacent_pairs < 2:
+            continue
+        try:
+            motif = classify_instance(first, second, third)
+        except ReproError:
+            continue
+        counts.increment(motif)
+    return counts
+
+
+@pytest.fixture
+def brute_counter():
+    """Expose the brute-force counter as a fixture-injectable callable."""
+    return brute_force_counts
+
+
+@pytest.fixture
+def paper_projection(paper_hypergraph):
+    """Projected graph of the Figure 2 hypergraph."""
+    return project(paper_hypergraph)

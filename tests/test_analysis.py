@@ -1,0 +1,170 @@
+"""Tests for the discovery-level analyses (Table 3, domains, evolution)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_domains,
+    classify_domain,
+    compare_counts,
+    format_report,
+    leave_one_out_domain_accuracy,
+    motif_fraction_evolution,
+    per_motif_domain_importance,
+    real_vs_random,
+)
+from repro.generators import generate_temporal_coauthorship
+from repro.hypergraph import TemporalHypergraph
+from repro.motifs import MotifCounts
+from repro.motifs.patterns import NUM_MOTIFS
+from repro.profile import profile_from_counts
+
+
+class TestRealVsRandom:
+    def test_compare_counts_rows(self):
+        real = MotifCounts.from_dict({1: 100, 2: 10, 22: 50})
+        random = MotifCounts.from_dict({1: 10, 2: 100, 22: 50})
+        report = compare_counts(real, random, dataset="demo")
+        assert len(report.rows) == NUM_MOTIFS
+        row_1 = report.row(1)
+        assert row_1.relative_count > 0
+        assert report.row(2).relative_count < 0
+        assert report.row(22).relative_count == 0
+        assert row_1.rank_difference == abs(row_1.real_rank - row_1.random_rank)
+
+    def test_over_and_under_representation_lists(self):
+        real = MotifCounts.from_dict({1: 100, 2: 1})
+        random = MotifCounts.from_dict({1: 1, 2: 100})
+        report = compare_counts(real, random)
+        assert report.most_overrepresented(1) == [1]
+        assert report.most_underrepresented(1) == [2]
+
+    def test_unknown_motif_row_raises(self):
+        report = compare_counts(MotifCounts.zeros(), MotifCounts.zeros())
+        with pytest.raises(KeyError):
+            report.row(99)
+
+    def test_end_to_end_report(self, medium_random_hypergraph):
+        report = real_vs_random(medium_random_hypergraph, num_random=2, seed=0)
+        assert report.dataset == medium_random_hypergraph.name
+        assert report.mean_rank_difference() >= 0
+        text = format_report(report)
+        assert "dataset:" in text
+        assert len(text.splitlines()) == NUM_MOTIFS + 2
+
+
+def _make_profile(vector, name):
+    values = np.asarray(vector, dtype=float)
+    values = values / np.linalg.norm(values)
+    base = profile_from_counts(MotifCounts.zeros(), MotifCounts.zeros(), name=name)
+    return type(base)(
+        name=name,
+        values=values,
+        significances=values,
+        real_counts=MotifCounts.zeros(),
+        random_counts=MotifCounts.zeros(),
+    )
+
+
+@pytest.fixture
+def labelled_profiles():
+    rng = np.random.default_rng(0)
+    base_a = np.zeros(NUM_MOTIFS)
+    base_a[:5] = 1.0
+    base_b = np.zeros(NUM_MOTIFS)
+    base_b[10:15] = 1.0
+    profiles = [
+        _make_profile(base_a + rng.normal(0, 0.05, NUM_MOTIFS), "a1"),
+        _make_profile(base_a + rng.normal(0, 0.05, NUM_MOTIFS), "a2"),
+        _make_profile(base_b + rng.normal(0, 0.05, NUM_MOTIFS), "b1"),
+        _make_profile(base_b + rng.normal(0, 0.05, NUM_MOTIFS), "b2"),
+    ]
+    domains = ["alpha", "alpha", "beta", "beta"]
+    return profiles, domains
+
+
+class TestDomains:
+    def test_analysis_separates_domains(self, labelled_profiles):
+        profiles, domains = labelled_profiles
+        analysis = analyze_domains(profiles, domains)
+        assert analysis.separation.gap > 0.3
+        assert analysis.similarity("a1", "a2") > analysis.similarity("a1", "b1")
+
+    def test_classify_domain(self, labelled_profiles):
+        profiles, domains = labelled_profiles
+        assert classify_domain(profiles[0], profiles[1:], domains[1:]) == "alpha"
+        assert classify_domain(profiles[3], profiles[:3], domains[:3]) == "beta"
+
+    def test_leave_one_out_accuracy_is_perfect_on_separable_profiles(
+        self, labelled_profiles
+    ):
+        profiles, domains = labelled_profiles
+        assert leave_one_out_domain_accuracy(profiles, domains) == 1.0
+
+    def test_per_motif_importance(self, labelled_profiles):
+        profiles, domains = labelled_profiles
+        importance = per_motif_domain_importance(profiles, domains)
+        assert len(importance) == NUM_MOTIFS
+        # Motifs that differ between the two groups score higher than unused ones.
+        assert importance[1] > importance[20]
+
+    def test_validation(self, labelled_profiles):
+        profiles, domains = labelled_profiles
+        with pytest.raises(ValueError):
+            analyze_domains(profiles, domains[:2])
+        with pytest.raises(ValueError):
+            classify_domain(profiles[0], [], [])
+        with pytest.raises(ValueError):
+            leave_one_out_domain_accuracy(profiles, domains[:1])
+
+
+class TestEvolution:
+    def test_series_structure(self):
+        temporal = generate_temporal_coauthorship(
+            num_years=4, initial_authors=70, initial_papers=50, seed=1
+        )
+        series = motif_fraction_evolution(temporal)
+        assert len(series.points) <= 4
+        assert len(series.timestamps()) == len(series.points)
+        for point in series.points:
+            assert 0.0 <= point.open_fraction <= 1.0
+            assert sum(point.fractions.values()) == pytest.approx(1.0, abs=1e-9) or (
+                point.counts.total() == 0
+            )
+        assert len(series.motif_fraction_series(22)) == len(series.points)
+        assert len(series.dominant_motifs(3)) == 3
+
+    def test_open_fraction_trend_direction(self):
+        """Rising hub-centred collaboration raises the open-motif fraction (Fig. 7b)."""
+        temporal = generate_temporal_coauthorship(
+            num_years=6,
+            initial_authors=80,
+            initial_papers=60,
+            initial_team_reuse=0.1,
+            final_team_reuse=0.85,
+            seed=3,
+        )
+        series = motif_fraction_evolution(temporal)
+        assert series.open_fraction_trend() > 0
+
+    def test_small_snapshots_are_skipped(self):
+        temporal = TemporalHypergraph(
+            [(2000, [1, 2]), (2001, [1, 2]), (2001, [2, 3]), (2001, [1, 3])]
+        )
+        series = motif_fraction_evolution(temporal)
+        assert series.timestamps() == [2001]
+
+    def test_invalid_motif_series_rejected(self):
+        temporal = generate_temporal_coauthorship(
+            num_years=3, initial_authors=60, initial_papers=40, seed=0
+        )
+        series = motif_fraction_evolution(temporal)
+        with pytest.raises(ValueError):
+            series.motif_fraction_series(0)
+
+    def test_trend_of_short_series_is_zero(self):
+        temporal = TemporalHypergraph([(2000, [1, 2]), (2000, [2, 3]), (2000, [1, 3])])
+        series = motif_fraction_evolution(temporal)
+        assert series.open_fraction_trend() == 0.0

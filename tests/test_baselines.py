@@ -1,0 +1,129 @@
+"""Tests for the graph substrate and the network-motif baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GRAPH_MOTIF_NAMES,
+    Graph,
+    count_graph_motifs,
+    graph_motif_vector,
+    graph_profile_correlation,
+    graph_similarity_matrix,
+    network_motif_profile,
+)
+from repro.exceptions import HypergraphError
+from repro.hypergraph import Hypergraph
+
+
+class TestGraph:
+    def test_add_edges_and_degrees(self):
+        graph = Graph([(1, 2), (2, 3)])
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+        assert graph.degree(2) == 2
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(1, 3)
+
+    def test_self_loop_rejected(self):
+        graph = Graph()
+        with pytest.raises(HypergraphError):
+            graph.add_edge(1, 1)
+
+    def test_duplicate_edge_ignored(self):
+        graph = Graph([(1, 2), (2, 1)])
+        assert graph.num_edges == 1
+
+    def test_unknown_vertex_raises(self):
+        graph = Graph([(1, 2)])
+        with pytest.raises(HypergraphError):
+            graph.degree(99)
+        with pytest.raises(HypergraphError):
+            graph.neighbors(99)
+
+    def test_edges_iterated_once(self):
+        graph = Graph([(1, 2), (2, 3), (3, 1)])
+        assert len(list(graph.edges())) == 3
+
+    def test_star_expansion(self, paper_hypergraph):
+        graph = Graph.from_star_expansion(paper_hypergraph)
+        assert graph.num_vertices == paper_hypergraph.num_nodes + paper_hypergraph.num_hyperedges
+        assert graph.num_edges == sum(paper_hypergraph.hyperedge_sizes())
+        assert graph.degree(("node", "L")) == 3
+
+    def test_clique_expansion(self):
+        hypergraph = Hypergraph([[1, 2, 3]])
+        graph = Graph.from_clique_expansion(hypergraph)
+        assert graph.num_edges == 3
+
+    def test_from_biadjacency(self):
+        graph = Graph.from_biadjacency([[0, 1], [1, 2]], num_left=3)
+        assert graph.num_edges == 4
+        with pytest.raises(HypergraphError):
+            Graph.from_biadjacency([[5]], num_left=3)
+
+
+class TestGraphMotifCounts:
+    def test_triangle_graph(self):
+        graph = Graph([(1, 2), (2, 3), (3, 1)])
+        counts = count_graph_motifs(graph)
+        assert counts["triangle"] == 1
+        assert counts["wedge"] == 3
+        assert counts["cycle4"] == 0
+
+    def test_path_graph(self):
+        graph = Graph([(1, 2), (2, 3), (3, 4)])
+        counts = count_graph_motifs(graph)
+        assert counts["triangle"] == 0
+        assert counts["wedge"] == 2
+        assert counts["path4"] == 1
+        assert counts["claw"] == 0
+
+    def test_star_graph(self):
+        graph = Graph([(0, 1), (0, 2), (0, 3)])
+        counts = count_graph_motifs(graph)
+        assert counts["claw"] == 1
+        assert counts["wedge"] == 3
+        assert counts["path4"] == 0
+
+    def test_four_cycle(self):
+        graph = Graph([(1, 2), (2, 3), (3, 4), (4, 1)])
+        counts = count_graph_motifs(graph)
+        assert counts["cycle4"] == 1
+        assert counts["triangle"] == 0
+
+    def test_paw_graph(self):
+        graph = Graph([(1, 2), (2, 3), (3, 1), (3, 4)])
+        counts = count_graph_motifs(graph)
+        assert counts["triangle"] == 1
+        assert counts["triangle_edge"] == 1
+
+    def test_bipartite_graph_has_no_odd_cycles(self, paper_hypergraph):
+        graph = Graph.from_star_expansion(paper_hypergraph)
+        counts = count_graph_motifs(graph)
+        assert counts["triangle"] == 0
+        assert counts["triangle_edge"] == 0
+
+    def test_vector_order(self):
+        graph = Graph([(1, 2), (2, 3), (3, 1)])
+        vector = graph_motif_vector(graph)
+        assert vector.shape == (len(GRAPH_MOTIF_NAMES),)
+        assert vector[GRAPH_MOTIF_NAMES.index("triangle")] == 1
+
+
+class TestNetworkMotifProfile:
+    def test_profile_is_normalized(self, medium_random_hypergraph):
+        profile = network_motif_profile(medium_random_hypergraph, num_random=2, seed=0)
+        norm = np.linalg.norm(profile.values)
+        assert norm == pytest.approx(1.0) or norm == 0.0
+        assert profile.real_counts.shape == (len(GRAPH_MOTIF_NAMES),)
+
+    def test_similarity_matrix(self, small_random_hypergraph, medium_random_hypergraph):
+        first = network_motif_profile(small_random_hypergraph, num_random=2, seed=0)
+        second = network_motif_profile(medium_random_hypergraph, num_random=2, seed=0)
+        matrix = graph_similarity_matrix([first, second])
+        assert matrix.shape == (2, 2)
+        assert matrix[0, 1] == pytest.approx(graph_profile_correlation(first, second))
+        assert np.allclose(np.diag(matrix), 1.0)

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.generators import generate_uniform_random
+from repro.hypergraph import io as hio
+
+
+@pytest.fixture
+def hypergraph_file(tmp_path):
+    hypergraph = generate_uniform_random(num_nodes=25, num_hyperedges=40, seed=0)
+    path = tmp_path / "hypergraph.txt"
+    hio.write_plain(hypergraph, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_count_defaults(self, hypergraph_file):
+        arguments = build_parser().parse_args(["count", str(hypergraph_file)])
+        assert arguments.algorithm == "exact"
+        assert arguments.workers == 1
+
+
+class TestCommands:
+    def test_count_exact(self, hypergraph_file, capsys):
+        assert main(["count", str(hypergraph_file)]) == 0
+        output = capsys.readouterr().out
+        assert "total instances" in output
+        assert "algorithm: exact" in output
+
+    def test_count_with_sampling(self, hypergraph_file, capsys):
+        code = main(
+            ["count", str(hypergraph_file), "--algorithm", "mochy-a+", "--ratio", "0.5", "--seed", "1"]
+        )
+        assert code == 0
+        assert "wedge-sampling" in capsys.readouterr().out
+
+    def test_count_missing_file(self, tmp_path, capsys):
+        assert main(["count", str(tmp_path / "missing.txt")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_count_invalid_algorithm(self, hypergraph_file, capsys):
+        assert main(["count", str(hypergraph_file), "--algorithm", "bogus"]) == 1
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_profile(self, hypergraph_file, capsys):
+        assert main(["profile", str(hypergraph_file), "--random", "2", "--seed", "0"]) == 0
+        output = capsys.readouterr().out
+        assert "characteristic profile" in output
+        # One line per motif plus two header lines.
+        assert len(output.strip().splitlines()) == 28
+
+    def test_compare(self, hypergraph_file, capsys):
+        assert main(["compare", str(hypergraph_file), "--random", "2", "--seed", "0"]) == 0
+        assert "dataset:" in capsys.readouterr().out
+
+    def test_generate(self, tmp_path, capsys):
+        output_path = tmp_path / "generated.txt"
+        code = main(
+            ["generate", "contact-primary-like", str(output_path), "--scale", "0.3"]
+        )
+        assert code == 0
+        assert output_path.exists()
+        loaded = hio.read_plain(output_path)
+        assert loaded.num_hyperedges > 0
+
+    def test_generate_rejects_unknown_dataset(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "unknown-dataset", str(tmp_path / "x.txt")])
+
+    def test_verbose_flag(self, hypergraph_file):
+        assert main(["--verbose", "count", str(hypergraph_file)]) == 0

@@ -1,0 +1,124 @@
+"""Tests for MoCHy-E exact counting and enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.counting import (
+    count_exact,
+    count_instances_containing,
+    enumerate_instances,
+)
+from repro.generators import generate_uniform_random
+from repro.hypergraph import Hypergraph
+from repro.motifs import motif_is_closed, motif_is_open
+from repro.projection import LazyProjection, project
+from tests.conftest import brute_force_counts
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_matches_brute_force_on_random_hypergraphs(self, seed):
+        hypergraph = generate_uniform_random(
+            num_nodes=18, num_hyperedges=28, mean_size=3.0, max_size=6, seed=seed
+        )
+        assert count_exact(hypergraph).to_dict() == brute_force_counts(hypergraph).to_dict()
+
+    def test_matches_brute_force_on_paper_example(self, paper_hypergraph):
+        assert (
+            count_exact(paper_hypergraph).to_dict()
+            == brute_force_counts(paper_hypergraph).to_dict()
+        )
+
+
+class TestPaperExample:
+    def test_exactly_three_instances(self, paper_hypergraph):
+        # Triples {e1,e2,e3}, {e1,e2,e4}, {e1,e3,e4} are connected; {e2,e3,e4} is not.
+        counts = count_exact(paper_hypergraph)
+        assert counts.total() == 3
+
+    def test_instance_composition(self, paper_hypergraph):
+        instances = list(enumerate_instances(paper_hypergraph))
+        triples = {frozenset(instance.hyperedges) for instance in instances}
+        assert triples == {
+            frozenset({0, 1, 2}),
+            frozenset({0, 1, 3}),
+            frozenset({0, 2, 3}),
+        }
+
+    def test_open_and_closed_split(self, paper_hypergraph):
+        counts = count_exact(paper_hypergraph)
+        # {e1,e2,e3} is closed (all three share L); the two triples with e4 are open.
+        assert counts.closed_total() == 1
+        assert counts.open_total() == 2
+
+
+class TestSingleInstanceFixtures:
+    def test_triangle_instance_is_closed(self, triangle_hypergraph):
+        counts = count_exact(triangle_hypergraph)
+        assert counts.total() == 1
+        (motif,) = [index for index, value in counts.items() if value]
+        assert motif_is_closed(motif)
+
+    def test_open_chain_instance_is_open(self, open_chain_hypergraph):
+        counts = count_exact(open_chain_hypergraph)
+        assert counts.total() == 1
+        (motif,) = [index for index, value in counts.items() if value]
+        assert motif_is_open(motif)
+
+    def test_no_instances_with_fewer_than_three_edges(self):
+        hypergraph = Hypergraph([[1, 2], [2, 3]])
+        assert count_exact(hypergraph).total() == 0
+
+    def test_empty_hypergraph(self):
+        assert count_exact(Hypergraph([])).total() == 0
+
+
+class TestEnumerationConsistency:
+    def test_each_instance_enumerated_once(self, medium_random_hypergraph):
+        instances = list(enumerate_instances(medium_random_hypergraph))
+        triples = [frozenset(instance.hyperedges) for instance in instances]
+        assert len(triples) == len(set(triples))
+
+    def test_enumeration_totals_match_counts(self, medium_random_hypergraph):
+        counts = count_exact(medium_random_hypergraph)
+        instances = list(enumerate_instances(medium_random_hypergraph))
+        assert counts.total() == len(instances)
+
+    def test_works_with_lazy_projection(self, small_random_hypergraph):
+        full_counts = count_exact(small_random_hypergraph)
+        lazy = LazyProjection(small_random_hypergraph, budget=2)
+        lazy_counts = count_exact(small_random_hypergraph, projection=lazy)
+        assert lazy_counts.to_dict() == full_counts.to_dict()
+
+    def test_restricting_indices_partitions_counts(self, small_random_hypergraph):
+        projection = project(small_random_hypergraph)
+        total = count_exact(small_random_hypergraph, projection)
+        half = small_random_hypergraph.num_hyperedges // 2
+        first = count_exact(
+            small_random_hypergraph, projection, hyperedge_indices=range(half)
+        )
+        second = count_exact(
+            small_random_hypergraph,
+            projection,
+            hyperedge_indices=range(half, small_random_hypergraph.num_hyperedges),
+        )
+        assert (first + second).to_dict() == total.to_dict()
+
+
+class TestInstancesContainingEdge:
+    def test_per_edge_counts_sum_to_three_times_total(self, small_random_hypergraph):
+        projection = project(small_random_hypergraph)
+        total = count_exact(small_random_hypergraph, projection).total()
+        per_edge_total = sum(
+            count_instances_containing(small_random_hypergraph, i, projection).total()
+            for i in range(small_random_hypergraph.num_hyperedges)
+        )
+        # Every instance contains exactly three hyperedges.
+        assert per_edge_total == 3 * total
+
+    def test_paper_example_edge_participation(self, paper_hypergraph):
+        projection = project(paper_hypergraph)
+        # e1 participates in all three instances, e4 in two.
+        assert count_instances_containing(paper_hypergraph, 0, projection).total() == 3
+        assert count_instances_containing(paper_hypergraph, 3, projection).total() == 2

@@ -1,0 +1,108 @@
+"""Tests for the parallel MoCHy drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.counting import (
+    BACKEND_THREAD,
+    count_approx_edge_sampling_parallel,
+    count_approx_wedge_sampling_parallel,
+    count_exact,
+    count_exact_parallel,
+)
+from repro.exceptions import SamplingError
+from repro.hypergraph import Hypergraph
+from repro.motifs import MotifCounts
+from repro.projection import project
+
+
+class TestExactParallel:
+    def test_thread_backend_matches_serial(self, medium_random_hypergraph):
+        serial = count_exact(medium_random_hypergraph)
+        parallel = count_exact_parallel(
+            medium_random_hypergraph, num_workers=3, backend=BACKEND_THREAD
+        )
+        assert parallel.to_dict() == serial.to_dict()
+
+    def test_process_backend_matches_serial(self, small_random_hypergraph):
+        serial = count_exact(small_random_hypergraph)
+        parallel = count_exact_parallel(small_random_hypergraph, num_workers=2)
+        assert parallel.to_dict() == serial.to_dict()
+
+    def test_single_worker_falls_back(self, small_random_hypergraph):
+        serial = count_exact(small_random_hypergraph)
+        parallel = count_exact_parallel(small_random_hypergraph, num_workers=1)
+        assert parallel.to_dict() == serial.to_dict()
+
+    def test_tiny_hypergraph_falls_back(self, paper_hypergraph):
+        parallel = count_exact_parallel(paper_hypergraph, num_workers=8)
+        assert parallel.to_dict() == count_exact(paper_hypergraph).to_dict()
+
+    def test_invalid_backend_rejected(self, medium_random_hypergraph):
+        with pytest.raises(ValueError):
+            count_exact_parallel(
+                medium_random_hypergraph, num_workers=2, backend="greenlet"
+            )
+
+    def test_invalid_worker_count_rejected(self, small_random_hypergraph):
+        with pytest.raises(ValueError):
+            count_exact_parallel(small_random_hypergraph, num_workers=0)
+
+
+class TestSamplingParallel:
+    def test_edge_sampling_parallel_is_reasonable(self, medium_random_hypergraph):
+        exact = count_exact(medium_random_hypergraph)
+        estimates = [
+            count_approx_edge_sampling_parallel(
+                medium_random_hypergraph,
+                num_samples=60,
+                num_workers=2,
+                seed=seed,
+                backend=BACKEND_THREAD,
+            )
+            for seed in range(8)
+        ]
+        assert MotifCounts.mean(estimates).relative_error(exact) < 0.3
+
+    def test_wedge_sampling_parallel_is_reasonable(self, medium_random_hypergraph):
+        exact = count_exact(medium_random_hypergraph)
+        estimates = [
+            count_approx_wedge_sampling_parallel(
+                medium_random_hypergraph,
+                num_samples=80,
+                num_workers=2,
+                seed=seed,
+                backend=BACKEND_THREAD,
+            )
+            for seed in range(8)
+        ]
+        assert MotifCounts.mean(estimates).relative_error(exact) < 0.3
+
+    def test_edge_sampling_single_worker_matches_serial_with_same_seed(
+        self, small_random_hypergraph
+    ):
+        parallel = count_approx_edge_sampling_parallel(
+            small_random_hypergraph, num_samples=20, num_workers=1, seed=5
+        )
+        assert parallel.total() > 0
+
+    def test_wedge_sampling_single_worker(self, small_random_hypergraph):
+        projection = project(small_random_hypergraph)
+        result = count_approx_wedge_sampling_parallel(
+            small_random_hypergraph,
+            num_samples=20,
+            num_workers=1,
+            seed=5,
+            projection=projection,
+        )
+        assert result.total() > 0
+
+    def test_empty_hypergraph_rejected(self):
+        with pytest.raises(SamplingError):
+            count_approx_edge_sampling_parallel(Hypergraph([]), num_samples=5)
+
+    def test_no_wedges_rejected(self):
+        hypergraph = Hypergraph([[1, 2], [3, 4], [5, 6]])
+        with pytest.raises(SamplingError):
+            count_approx_wedge_sampling_parallel(hypergraph, num_samples=5)

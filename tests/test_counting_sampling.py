@@ -1,0 +1,182 @@
+"""Tests for the approximate counters MoCHy-A and MoCHy-A+."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.counting import (
+    count_approx_edge_sampling,
+    count_approx_wedge_sampling,
+    count_exact,
+    run_edge_sampling,
+    run_wedge_sampling,
+)
+from repro.exceptions import SamplingError
+from repro.hypergraph import Hypergraph
+from repro.motifs import MotifCounts
+from repro.projection import project
+
+
+class TestEdgeSampling:
+    def test_full_sampling_of_every_edge_is_exact(self, small_random_hypergraph):
+        """Sampling each hyperedge exactly once (s = |E|) recovers exact counts.
+
+        With the explicit sample equal to the full hyperedge set, every
+        instance is counted exactly three times and the 1/(3s/|E|) = 1/3
+        rescaling makes the estimate exact.
+        """
+        projection = project(small_random_hypergraph)
+        exact = count_exact(small_random_hypergraph, projection)
+        num_edges = small_random_hypergraph.num_hyperedges
+        estimate = count_approx_edge_sampling(
+            small_random_hypergraph,
+            num_samples=num_edges,
+            projection=projection,
+            sampled_indices=list(range(num_edges)),
+        )
+        assert estimate.to_dict() == pytest.approx(exact.to_dict())
+
+    def test_estimates_are_close_on_average(self, medium_random_hypergraph):
+        projection = project(medium_random_hypergraph)
+        exact = count_exact(medium_random_hypergraph, projection)
+        estimates = [
+            count_approx_edge_sampling(
+                medium_random_hypergraph, num_samples=60, projection=projection, seed=seed
+            )
+            for seed in range(15)
+        ]
+        mean = MotifCounts.mean(estimates)
+        assert mean.relative_error(exact) < 0.25
+
+    def test_metadata(self, small_random_hypergraph):
+        result = run_edge_sampling(small_random_hypergraph, num_samples=5, seed=0)
+        assert result.num_samples == 5
+        assert result.raw_increments >= 0
+
+    def test_invalid_sample_count(self, small_random_hypergraph):
+        with pytest.raises(ValueError):
+            count_approx_edge_sampling(small_random_hypergraph, num_samples=0)
+
+    def test_empty_hypergraph_rejected(self):
+        with pytest.raises(SamplingError):
+            count_approx_edge_sampling(Hypergraph([]), num_samples=5)
+
+    def test_explicit_sample_length_mismatch(self, small_random_hypergraph):
+        with pytest.raises(SamplingError):
+            count_approx_edge_sampling(
+                small_random_hypergraph, num_samples=3, sampled_indices=[0]
+            )
+
+    def test_seed_reproducibility(self, small_random_hypergraph):
+        first = count_approx_edge_sampling(small_random_hypergraph, 20, seed=42)
+        second = count_approx_edge_sampling(small_random_hypergraph, 20, seed=42)
+        assert first == second
+
+
+class TestWedgeSampling:
+    def test_full_sampling_of_every_wedge_is_exact(self, small_random_hypergraph):
+        """Sampling each hyperwedge exactly once (r = |∧|) recovers exact counts."""
+        projection = project(small_random_hypergraph)
+        exact = count_exact(small_random_hypergraph, projection)
+        wedges = projection.hyperwedge_list()
+        estimate = count_approx_wedge_sampling(
+            small_random_hypergraph,
+            num_samples=len(wedges),
+            projection=projection,
+            hyperwedges=wedges,
+            sampled_wedges=wedges,
+        )
+        assert estimate.to_dict() == pytest.approx(exact.to_dict())
+
+    def test_estimates_are_close_on_average(self, medium_random_hypergraph):
+        projection = project(medium_random_hypergraph)
+        exact = count_exact(medium_random_hypergraph, projection)
+        estimates = [
+            count_approx_wedge_sampling(
+                medium_random_hypergraph, num_samples=80, projection=projection, seed=seed
+            )
+            for seed in range(15)
+        ]
+        mean = MotifCounts.mean(estimates)
+        assert mean.relative_error(exact) < 0.25
+
+    def test_wedge_sampling_beats_edge_sampling_at_equal_ratio(
+        self, medium_random_hypergraph
+    ):
+        """MoCHy-A+ has lower error than MoCHy-A at the same sampling ratio (Sec. 3.3).
+
+        Compared over several trials to keep the test robust to sampling noise.
+        """
+        projection = project(medium_random_hypergraph)
+        exact = count_exact(medium_random_hypergraph, projection)
+        ratio = 0.3
+        num_edges = medium_random_hypergraph.num_hyperedges
+        num_wedges = projection.num_hyperwedges
+        edge_errors = []
+        wedge_errors = []
+        for seed in range(12):
+            edge_estimate = count_approx_edge_sampling(
+                medium_random_hypergraph,
+                num_samples=max(1, int(ratio * num_edges)),
+                projection=projection,
+                seed=seed,
+            )
+            wedge_estimate = count_approx_wedge_sampling(
+                medium_random_hypergraph,
+                num_samples=max(1, int(ratio * num_wedges)),
+                projection=projection,
+                seed=seed,
+            )
+            edge_errors.append(edge_estimate.relative_error(exact))
+            wedge_errors.append(wedge_estimate.relative_error(exact))
+        assert np.mean(wedge_errors) < np.mean(edge_errors)
+
+    def test_metadata(self, small_random_hypergraph):
+        result = run_wedge_sampling(small_random_hypergraph, num_samples=5, seed=0)
+        assert result.num_samples == 5
+        assert result.num_hyperwedges == project(small_random_hypergraph).num_hyperwedges
+
+    def test_no_hyperwedges_rejected(self):
+        hypergraph = Hypergraph([[1, 2], [3, 4], [5, 6]])
+        with pytest.raises(SamplingError):
+            count_approx_wedge_sampling(hypergraph, num_samples=5)
+
+    def test_explicit_sample_length_mismatch(self, small_random_hypergraph):
+        with pytest.raises(SamplingError):
+            count_approx_wedge_sampling(
+                small_random_hypergraph, num_samples=2, sampled_wedges=[(0, 1)]
+            )
+
+    def test_seed_reproducibility(self, small_random_hypergraph):
+        first = count_approx_wedge_sampling(small_random_hypergraph, 20, seed=3)
+        second = count_approx_wedge_sampling(small_random_hypergraph, 20, seed=3)
+        assert first == second
+
+
+class TestUnbiasedness:
+    """Monte-Carlo unbiasedness checks (Theorems 2 and 4)."""
+
+    def test_edge_sampling_mean_converges_to_exact(self, small_random_hypergraph):
+        projection = project(small_random_hypergraph)
+        exact = count_exact(small_random_hypergraph, projection)
+        estimates = [
+            count_approx_edge_sampling(
+                small_random_hypergraph, num_samples=10, projection=projection, seed=seed
+            )
+            for seed in range(200)
+        ]
+        mean = MotifCounts.mean(estimates)
+        assert mean.relative_error(exact) < 0.1
+
+    def test_wedge_sampling_mean_converges_to_exact(self, small_random_hypergraph):
+        projection = project(small_random_hypergraph)
+        exact = count_exact(small_random_hypergraph, projection)
+        estimates = [
+            count_approx_wedge_sampling(
+                small_random_hypergraph, num_samples=10, projection=projection, seed=seed
+            )
+            for seed in range(200)
+        ]
+        mean = MotifCounts.mean(estimates)
+        assert mean.relative_error(exact) < 0.1

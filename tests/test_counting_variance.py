@@ -1,0 +1,108 @@
+"""Tests for the variance analysis of the samplers (Theorems 2 and 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.counting import (
+    compute_overlap_statistics,
+    count_exact,
+    edge_sampling_variance,
+    variance_comparison,
+    wedge_sampling_variance,
+)
+from repro.motifs.patterns import NUM_MOTIFS
+from repro.projection import project
+
+
+@pytest.fixture(scope="module")
+def statistics():
+    from repro.generators import generate_uniform_random
+
+    hypergraph = generate_uniform_random(
+        num_nodes=25, num_hyperedges=40, mean_size=3.0, max_size=5, seed=3
+    )
+    return compute_overlap_statistics(hypergraph), hypergraph
+
+
+class TestOverlapStatistics:
+    def test_counts_match_exact_counter(self, statistics):
+        stats, hypergraph = statistics
+        assert stats.counts.to_dict() == count_exact(hypergraph).to_dict()
+
+    def test_pair_counts_are_consistent(self, statistics):
+        stats, _ = statistics
+        for motif in range(1, NUM_MOTIFS + 1):
+            total = int(stats.counts[motif])
+            total_pairs = total * (total - 1) // 2
+            edge_shares = stats.pairs_sharing_edges[motif]
+            wedge_shares = stats.pairs_sharing_wedges[motif]
+            assert sum(edge_shares.values()) == total_pairs
+            assert sum(wedge_shares.values()) == total_pairs
+            assert all(value >= 0 for value in edge_shares.values())
+            assert all(value >= 0 for value in wedge_shares.values())
+
+    def test_sharing_a_wedge_implies_sharing_two_edges(self, statistics):
+        # q1[t] <= p2[t]: a shared hyperwedge means two shared hyperedges.
+        stats, _ = statistics
+        for motif in range(1, NUM_MOTIFS + 1):
+            assert (
+                stats.pairs_sharing_wedges[motif][1]
+                <= stats.pairs_sharing_edges[motif][2]
+            )
+
+    def test_population_sizes_recorded(self, statistics):
+        stats, hypergraph = statistics
+        assert stats.num_hyperedges == hypergraph.num_hyperedges
+        assert stats.num_hyperwedges == project(hypergraph).num_hyperwedges
+
+
+class TestVarianceFormulas:
+    def test_variance_decreases_with_sample_size(self, statistics):
+        stats, _ = statistics
+        motifs_present = [m for m in range(1, NUM_MOTIFS + 1) if stats.counts[m] > 0]
+        motif = motifs_present[0]
+        assert edge_sampling_variance(stats, motif, 10) > edge_sampling_variance(
+            stats, motif, 100
+        )
+        assert wedge_sampling_variance(stats, motif, 10) > wedge_sampling_variance(
+            stats, motif, 100
+        )
+
+    def test_variances_are_positive_for_present_motifs(self, statistics):
+        stats, _ = statistics
+        for motif in range(1, NUM_MOTIFS + 1):
+            if stats.counts[motif] > 0:
+                assert edge_sampling_variance(stats, motif, 5) > 0
+                assert wedge_sampling_variance(stats, motif, 5) > 0
+
+    def test_invalid_sample_size_rejected(self, statistics):
+        stats, _ = statistics
+        with pytest.raises(ValueError):
+            edge_sampling_variance(stats, 1, 0)
+        with pytest.raises(ValueError):
+            wedge_sampling_variance(stats, 1, 0)
+
+
+class TestVarianceComparison:
+    def test_wedge_sampling_has_lower_total_variance(self, statistics):
+        """The Section 3.3 analysis: Var[MoCHy-A+] <= Var[MoCHy-A] at equal ratio."""
+        stats, _ = statistics
+        rows = variance_comparison(stats, sampling_ratio=0.2)
+        assert rows, "expected at least one motif with instances"
+        total_edge = sum(row[1] for row in rows)
+        total_wedge = sum(row[2] for row in rows)
+        assert total_wedge <= total_edge
+
+    def test_rows_skip_absent_motifs(self, statistics):
+        stats, _ = statistics
+        rows = variance_comparison(stats, sampling_ratio=0.2)
+        present = {row[0] for row in rows}
+        for motif in range(1, NUM_MOTIFS + 1):
+            if stats.counts[motif] == 0:
+                assert motif not in present
+
+    def test_invalid_ratio_rejected(self, statistics):
+        stats, _ = statistics
+        with pytest.raises(ValueError):
+            variance_comparison(stats, sampling_ratio=0)

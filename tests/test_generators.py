@@ -1,0 +1,137 @@
+"""Tests for the synthetic hypergraph generators and the corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.generators import (
+    DOMAINS,
+    build_corpus,
+    dataset_domain,
+    dataset_names,
+    dataset_specs,
+    generate_coauthorship,
+    generate_contact,
+    generate_email,
+    generate_planted_triple,
+    generate_tags,
+    generate_temporal_coauthorship,
+    generate_threads,
+    generate_uniform_random,
+)
+from repro.hypergraph import Hypergraph, deduplicate_hyperedges
+
+GENERATORS = [
+    (generate_coauthorship, {"num_authors": 80, "num_papers": 60}),
+    (generate_contact, {"num_people": 40, "num_interactions": 60}),
+    (generate_email, {"num_accounts": 40, "num_messages": 60}),
+    (generate_tags, {"num_tags": 50, "num_posts": 60}),
+    (generate_threads, {"num_users": 60, "num_threads": 50}),
+    (generate_uniform_random, {"num_nodes": 40, "num_hyperedges": 50}),
+]
+
+
+class TestDomainGenerators:
+    @pytest.mark.parametrize("generator, kwargs", GENERATORS)
+    def test_generates_valid_hypergraph(self, generator, kwargs):
+        hypergraph = generator(seed=0, **kwargs)
+        assert isinstance(hypergraph, Hypergraph)
+        assert hypergraph.num_hyperedges > 10
+        assert all(size >= 1 for size in hypergraph.hyperedge_sizes())
+
+    @pytest.mark.parametrize("generator, kwargs", GENERATORS)
+    def test_no_duplicate_hyperedges(self, generator, kwargs):
+        hypergraph = generator(seed=1, **kwargs)
+        assert deduplicate_hyperedges(hypergraph).num_hyperedges == hypergraph.num_hyperedges
+
+    @pytest.mark.parametrize("generator, kwargs", GENERATORS)
+    def test_seed_reproducibility(self, generator, kwargs):
+        assert generator(seed=5, **kwargs) == generator(seed=5, **kwargs)
+
+    @pytest.mark.parametrize("generator, kwargs", GENERATORS)
+    def test_different_seeds_differ(self, generator, kwargs):
+        assert generator(seed=1, **kwargs) != generator(seed=2, **kwargs)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            generate_coauthorship(num_authors=0)
+        with pytest.raises(ValueError):
+            generate_contact(num_interactions=-1)
+
+    def test_contact_hypergraph_is_small_population(self):
+        hypergraph = generate_contact(num_people=30, num_interactions=80, seed=0)
+        assert hypergraph.num_nodes <= 30
+
+    def test_email_hyperedges_have_bounded_size(self):
+        hypergraph = generate_email(
+            num_accounts=50, num_messages=80, max_recipients=6, seed=0
+        )
+        assert max(hypergraph.hyperedge_sizes()) <= 7  # sender + recipients
+
+    def test_tags_hyperedges_are_small(self):
+        hypergraph = generate_tags(num_tags=60, num_posts=80, max_tags_per_post=4, seed=0)
+        assert max(hypergraph.hyperedge_sizes()) <= 4
+
+    def test_planted_triple(self):
+        base = generate_uniform_random(num_nodes=10, num_hyperedges=5, seed=0)
+        planted = generate_planted_triple(base, [[100, 101], [101, 102], [100, 102]])
+        assert planted.num_hyperedges == base.num_hyperedges + 3
+
+
+class TestCorpus:
+    def test_eleven_datasets_in_five_domains(self):
+        names = dataset_names()
+        assert len(names) == 11
+        domains = {dataset_domain(name) for name in names}
+        assert domains == set(DOMAINS)
+
+    def test_specs_reference_paper_datasets(self):
+        papers = {spec.paper_dataset for spec in dataset_specs()}
+        assert "coauth-DBLP" in papers
+        assert "tags-math" in papers
+        assert len(papers) == 11
+
+    def test_build_small_corpus(self):
+        corpus = build_corpus(scale=0.3, domains=("contact", "email"))
+        assert len(corpus) == 4
+        for name, (hypergraph, domain) in corpus.items():
+            assert domain in ("contact", "email")
+            assert hypergraph.num_hyperedges > 5
+
+    def test_scale_changes_size(self):
+        small = build_corpus(scale=0.3, domains=("contact",))
+        large = build_corpus(scale=1.0, domains=("contact",))
+        for name in small:
+            assert small[name][0].num_hyperedges < large[name][0].num_hyperedges
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            dataset_domain("nope")
+        from repro.generators import generate_dataset
+
+        with pytest.raises(DatasetError):
+            generate_dataset("nope")
+        with pytest.raises(DatasetError):
+            generate_dataset(dataset_names()[0], scale=0)
+
+
+class TestTemporalGenerator:
+    def test_snapshot_count_and_growth(self):
+        temporal = generate_temporal_coauthorship(
+            num_years=5, initial_authors=60, initial_papers=40, seed=0
+        )
+        years = temporal.timestamps()
+        assert len(years) == 5
+        first = temporal.snapshot(years[0])
+        last = temporal.snapshot(years[-1])
+        assert last.num_hyperedges >= first.num_hyperedges
+
+    def test_seed_reproducibility(self):
+        first = generate_temporal_coauthorship(num_years=3, seed=4)
+        second = generate_temporal_coauthorship(num_years=3, seed=4)
+        assert list(first) == list(second)
+
+    def test_invalid_years_rejected(self):
+        with pytest.raises(ValueError):
+            generate_temporal_coauthorship(num_years=0)

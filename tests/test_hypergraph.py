@@ -1,0 +1,106 @@
+"""Tests for the Hypergraph container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    EmptyHyperedgeError,
+    UnknownHyperedgeError,
+    UnknownNodeError,
+)
+from repro.hypergraph import Hypergraph
+
+
+class TestConstruction:
+    def test_basic_sizes(self, paper_hypergraph):
+        assert paper_hypergraph.num_hyperedges == 4
+        assert paper_hypergraph.num_nodes == 8
+
+    def test_empty_hypergraph_is_allowed(self):
+        empty = Hypergraph([])
+        assert empty.num_nodes == 0
+        assert empty.num_hyperedges == 0
+
+    def test_empty_hyperedge_rejected(self):
+        with pytest.raises(EmptyHyperedgeError):
+            Hypergraph([{1, 2}, set()])
+
+    def test_duplicate_nodes_within_edge_collapse(self):
+        hypergraph = Hypergraph([[1, 1, 2]])
+        assert hypergraph.hyperedge_size(0) == 2
+
+    def test_name_and_repr(self):
+        hypergraph = Hypergraph([{1}], name="demo")
+        assert hypergraph.name == "demo"
+        assert "demo" in repr(hypergraph)
+
+    def test_equality_ignores_name(self):
+        first = Hypergraph([{1, 2}], name="a")
+        second = Hypergraph([{2, 1}], name="b")
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestNodeSide:
+    def test_memberships(self, paper_hypergraph):
+        assert set(paper_hypergraph.memberships("L")) == {0, 1, 2}
+        assert paper_hypergraph.degree("L") == 3
+        assert paper_hypergraph.degree("S") == 1
+
+    def test_unknown_node_raises(self, paper_hypergraph):
+        with pytest.raises(UnknownNodeError):
+            paper_hypergraph.memberships("X")
+        assert not paper_hypergraph.has_node("X")
+        assert "X" not in paper_hypergraph
+
+    def test_degrees_mapping(self, paper_hypergraph):
+        degrees = paper_hypergraph.degrees()
+        assert degrees["F"] == 2
+        assert sum(degrees.values()) == sum(paper_hypergraph.hyperedge_sizes())
+
+    def test_neighbors_of_node(self, paper_hypergraph):
+        neighbors = paper_hypergraph.neighbors_of_node("K")
+        assert neighbors == frozenset({"L", "F", "H"})
+
+
+class TestEdgeSide:
+    def test_hyperedge_lookup(self, paper_hypergraph):
+        assert paper_hypergraph.hyperedge(0) == frozenset({"L", "K", "F"})
+        assert paper_hypergraph.hyperedge_size(3) == 3
+
+    def test_bad_index_raises(self, paper_hypergraph):
+        with pytest.raises(UnknownHyperedgeError):
+            paper_hypergraph.hyperedge(4)
+        with pytest.raises(TypeError):
+            paper_hypergraph.hyperedge("0")
+
+    def test_adjacency_and_overlap(self, paper_hypergraph):
+        assert paper_hypergraph.are_adjacent(0, 1)
+        assert paper_hypergraph.overlap_size(0, 1) == 2  # {L, K}
+        assert not paper_hypergraph.are_adjacent(1, 3)
+        assert paper_hypergraph.overlap_size(1, 3) == 0
+
+    def test_incident_hyperedges(self, paper_hypergraph):
+        assert paper_hypergraph.incident_hyperedges(0) == frozenset({1, 2, 3})
+        assert paper_hypergraph.incident_hyperedges(3) == frozenset({0})
+
+    def test_iteration(self, paper_hypergraph):
+        assert len(list(paper_hypergraph)) == 4
+        assert len(paper_hypergraph) == 4
+
+
+class TestDerivation:
+    def test_restricted_to_hyperedges(self, paper_hypergraph):
+        restricted = paper_hypergraph.restricted_to_hyperedges([0, 3])
+        assert restricted.num_hyperedges == 2
+        assert restricted.hyperedge(1) == paper_hypergraph.hyperedge(3)
+
+    def test_restricted_rejects_bad_index(self, paper_hypergraph):
+        with pytest.raises(UnknownHyperedgeError):
+            paper_hypergraph.restricted_to_hyperedges([0, 9])
+
+    def test_with_name(self, paper_hypergraph):
+        renamed = paper_hypergraph.with_name("other")
+        assert renamed.name == "other"
+        assert renamed == paper_hypergraph

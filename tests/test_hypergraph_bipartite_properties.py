@@ -1,0 +1,106 @@
+"""Tests for the bipartite view and structural properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import HypergraphError
+from repro.hypergraph import (
+    BipartiteIncidenceGraph,
+    Hypergraph,
+    count_hyperwedges,
+    degree_distribution,
+    density,
+    giant_component_fraction,
+    hyperedge_connected_components,
+    max_hyperedge_size,
+    mean_hyperedge_size,
+    mean_node_degree,
+    node_connected_components,
+    size_distribution,
+    summarize,
+)
+
+
+class TestBipartite:
+    def test_star_expansion_shape(self, paper_hypergraph):
+        bipartite = BipartiteIncidenceGraph.from_hypergraph(paper_hypergraph)
+        assert bipartite.num_left == paper_hypergraph.num_nodes
+        assert bipartite.num_right == paper_hypergraph.num_hyperedges
+        assert bipartite.num_edges == sum(paper_hypergraph.hyperedge_sizes())
+
+    def test_degrees_match(self, paper_hypergraph):
+        bipartite = BipartiteIncidenceGraph.from_hypergraph(paper_hypergraph)
+        assert bipartite.node_degree("L") == paper_hypergraph.degree("L")
+        assert bipartite.edge_degree(0) == paper_hypergraph.hyperedge_size(0)
+
+    def test_round_trip(self, paper_hypergraph):
+        bipartite = BipartiteIncidenceGraph.from_hypergraph(paper_hypergraph)
+        back = bipartite.to_hypergraph()
+        assert back == paper_hypergraph
+
+    def test_incidences(self, paper_hypergraph):
+        bipartite = BipartiteIncidenceGraph.from_hypergraph(paper_hypergraph)
+        incidences = bipartite.incidences()
+        assert ("L", 0) in incidences
+        assert len(incidences) == bipartite.num_edges
+
+    def test_unknown_lookups_raise(self, paper_hypergraph):
+        bipartite = BipartiteIncidenceGraph.from_hypergraph(paper_hypergraph)
+        with pytest.raises(HypergraphError):
+            bipartite.node_degree("missing")
+        with pytest.raises(HypergraphError):
+            bipartite.edge_degree(99)
+
+    def test_inconsistent_construction_rejected(self):
+        with pytest.raises(HypergraphError):
+            BipartiteIncidenceGraph({}, [frozenset({"a"})])
+
+    def test_degree_sequences(self, paper_hypergraph):
+        bipartite = BipartiteIncidenceGraph.from_hypergraph(paper_hypergraph)
+        node_degrees, edge_degrees = bipartite.degree_sequences()
+        assert sum(node_degrees) == sum(edge_degrees)
+
+
+class TestProperties:
+    def test_hyperwedge_count_matches_paper_example(self, paper_hypergraph):
+        # The paper states Figure 2(b) has exactly four hyperwedges.
+        assert count_hyperwedges(paper_hypergraph) == 4
+
+    def test_distributions(self, paper_hypergraph):
+        assert degree_distribution(paper_hypergraph) == {1: 5, 2: 2, 3: 1}
+        assert size_distribution(paper_hypergraph) == {3: 4}
+
+    def test_size_summaries(self, paper_hypergraph):
+        assert max_hyperedge_size(paper_hypergraph) == 3
+        assert mean_hyperedge_size(paper_hypergraph) == pytest.approx(3.0)
+
+    def test_empty_hypergraph_summaries(self):
+        empty = Hypergraph([])
+        assert max_hyperedge_size(empty) == 0
+        assert mean_hyperedge_size(empty) == 0.0
+        assert density(empty) == 0.0
+        assert mean_node_degree(empty) == 0.0
+        assert giant_component_fraction(empty) == 0.0
+
+    def test_connected_components(self):
+        hypergraph = Hypergraph([[1, 2], [2, 3], [10, 11]])
+        node_components = node_connected_components(hypergraph)
+        assert sorted(len(component) for component in node_components) == [2, 3]
+        edge_components = hyperedge_connected_components(hypergraph)
+        assert sorted(len(component) for component in edge_components) == [1, 2]
+
+    def test_giant_component_fraction(self):
+        hypergraph = Hypergraph([[1, 2], [2, 3], [10, 11]])
+        assert giant_component_fraction(hypergraph) == pytest.approx(3 / 5)
+
+    def test_density_and_mean_degree(self, paper_hypergraph):
+        assert density(paper_hypergraph) == pytest.approx(4 / 8)
+        assert mean_node_degree(paper_hypergraph) == pytest.approx(12 / 8)
+
+    def test_summarize(self, paper_hypergraph):
+        summary = summarize(paper_hypergraph)
+        assert summary.num_nodes == 8
+        assert summary.num_hyperedges == 4
+        assert summary.num_hyperwedges == 4
+        assert summary.as_row()[0] == "figure-2"

@@ -1,0 +1,116 @@
+"""Tests for hypergraph builders and the temporal hypergraph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.hypergraph import (
+    Hypergraph,
+    TemporalHypergraph,
+    deduplicate_hyperedges,
+    filter_by_size,
+    from_hyperedge_list,
+    from_node_memberships,
+    merge_hypergraphs,
+    relabel_nodes_to_integers,
+)
+
+
+class TestBuilders:
+    def test_from_hyperedge_list(self):
+        hypergraph = from_hyperedge_list([[1, 2], [2, 3]], name="demo")
+        assert hypergraph.num_hyperedges == 2
+        assert hypergraph.name == "demo"
+
+    def test_deduplicate(self):
+        hypergraph = Hypergraph([[1, 2], [2, 1], [1, 3]])
+        deduplicated = deduplicate_hyperedges(hypergraph)
+        assert deduplicated.num_hyperedges == 2
+
+    def test_filter_by_size(self):
+        hypergraph = Hypergraph([[1], [1, 2], [1, 2, 3], [1, 2, 3, 4]])
+        filtered = filter_by_size(hypergraph, min_size=2, max_size=3)
+        assert filtered.num_hyperedges == 2
+        assert set(filtered.hyperedge_sizes()) == {2, 3}
+
+    def test_filter_by_size_validates(self):
+        hypergraph = Hypergraph([[1, 2]])
+        with pytest.raises(ValueError):
+            filter_by_size(hypergraph, min_size=0)
+        with pytest.raises(ValueError):
+            filter_by_size(hypergraph, min_size=3, max_size=2)
+
+    def test_relabel_nodes(self):
+        hypergraph = Hypergraph([["a", "b"], ["b", "c"]])
+        relabelled, mapping = relabel_nodes_to_integers(hypergraph)
+        assert set(mapping.values()) == {0, 1, 2}
+        assert relabelled.num_hyperedges == 2
+        assert all(isinstance(node, int) for node in relabelled.nodes())
+
+    def test_from_node_memberships(self):
+        hypergraph = from_node_memberships({"a": [0, 1], "b": [0], "c": [1]})
+        assert hypergraph.num_hyperedges == 2
+        assert hypergraph.hyperedge(0) == frozenset({"a", "b"})
+
+    def test_from_node_memberships_empty(self):
+        assert from_node_memberships({}).num_hyperedges == 0
+
+    def test_merge(self):
+        first = Hypergraph([[1, 2]])
+        second = Hypergraph([[2, 3]])
+        merged = merge_hypergraphs([first, second])
+        assert merged.num_hyperedges == 2
+        assert merged.num_nodes == 3
+
+
+class TestTemporalHypergraph:
+    @pytest.fixture
+    def temporal(self):
+        return TemporalHypergraph(
+            [
+                (2014, [1, 2]),
+                (2014, [2, 3]),
+                (2015, [1, 2, 3]),
+                (2016, [3, 4]),
+                (2016, [1, 2]),
+            ],
+            name="temporal",
+        )
+
+    def test_timestamps(self, temporal):
+        assert temporal.timestamps() == [2014, 2015, 2016]
+        assert temporal.num_hyperedges == 5
+
+    def test_snapshot(self, temporal):
+        snapshot = temporal.snapshot(2014)
+        assert snapshot.num_hyperedges == 2
+
+    def test_window(self, temporal):
+        window = temporal.window(2014, 2015)
+        assert window.num_hyperedges == 3
+
+    def test_window_deduplicates(self, temporal):
+        # {1, 2} appears in 2014 and 2016; the full window keeps one copy.
+        window = temporal.window(2014, 2016)
+        assert window.num_hyperedges == 4
+
+    def test_window_validates_order(self, temporal):
+        with pytest.raises(ValueError):
+            temporal.window(2016, 2014)
+
+    def test_cumulative(self, temporal):
+        assert temporal.cumulative(2015).num_hyperedges == 3
+
+    def test_snapshots_mapping(self, temporal):
+        snapshots = temporal.snapshots()
+        assert set(snapshots) == {2014, 2015, 2016}
+
+    def test_empty_hyperedge_rejected(self):
+        with pytest.raises(DatasetError):
+            TemporalHypergraph([(2014, [])])
+
+    def test_len_iter_repr(self, temporal):
+        assert len(temporal) == 5
+        assert len(list(temporal)) == 5
+        assert "2014" in repr(temporal)

@@ -1,0 +1,99 @@
+"""Tests for hypergraph file I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.hypergraph import Hypergraph, io, relabel_nodes_to_integers
+
+
+@pytest.fixture
+def sample() -> Hypergraph:
+    return Hypergraph([["a", "b", "c"], ["c", "d"], ["a", "d", "e"]], name="sample")
+
+
+class TestPlainFormat:
+    def test_round_trip(self, sample, tmp_path):
+        path = tmp_path / "sample.txt"
+        io.write_plain(sample, path)
+        loaded = io.read_plain(path)
+        assert loaded.num_hyperedges == sample.num_hyperedges
+        assert {frozenset(edge) for edge in loaded.hyperedges()} == {
+            frozenset(str(node) for node in edge) for edge in sample.hyperedges()
+        }
+
+    def test_read_skips_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "with_comments.txt"
+        path.write_text("# header\n\n1 2 3\n2 4\n", encoding="utf-8")
+        loaded = io.read_plain(path, node_type=int)
+        assert loaded.num_hyperedges == 2
+        assert loaded.hyperedge(0) == frozenset({1, 2, 3})
+
+    def test_read_with_bad_node_type_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 notanint\n", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            io.read_plain(path, node_type=int)
+
+    def test_custom_delimiter(self, sample, tmp_path):
+        path = tmp_path / "csv.txt"
+        io.write_plain(sample, path, delimiter=",")
+        loaded = io.read_plain(path, delimiter=",")
+        assert loaded.num_hyperedges == 3
+
+
+class TestJsonFormat:
+    def test_round_trip(self, sample, tmp_path):
+        path = tmp_path / "sample.json"
+        io.write_json(sample, path)
+        loaded = io.read_json(path)
+        assert loaded.name == "sample"
+        assert loaded.num_hyperedges == 3
+
+    def test_missing_key_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"name": "x"}', encoding="utf-8")
+        with pytest.raises(DatasetError):
+            io.read_json(path)
+
+
+class TestBensonFormat:
+    def test_round_trip(self, sample, tmp_path):
+        relabelled, _ = relabel_nodes_to_integers(sample)
+        io.write_benson(relabelled, tmp_path, "demo")
+        loaded = io.read_benson(tmp_path, "demo")
+        assert loaded.num_hyperedges == relabelled.num_hyperedges
+        assert sorted(loaded.hyperedge_sizes()) == sorted(relabelled.hyperedge_sizes())
+
+    def test_temporal_round_trip(self, sample, tmp_path):
+        relabelled, _ = relabel_nodes_to_integers(sample)
+        io.write_benson(relabelled, tmp_path, "demo", timestamps=[2001, 2002, 2002])
+        temporal = io.read_benson_temporal(tmp_path, "demo")
+        assert temporal.timestamps() == [2001, 2002]
+        assert temporal.num_hyperedges == 3
+
+    def test_non_integer_labels_rejected(self, sample, tmp_path):
+        with pytest.raises(DatasetError):
+            io.write_benson(sample, tmp_path, "demo")
+
+    def test_timestamp_length_mismatch_rejected(self, sample, tmp_path):
+        relabelled, _ = relabel_nodes_to_integers(sample)
+        with pytest.raises(DatasetError):
+            io.write_benson(relabelled, tmp_path, "demo", timestamps=[1])
+
+    def test_missing_files_raise(self, tmp_path):
+        with pytest.raises(DatasetError):
+            io.read_benson(tmp_path, "absent")
+
+    def test_inconsistent_counts_raise(self, tmp_path):
+        (tmp_path / "bad-nverts.txt").write_text("3\n", encoding="utf-8")
+        (tmp_path / "bad-simplices.txt").write_text("1\n2\n", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            io.read_benson(tmp_path, "bad")
+
+    def test_temporal_requires_times_file(self, sample, tmp_path):
+        relabelled, _ = relabel_nodes_to_integers(sample)
+        io.write_benson(relabelled, tmp_path, "demo")
+        with pytest.raises(DatasetError):
+            io.read_benson_temporal(tmp_path, "demo")

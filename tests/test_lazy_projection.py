@@ -1,0 +1,101 @@
+"""Tests for the lazy (memory-budgeted, memoized) projection of Section 3.4."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.projection import (
+    POLICY_DEGREE,
+    POLICY_LRU,
+    POLICY_RANDOM,
+    LazyProjection,
+    project,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("policy", [POLICY_DEGREE, POLICY_LRU, POLICY_RANDOM])
+    @pytest.mark.parametrize("budget", [None, 0, 1, 5])
+    def test_neighborhoods_match_full_projection(
+        self, small_random_hypergraph, policy, budget
+    ):
+        full = project(small_random_hypergraph)
+        lazy = LazyProjection(
+            small_random_hypergraph, budget=budget, policy=policy, seed=0
+        )
+        for i in range(small_random_hypergraph.num_hyperedges):
+            assert lazy.neighbors(i) == full.neighbors(i)
+
+    def test_hyperwedge_list_matches_full_projection(self, small_random_hypergraph):
+        full = project(small_random_hypergraph)
+        lazy = LazyProjection(small_random_hypergraph, budget=3)
+        assert sorted(lazy.hyperwedge_list()) == sorted(full.hyperwedge_list())
+
+    def test_overlap_matches(self, paper_hypergraph):
+        lazy = LazyProjection(paper_hypergraph)
+        assert lazy.overlap(0, 1) == 2
+        assert lazy.overlap(1, 3) == 0
+
+
+class TestMemoization:
+    def test_unlimited_budget_computes_each_neighborhood_once(self, paper_hypergraph):
+        lazy = LazyProjection(paper_hypergraph)
+        for _ in range(3):
+            for i in range(paper_hypergraph.num_hyperedges):
+                lazy.neighbors(i)
+        assert lazy.computations == paper_hypergraph.num_hyperedges
+        assert lazy.cache_hits == 2 * paper_hypergraph.num_hyperedges
+
+    def test_zero_budget_recomputes_every_time(self, paper_hypergraph):
+        lazy = LazyProjection(paper_hypergraph, budget=0)
+        for _ in range(2):
+            for i in range(paper_hypergraph.num_hyperedges):
+                lazy.neighbors(i)
+        assert lazy.cache_size == 0
+        assert lazy.computations == 2 * paper_hypergraph.num_hyperedges
+        assert lazy.cache_hits == 0
+
+    def test_budget_bounds_cache_size(self, small_random_hypergraph):
+        budget = 4
+        lazy = LazyProjection(small_random_hypergraph, budget=budget)
+        for i in range(small_random_hypergraph.num_hyperedges):
+            lazy.neighbors(i)
+        assert lazy.cache_size <= budget
+
+    def test_higher_budget_means_fewer_recomputations(self, small_random_hypergraph):
+        def total_computations(budget):
+            lazy = LazyProjection(small_random_hypergraph, budget=budget, seed=1)
+            for _ in range(3):
+                for i in range(small_random_hypergraph.num_hyperedges):
+                    lazy.neighbors(i)
+            return lazy.computations
+
+        assert total_computations(None) <= total_computations(5) <= total_computations(0)
+
+    def test_degree_policy_keeps_high_degree_entries(self, small_random_hypergraph):
+        full = project(small_random_hypergraph)
+        degrees = full.degrees()
+        budget = 3
+        lazy = LazyProjection(small_random_hypergraph, budget=budget, policy=POLICY_DEGREE)
+        for i in range(small_random_hypergraph.num_hyperedges):
+            lazy.neighbors(i)
+        cached_degrees = [len(lazy.neighbors(i)) for i in list(lazy._cache)]
+        # All retained entries should have degree at least the median degree.
+        assert min(cached_degrees) >= sorted(degrees)[len(degrees) // 4]
+
+    def test_prewarm(self, paper_hypergraph):
+        lazy = LazyProjection(paper_hypergraph)
+        lazy.prewarm(range(paper_hypergraph.num_hyperedges))
+        assert lazy.cache_size == paper_hypergraph.num_hyperedges
+
+    def test_invalid_policy_rejected(self, paper_hypergraph):
+        with pytest.raises(ValueError):
+            LazyProjection(paper_hypergraph, policy="mru")
+
+    def test_negative_budget_rejected(self, paper_hypergraph):
+        with pytest.raises(ValueError):
+            LazyProjection(paper_hypergraph, budget=-1)
+
+    def test_repr_mentions_policy(self, paper_hypergraph):
+        lazy = LazyProjection(paper_hypergraph, budget=2, policy=POLICY_LRU)
+        assert "lru" in repr(lazy)

@@ -1,0 +1,163 @@
+"""Tests for the from-scratch classifiers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.ml import (
+    DecisionTreeClassifier,
+    KNeighborsClassifier,
+    LogisticRegression,
+    MLPClassifier,
+    RandomForestClassifier,
+    StandardScaler,
+    default_classifiers,
+)
+from repro.ml.base import validate_features_labels
+from repro.prediction.metrics import accuracy, roc_auc
+
+
+def make_separable_dataset(num_samples=200, num_features=4, seed=0):
+    """A linearly separable dataset with a little noise."""
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(num_samples, num_features))
+    weights = np.arange(1, num_features + 1, dtype=float)
+    logits = features @ weights
+    labels = (logits + rng.normal(scale=0.3, size=num_samples) > 0).astype(int)
+    return features, labels
+
+
+def make_xor_dataset(num_samples=300, seed=0):
+    """A non-linear (XOR-like) dataset that linear models cannot solve well."""
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(-1, 1, size=(num_samples, 2))
+    labels = ((features[:, 0] > 0) ^ (features[:, 1] > 0)).astype(int)
+    features = features + rng.normal(scale=0.05, size=features.shape)
+    return features, labels
+
+
+ALL_CLASSIFIERS = [
+    LogisticRegression,
+    lambda: DecisionTreeClassifier(seed=0),
+    lambda: RandomForestClassifier(num_trees=10, seed=0),
+    KNeighborsClassifier,
+    lambda: MLPClassifier(num_epochs=80, seed=0),
+]
+
+
+class TestBase:
+    def test_validate_rejects_bad_shapes(self):
+        with pytest.raises(ModelError):
+            validate_features_labels(np.zeros(5))
+        with pytest.raises(ModelError):
+            validate_features_labels(np.zeros((5, 2)), np.zeros((5, 2)))
+        with pytest.raises(ModelError):
+            validate_features_labels(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ModelError):
+            validate_features_labels(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+    def test_scaler_standardizes(self):
+        features = np.array([[1.0, 10.0], [3.0, 10.0], [5.0, 10.0]])
+        scaler = StandardScaler()
+        transformed = scaler.fit_transform(features)
+        assert np.allclose(transformed.mean(axis=0), 0.0)
+        # Constant column stays finite.
+        assert np.all(np.isfinite(transformed))
+
+    def test_scaler_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_scaler_feature_count_mismatch(self):
+        scaler = StandardScaler().fit(np.zeros((3, 2)))
+        with pytest.raises(ModelError):
+            scaler.transform(np.zeros((3, 3)))
+
+
+class TestClassifiersOnSeparableData:
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_beats_chance_on_linear_data(self, factory):
+        features, labels = make_separable_dataset(seed=1)
+        split = 150
+        model = factory()
+        model.fit(features[:split], labels[:split])
+        predictions = model.predict(features[split:])
+        scores = model.predict_proba(features[split:])
+        assert accuracy(labels[split:], predictions) > 0.8
+        assert roc_auc(labels[split:], scores) > 0.85
+
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_predict_before_fit_raises(self, factory):
+        model = factory()
+        with pytest.raises(NotFittedError):
+            model.predict(np.zeros((2, 4)))
+
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_probabilities_in_unit_interval(self, factory):
+        features, labels = make_separable_dataset(num_samples=120, seed=2)
+        model = factory()
+        model.fit(features, labels)
+        probabilities = model.predict_proba(features)
+        assert np.all(probabilities >= 0.0) and np.all(probabilities <= 1.0)
+
+
+class TestNonLinearModels:
+    def test_tree_models_solve_xor_better_than_logistic(self):
+        features, labels = make_xor_dataset(seed=3)
+        split = 200
+        logistic = LogisticRegression()
+        forest = RandomForestClassifier(num_trees=20, max_depth=6, seed=0)
+        logistic.fit(features[:split], labels[:split])
+        forest.fit(features[:split], labels[:split])
+        logistic_auc = roc_auc(labels[split:], logistic.predict_proba(features[split:]))
+        forest_auc = roc_auc(labels[split:], forest.predict_proba(features[split:]))
+        assert forest_auc > logistic_auc
+        assert forest_auc > 0.8
+
+    def test_mlp_solves_xor(self):
+        features, labels = make_xor_dataset(seed=4)
+        split = 200
+        mlp = MLPClassifier(hidden_units=24, num_epochs=300, learning_rate=0.1, seed=0)
+        mlp.fit(features[:split], labels[:split])
+        assert roc_auc(labels[split:], mlp.predict_proba(features[split:])) > 0.8
+
+
+class TestConstructorValidation:
+    def test_logistic_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(l2_penalty=-1)
+
+    def test_tree_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+
+    def test_forest_rejects_bad_tree_count(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(num_trees=0)
+
+    def test_knn_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(num_neighbors=0)
+
+    def test_mlp_rejects_bad_learning_rate(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(learning_rate=-0.1)
+
+    def test_logistic_exposes_coefficients(self):
+        features, labels = make_separable_dataset(num_samples=100)
+        model = LogisticRegression().fit(features, labels)
+        assert model.coefficients.shape == (features.shape[1],)
+
+    def test_default_classifiers_cover_paper_families(self):
+        families = default_classifiers()
+        assert set(families) == {
+            "logistic-regression",
+            "random-forest",
+            "decision-tree",
+            "k-nearest-neighbors",
+            "mlp",
+        }

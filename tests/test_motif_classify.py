@@ -1,0 +1,129 @@
+"""Tests for instance classification (the paper's h({e_i, e_j, e_k}))."""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import pytest
+
+from repro.exceptions import DuplicateHyperedgeError, MotifError, NotConnectedError
+from repro.motifs import (
+    classify_from_cardinalities,
+    classify_instance,
+    motif_is_closed,
+    motif_is_open,
+    pattern_from_cardinalities,
+    region_cardinalities_from_sizes,
+    triple_overlap_size,
+)
+
+
+class TestRegionCardinalities:
+    def test_simple_disjoint_union(self):
+        regions = region_cardinalities_from_sizes(2, 2, 2, 1, 1, 1, 1)
+        # only_i = 2 - 1 - 1 + 1 = 1 for each, pairwise exclusive = 0, triple = 1
+        assert regions == (1, 1, 1, 0, 0, 0, 1)
+
+    def test_inconsistent_inputs_raise(self):
+        with pytest.raises(MotifError):
+            region_cardinalities_from_sizes(1, 1, 1, 5, 0, 0, 0)
+
+    def test_pattern_reflects_emptiness(self):
+        pattern = pattern_from_cardinalities(3, 3, 3, 1, 1, 1, 0)
+        assert pattern == (True, True, True, True, True, True, False)
+
+
+class TestTripleOverlap:
+    def test_counts_common_nodes(self):
+        assert triple_overlap_size({1, 2, 3}, {2, 3, 4}, {3, 2, 9}) == 2
+
+    def test_empty_when_no_common_node(self):
+        assert triple_overlap_size({1, 2}, {2, 3}, {3, 1}) == 0
+
+
+class TestClassifyInstance:
+    def test_paper_figure2_instances_are_distinguished(self, paper_hypergraph):
+        edges = paper_hypergraph.hyperedges()
+        e1, e2, e3, e4 = edges
+        # {e1, e2, e4} and {e1, e3, e4} have identical pairwise relations but
+        # different h-motifs (paper Section 2.2, "Why Non-pairwise Relations?").
+        first = classify_instance(e1, e2, e4)
+        second = classify_instance(e1, e3, e4)
+        assert first != second
+
+    def test_closed_instance_maps_to_closed_motif(self, triangle_hypergraph):
+        e1, e2, e3 = triangle_hypergraph.hyperedges()
+        assert motif_is_closed(classify_instance(e1, e2, e3))
+
+    def test_open_instance_maps_to_open_motif(self, open_chain_hypergraph):
+        e1, e2, e3 = open_chain_hypergraph.hyperedges()
+        assert motif_is_open(classify_instance(e1, e2, e3))
+
+    def test_order_invariance(self, triangle_hypergraph):
+        edges = list(triangle_hypergraph.hyperedges())
+        results = {
+            classify_instance(edges[a], edges[b], edges[c])
+            for a, b, c in permutations(range(3))
+        }
+        assert len(results) == 1
+
+    def test_subset_instance_is_motif_17_or_18(self):
+        # A hyperedge with two disjoint subsets (paper: motifs 17 and 18).
+        outer = {1, 2, 3, 4}
+        left = {1, 2}
+        right = {3, 4}
+        assert classify_instance(outer, left, right) == 17
+        outer_with_extra = {1, 2, 3, 4, 5}
+        assert classify_instance(outer_with_extra, left, right) == 18
+
+    def test_all_regions_nonempty_is_motif_16(self):
+        e1 = {1, 4, 6, 7}
+        e2 = {2, 4, 5, 7}
+        e3 = {3, 5, 6, 7}
+        assert classify_instance(e1, e2, e3) == 16
+
+    def test_disconnected_triple_raises(self):
+        with pytest.raises(NotConnectedError):
+            classify_instance({1, 2}, {3, 4}, {5, 6})
+
+    def test_single_adjacency_is_not_connected(self):
+        with pytest.raises(NotConnectedError):
+            classify_instance({1, 2}, {2, 3}, {7, 8})
+
+    def test_duplicate_hyperedges_raise(self):
+        with pytest.raises(DuplicateHyperedgeError):
+            classify_instance({1, 2}, {1, 2}, {2, 3})
+
+    def test_supplied_overlaps_must_be_consistent(self):
+        with pytest.raises(MotifError):
+            classify_instance({1, 2}, {2, 3}, {3, 1}, overlap_ij=5)
+
+    def test_accepts_precomputed_overlaps(self):
+        e1, e2, e3 = {1, 2, 3}, {2, 3, 4}, {3, 4, 5}
+        direct = classify_instance(e1, e2, e3)
+        with_overlaps = classify_instance(
+            e1, e2, e3, overlap_ij=2, overlap_jk=2, overlap_ki=1
+        )
+        assert direct == with_overlaps
+
+
+class TestClassifyFromCardinalities:
+    def test_matches_set_based_classification(self):
+        e1, e2, e3 = {1, 2, 3, 4}, {3, 4, 5}, {4, 5, 6, 7}
+        expected = classify_instance(e1, e2, e3)
+        actual = classify_from_cardinalities(
+            len(e1),
+            len(e2),
+            len(e3),
+            len(e1 & e2),
+            len(e2 & e3),
+            len(e3 & e1),
+            len(e1 & e2 & e3),
+        )
+        assert actual == expected
+
+    def test_size_independence(self):
+        """Scaling region sizes leaves the motif unchanged (paper: size independent)."""
+        base = classify_from_cardinalities(2, 2, 2, 1, 1, 1, 1)
+        scaled = classify_from_cardinalities(20, 20, 20, 10, 10, 10, 10)
+        assert base == scaled

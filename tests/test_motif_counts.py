@@ -1,0 +1,136 @@
+"""Tests for the MotifCounts container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MotifError
+from repro.motifs import MotifCounts, aggregate_counts
+from repro.motifs.patterns import NUM_MOTIFS, closed_motif_indices, open_motif_indices
+
+
+class TestConstruction:
+    def test_zeros(self):
+        counts = MotifCounts.zeros()
+        assert counts.total() == 0
+        assert all(value == 0 for _, value in counts.items())
+
+    def test_from_dict_and_back(self):
+        counts = MotifCounts.from_dict({1: 5, 22: 7.5})
+        assert counts[1] == 5
+        assert counts[22] == 7.5
+        assert counts.to_dict()[3] == 0
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(MotifError):
+            MotifCounts([1.0, 2.0])
+
+    def test_mean(self):
+        first = MotifCounts.from_dict({1: 2})
+        second = MotifCounts.from_dict({1: 4, 2: 2})
+        mean = MotifCounts.mean([first, second])
+        assert mean[1] == 3
+        assert mean[2] == 1
+
+    def test_mean_of_empty_collection_rejected(self):
+        with pytest.raises(MotifError):
+            MotifCounts.mean([])
+
+
+class TestAccess:
+    def test_index_bounds(self):
+        counts = MotifCounts.zeros()
+        with pytest.raises(MotifError):
+            counts[0]
+        with pytest.raises(MotifError):
+            counts[27] = 1.0
+        with pytest.raises(TypeError):
+            counts["3"]
+
+    def test_increment(self):
+        counts = MotifCounts.zeros()
+        counts.increment(5)
+        counts.increment(5, 2.5)
+        assert counts[5] == 3.5
+
+    def test_iteration_and_len(self):
+        counts = MotifCounts.from_dict({2: 1})
+        assert len(counts) == NUM_MOTIFS
+        assert sum(counts) == 1
+
+
+class TestArithmetic:
+    def test_add_and_subtract(self):
+        first = MotifCounts.from_dict({1: 1, 2: 2})
+        second = MotifCounts.from_dict({2: 3})
+        assert (first + second)[2] == 5
+        assert (first - second)[2] == -1
+
+    def test_scaled(self):
+        counts = MotifCounts.from_dict({4: 3})
+        assert counts.scaled(2.0)[4] == 6
+
+    def test_scaled_per_motif(self):
+        counts = MotifCounts.from_dict({17: 2, 1: 2})
+        scaled = counts.scaled_per_motif({17: 0.5})
+        assert scaled[17] == 1
+        assert scaled[1] == 2
+
+    def test_rounded(self):
+        counts = MotifCounts.from_dict({1: 2.4, 2: 2.6})
+        rounded = counts.rounded()
+        assert rounded[1] == 2
+        assert rounded[2] == 3
+
+    def test_aggregate(self):
+        batches = [MotifCounts.from_dict({1: 1}) for _ in range(4)]
+        assert aggregate_counts(batches)[1] == 4
+
+
+class TestSummaries:
+    def test_fractions_sum_to_one(self):
+        counts = MotifCounts.from_dict({1: 3, 22: 1})
+        fractions = counts.fractions()
+        assert fractions[1] == pytest.approx(0.75)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_fractions_of_empty_counts(self):
+        assert sum(MotifCounts.zeros().fractions().values()) == 0
+
+    def test_open_closed_split(self):
+        counts = MotifCounts.zeros()
+        for index in open_motif_indices():
+            counts[index] = 1
+        for index in closed_motif_indices():
+            counts[index] = 2
+        assert counts.open_total() == 6
+        assert counts.closed_total() == 40
+        assert counts.open_fraction() == pytest.approx(6 / 46)
+
+    def test_open_fraction_of_empty_counts_is_zero(self):
+        assert MotifCounts.zeros().open_fraction() == 0.0
+
+    def test_ranks(self):
+        counts = MotifCounts.from_dict({5: 10, 2: 20, 7: 10})
+        ranks = counts.ranks()
+        assert ranks[2] == 1
+        assert ranks[5] == 2  # ties broken by motif index
+        assert ranks[7] == 3
+
+    def test_relative_error(self):
+        exact = MotifCounts.from_dict({1: 10, 2: 10})
+        estimate = MotifCounts.from_dict({1: 9, 2: 12})
+        assert estimate.relative_error(exact) == pytest.approx(3 / 20)
+
+    def test_relative_error_rejects_zero_reference(self):
+        with pytest.raises(MotifError):
+            MotifCounts.zeros().relative_error(MotifCounts.zeros())
+
+    def test_equality_and_array_copy(self):
+        counts = MotifCounts.from_dict({1: 1})
+        other = MotifCounts.from_dict({1: 1})
+        assert counts == other
+        array = counts.to_array()
+        array[0] = 99
+        assert counts[1] == 1

@@ -1,0 +1,139 @@
+"""Tests for the h-motif pattern table and canonicalization."""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import pytest
+
+from repro.exceptions import MotifError
+from repro.motifs import patterns as pat
+
+
+class TestEnumeration:
+    def test_exactly_26_motifs(self):
+        assert len(pat.all_motif_patterns()) == pat.NUM_MOTIFS == 26
+
+    def test_all_patterns_distinct(self):
+        assert len(set(pat.all_motif_patterns())) == 26
+
+    def test_six_open_and_twenty_closed(self):
+        assert len(pat.open_motif_indices()) == 6
+        assert len(pat.closed_motif_indices()) == 20
+
+    def test_open_motifs_are_17_through_22(self):
+        assert pat.open_motif_indices() == tuple(range(17, 23))
+
+    def test_closed_motifs_are_the_rest(self):
+        expected = tuple(list(range(1, 17)) + list(range(23, 27)))
+        assert pat.closed_motif_indices() == expected
+
+    def test_motif_16_has_all_regions_non_empty(self):
+        assert pat.motif_pattern(16) == tuple([True] * 7)
+
+    def test_motifs_17_and_18_are_subset_patterns(self):
+        # Both consist of a hyperedge containing two disjoint subsets: the
+        # pairwise regions AB and CA are non-empty, BC and ABC are empty.
+        for index in (17, 18):
+            pattern = pat.motif_pattern(index)
+            assert not pat.is_closed(pattern)
+            non_empty = {
+                name for name, filled in zip(pat.REGION_NAMES, pattern) if filled
+            }
+            assert "ABC" not in non_empty
+            # Exactly one pair of hyperedges is disjoint.
+            adjacent = [
+                pat.edges_are_adjacent(pattern, i, j)
+                for i, j in ((0, 1), (1, 2), (0, 2))
+            ]
+            assert sum(adjacent) == 2
+
+    def test_motif_22_is_open_with_five_regions(self):
+        pattern = pat.motif_pattern(22)
+        assert not pat.is_closed(pattern)
+        assert sum(pattern) == 5
+
+    def test_every_pattern_is_valid_and_canonical(self):
+        for pattern in pat.all_motif_patterns():
+            assert pat.is_valid(pattern)
+            assert pat.canonicalize(pattern) == pattern
+
+
+class TestCanonicalization:
+    def test_canonical_form_is_permutation_invariant(self):
+        for pattern in pat.all_motif_patterns():
+            for perm in permutations(range(3)):
+                permuted = pat.permute_pattern(pattern, perm)
+                assert pat.canonicalize(permuted) == pattern
+
+    def test_motif_index_is_permutation_invariant(self):
+        for index in range(1, 27):
+            pattern = pat.motif_pattern(index)
+            for perm in permutations(range(3)):
+                assert pat.motif_index(pat.permute_pattern(pattern, perm)) == index
+
+    def test_permute_pattern_rejects_bad_permutation(self):
+        pattern = pat.motif_pattern(1)
+        with pytest.raises(MotifError):
+            pat.permute_pattern(pattern, (0, 0, 1))
+
+    def test_every_valid_raw_pattern_maps_to_some_motif(self):
+        covered = set()
+        for code in range(128):
+            pattern = pat.pattern_from_int(code)
+            if pat.is_valid(pattern):
+                covered.add(pat.motif_index(pattern))
+        assert covered == set(range(1, 27))
+
+    def test_invalid_pattern_raises(self):
+        all_empty = pat.pattern_from_bits([0] * 7)
+        with pytest.raises(MotifError):
+            pat.motif_index(all_empty)
+
+
+class TestPatternPredicates:
+    def test_duplicate_detection(self):
+        # Only AB and ABC non-empty: e1 and e2 have identical member sets.
+        pattern = pat.pattern_from_bits([0, 0, 1, 1, 0, 0, 1])
+        assert pat.edges_are_duplicated(pattern, 0, 1)
+        assert not pat.is_valid(pattern)
+
+    def test_empty_edge_detection(self):
+        pattern = pat.pattern_from_bits([1, 1, 0, 1, 0, 0, 0])
+        assert pat.edge_is_empty(pattern, 2)
+        assert not pat.is_valid(pattern)
+
+    def test_disconnected_pattern_detection(self):
+        # Three pairwise-disjoint hyperedges.
+        pattern = pat.pattern_from_bits([1, 1, 1, 0, 0, 0, 0])
+        assert not pat.is_connected(pattern)
+        assert not pat.is_valid(pattern)
+
+    def test_open_closed_helpers_agree_with_pattern(self):
+        for index in range(1, 27):
+            assert pat.motif_is_open(index) != pat.motif_is_closed(index)
+            assert pat.motif_is_open(index) == (17 <= index <= 22)
+
+    def test_motif_pattern_rejects_out_of_range(self):
+        with pytest.raises(MotifError):
+            pat.motif_pattern(0)
+        with pytest.raises(MotifError):
+            pat.motif_pattern(27)
+
+
+class TestEncoding:
+    def test_int_round_trip(self):
+        for code in range(128):
+            assert pat.pattern_to_int(pat.pattern_from_int(code)) == code
+
+    def test_pattern_from_bits_requires_length_7(self):
+        with pytest.raises(MotifError):
+            pat.pattern_from_bits([1, 0, 1])
+
+    def test_pattern_from_int_rejects_out_of_range(self):
+        with pytest.raises(MotifError):
+            pat.pattern_from_int(128)
+
+    def test_describe_motif_mentions_open_or_closed(self):
+        assert "open" in pat.describe_motif(17)
+        assert "closed" in pat.describe_motif(16)

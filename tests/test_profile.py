@@ -1,0 +1,169 @@
+"""Tests for significance and characteristic profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.motifs import MotifCounts
+from repro.motifs.patterns import NUM_MOTIFS
+from repro.profile import (
+    characteristic_profile,
+    domain_separation,
+    motif_significance,
+    normalize_significances,
+    profile_correlation,
+    profile_distance,
+    profile_from_counts,
+    relative_count,
+    significance_dict,
+    significance_vector,
+    similarity_matrix,
+)
+
+
+class TestSignificance:
+    def test_equal_counts_give_zero(self):
+        assert motif_significance(10, 10) == 0.0
+
+    def test_sign_follows_over_or_under_representation(self):
+        assert motif_significance(100, 10) > 0
+        assert motif_significance(10, 100) < 0
+
+    def test_bounded_by_one(self):
+        assert -1 < motif_significance(0, 1e12) < 1
+        assert -1 < motif_significance(1e12, 0) < 1
+
+    def test_epsilon_guard(self):
+        assert motif_significance(0, 0) == 0.0
+        with pytest.raises(ValueError):
+            motif_significance(1, 1, epsilon=-1)
+
+    def test_vector_and_dict_agree(self):
+        real = MotifCounts.from_dict({1: 100, 2: 5})
+        random = MotifCounts.from_dict({1: 10, 2: 50})
+        vector = significance_vector(real, random)
+        mapping = significance_dict(real, random)
+        assert vector[0] == pytest.approx(mapping[1])
+        assert mapping[1] > 0 > mapping[2]
+        assert len(vector) == NUM_MOTIFS
+
+    def test_relative_count(self):
+        assert relative_count(3, 1) == pytest.approx(0.5)
+        assert relative_count(0, 0) == 0.0
+        assert relative_count(0, 10) == -1.0
+
+
+class TestNormalization:
+    def test_unit_norm(self):
+        values = np.zeros(NUM_MOTIFS)
+        values[0] = 3.0
+        values[1] = 4.0
+        normalized = normalize_significances(values)
+        assert np.linalg.norm(normalized) == pytest.approx(1.0)
+        assert normalized[0] == pytest.approx(0.6)
+
+    def test_zero_vector_stays_zero(self):
+        assert np.allclose(normalize_significances(np.zeros(NUM_MOTIFS)), 0.0)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_significances(np.zeros(5))
+
+
+class TestProfileFromCounts:
+    def test_profile_values_are_normalized(self):
+        real = MotifCounts.from_dict({1: 100, 5: 40, 22: 7})
+        random = MotifCounts.from_dict({1: 10, 5: 80, 22: 7})
+        profile = profile_from_counts(real, random, name="demo")
+        assert profile.name == "demo"
+        assert np.linalg.norm(profile.values) == pytest.approx(1.0)
+        assert profile.values[0] > 0 > profile.values[4]
+        assert profile.as_dict()[1] == pytest.approx(float(profile.values[0]))
+
+    def test_correlation_of_identical_profiles_is_one(self):
+        real = MotifCounts.from_dict({1: 100, 2: 50, 3: 10})
+        random = MotifCounts.from_dict({1: 10, 2: 50, 3: 100})
+        profile = profile_from_counts(real, random)
+        assert profile.correlation(profile) == pytest.approx(1.0)
+
+
+class TestProfileComparison:
+    def test_correlation_symmetry_and_bounds(self):
+        rng = np.random.default_rng(0)
+        first = rng.normal(size=NUM_MOTIFS)
+        second = rng.normal(size=NUM_MOTIFS)
+        value = profile_correlation(first, second)
+        assert -1.0 <= value <= 1.0
+        assert value == pytest.approx(profile_correlation(second, first))
+
+    def test_constant_profile_gives_zero_correlation(self):
+        assert profile_correlation(np.ones(NUM_MOTIFS), np.arange(NUM_MOTIFS)) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            profile_correlation(np.ones(NUM_MOTIFS), np.ones(5))
+
+    def test_similarity_matrix_properties(self):
+        real = MotifCounts.from_dict({1: 100, 2: 50})
+        random = MotifCounts.from_dict({1: 10, 2: 80})
+        profile_a = profile_from_counts(real, random, name="a")
+        profile_b = profile_from_counts(random, real, name="b")
+        matrix = similarity_matrix([profile_a, profile_b])
+        assert matrix.shape == (2, 2)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert matrix[0, 1] == pytest.approx(matrix[1, 0])
+
+    def test_profile_distance_zero_for_identical(self):
+        real = MotifCounts.from_dict({1: 100})
+        random = MotifCounts.from_dict({1: 10})
+        profile = profile_from_counts(real, random)
+        assert profile_distance(profile, profile) == 0.0
+
+    def test_domain_separation(self):
+        base = np.zeros(NUM_MOTIFS)
+        base[0] = 1.0
+        other = np.zeros(NUM_MOTIFS)
+        other[1] = 1.0
+        make = lambda values, name: profile_from_counts(  # noqa: E731
+            MotifCounts.zeros(), MotifCounts.zeros(), name=name
+        ).__class__(
+            name=name,
+            values=values,
+            significances=values,
+            real_counts=MotifCounts.zeros(),
+            random_counts=MotifCounts.zeros(),
+        )
+        profiles = [
+            make(base + np.random.default_rng(1).normal(0, 0.01, NUM_MOTIFS), "a1"),
+            make(base + np.random.default_rng(2).normal(0, 0.01, NUM_MOTIFS), "a2"),
+            make(other + np.random.default_rng(3).normal(0, 0.01, NUM_MOTIFS), "b1"),
+            make(other + np.random.default_rng(4).normal(0, 0.01, NUM_MOTIFS), "b2"),
+        ]
+        separation = domain_separation(profiles, ["A", "A", "B", "B"])
+        assert separation.within_mean > separation.across_mean
+        assert separation.gap > 0
+
+    def test_domain_separation_length_mismatch(self):
+        with pytest.raises(ValueError):
+            domain_separation([], ["A"])
+
+
+class TestEndToEndProfile:
+    def test_characteristic_profile_pipeline(self, medium_random_hypergraph):
+        profile = characteristic_profile(
+            medium_random_hypergraph, num_random=2, seed=0
+        )
+        assert profile.name == medium_random_hypergraph.name
+        assert len(profile.values) == NUM_MOTIFS
+        norm = np.linalg.norm(profile.values)
+        assert norm == pytest.approx(1.0) or norm == 0.0
+
+    def test_profile_accepts_precomputed_real_counts(self, small_random_hypergraph):
+        from repro.counting import count_exact
+
+        real = count_exact(small_random_hypergraph)
+        profile = characteristic_profile(
+            small_random_hypergraph, num_random=2, seed=0, real_counts=real
+        )
+        assert profile.real_counts.to_dict() == real.to_dict()

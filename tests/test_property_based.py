@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.counting import count_approx_wedge_sampling, count_exact
+from repro.exceptions import ReproError
+from repro.hypergraph import Hypergraph, count_hyperwedges
+from repro.motifs import MotifCounts, classify_instance
+from repro.motifs import patterns as pat
+from repro.prediction.metrics import roc_auc
+from repro.projection import project
+from tests.conftest import brute_force_counts
+
+# ----------------------------------------------------------------- strategies
+node_strategy = st.integers(min_value=0, max_value=14)
+hyperedge_strategy = st.frozensets(node_strategy, min_size=1, max_size=6)
+
+
+@st.composite
+def hypergraphs(draw, min_edges=0, max_edges=12):
+    """Random hypergraphs with distinct, non-empty hyperedges."""
+    edges = draw(
+        st.lists(hyperedge_strategy, min_size=min_edges, max_size=max_edges, unique=True)
+    )
+    return Hypergraph(edges)
+
+
+@st.composite
+def connected_triples(draw):
+    """Three distinct hyperedges guaranteed to be connected through the first."""
+    center = draw(st.frozensets(node_strategy, min_size=2, max_size=6))
+    first_anchor = draw(st.sampled_from(sorted(center)))
+    second_anchor = draw(st.sampled_from(sorted(center)))
+    left = draw(hyperedge_strategy) | {first_anchor}
+    right = draw(hyperedge_strategy) | {second_anchor}
+    if left == center or right == center or left == right:
+        # Force distinctness by adding out-of-range sentinels.
+        left = left | {100}
+        right = right | {200}
+    return center, left, right
+
+
+# ------------------------------------------------------------------- patterns
+class TestPatternProperties:
+    @given(st.integers(min_value=0, max_value=127))
+    def test_canonicalization_is_idempotent(self, code):
+        pattern = pat.pattern_from_int(code)
+        canonical = pat.canonicalize(pattern)
+        assert pat.canonicalize(canonical) == canonical
+
+    @given(st.integers(min_value=0, max_value=127), st.permutations(range(3)))
+    def test_validity_is_permutation_invariant(self, code, perm):
+        pattern = pat.pattern_from_int(code)
+        assert pat.is_valid(pattern) == pat.is_valid(pat.permute_pattern(pattern, perm))
+
+    @given(st.integers(min_value=0, max_value=127), st.permutations(range(3)))
+    def test_motif_index_is_permutation_invariant(self, code, perm):
+        pattern = pat.pattern_from_int(code)
+        if not pat.is_valid(pattern):
+            return
+        assert pat.motif_index(pattern) == pat.motif_index(
+            pat.permute_pattern(pattern, perm)
+        )
+
+
+# -------------------------------------------------------------- classification
+class TestClassificationProperties:
+    @given(connected_triples())
+    @settings(max_examples=150)
+    def test_classification_uniqueness_over_orderings(self, triple):
+        """Exhaustive + unique: every connected triple maps to exactly one motif."""
+        results = set()
+        for ordering in permutations(triple):
+            try:
+                results.add(classify_instance(*ordering))
+            except ReproError:
+                results.add(None)
+        assert len(results) == 1
+
+    @given(connected_triples(), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=80)
+    def test_size_independence_under_node_cloning(self, triple, factor):
+        """Replacing every node by `factor` clones leaves the motif unchanged."""
+        center, left, right = triple
+        try:
+            expected = classify_instance(center, left, right)
+        except ReproError:
+            return
+
+        def clone(edge):
+            return frozenset((node, copy) for node in edge for copy in range(factor))
+
+        assert classify_instance(clone(center), clone(left), clone(right)) == expected
+
+
+# ------------------------------------------------------------------- counting
+class TestCountingProperties:
+    @given(hypergraphs(max_edges=10))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_counts_match_brute_force(self, hypergraph):
+        assert count_exact(hypergraph).to_dict() == brute_force_counts(hypergraph).to_dict()
+
+    @given(hypergraphs(min_edges=3, max_edges=10))
+    @settings(max_examples=40, deadline=None)
+    def test_full_wedge_sampling_equals_exact(self, hypergraph):
+        projection = project(hypergraph)
+        wedges = projection.hyperwedge_list()
+        if not wedges:
+            return
+        exact = count_exact(hypergraph, projection)
+        estimate = count_approx_wedge_sampling(
+            hypergraph,
+            num_samples=len(wedges),
+            projection=projection,
+            hyperwedges=wedges,
+            sampled_wedges=wedges,
+        )
+        assert estimate.to_dict() == pytest.approx(exact.to_dict())
+
+    @given(hypergraphs(max_edges=10))
+    @settings(max_examples=40, deadline=None)
+    def test_hyperwedge_count_matches_projection(self, hypergraph):
+        assert count_hyperwedges(hypergraph) == project(hypergraph).num_hyperwedges
+
+    @given(hypergraphs(max_edges=10))
+    @settings(max_examples=40, deadline=None)
+    def test_projection_is_symmetric_and_positive(self, hypergraph):
+        projection = project(hypergraph)
+        for i, j in projection.hyperwedges():
+            assert projection.overlap(i, j) == projection.overlap(j, i) > 0
+
+
+# ------------------------------------------------------------------ containers
+class TestContainerProperties:
+    @given(st.dictionaries(st.integers(1, 26), st.floats(0, 1e6), max_size=26))
+    def test_counts_round_trip_through_dict(self, mapping):
+        counts = MotifCounts.from_dict(mapping)
+        assert counts == MotifCounts.from_dict(counts.to_dict())
+
+    @given(
+        st.dictionaries(st.integers(1, 26), st.integers(0, 1000), max_size=26),
+        st.dictionaries(st.integers(1, 26), st.integers(0, 1000), max_size=26),
+    )
+    def test_addition_is_commutative(self, first_map, second_map):
+        first = MotifCounts.from_dict(first_map)
+        second = MotifCounts.from_dict(second_map)
+        assert first + second == second + first
+
+    @given(st.dictionaries(st.integers(1, 26), st.integers(0, 1000), min_size=1, max_size=26))
+    def test_fractions_sum_to_one_when_nonzero(self, mapping):
+        counts = MotifCounts.from_dict(mapping)
+        total = counts.total()
+        if total == 0:
+            return
+        assert sum(counts.fractions().values()) == pytest.approx(1.0)
+
+
+# --------------------------------------------------------------------- metrics
+class TestMetricProperties:
+    @given(
+        st.lists(st.tuples(st.integers(0, 1), st.floats(0, 1)), min_size=4, max_size=60)
+    )
+    def test_auc_is_symmetric_under_score_inversion(self, pairs):
+        labels = [label for label, _ in pairs]
+        scores = [score for _, score in pairs]
+        if len(set(labels)) < 2:
+            return
+        direct = roc_auc(labels, scores)
+        inverted = roc_auc(labels, [-score for score in scores])
+        assert direct + inverted == pytest.approx(1.0)

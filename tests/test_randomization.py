@@ -1,0 +1,122 @@
+"""Tests for the Chung–Lu null model and the randomization driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RandomizationError
+from repro.hypergraph import Hypergraph
+from repro.randomization import (
+    NULL_MODEL_CHUNG_LU,
+    NULL_MODEL_SLOT_FILL,
+    NULL_MODELS,
+    chung_lu_bipartite,
+    chung_lu_hypergraph,
+    get_randomizer,
+    random_motif_counts,
+    randomize,
+    weighted_slot_fill,
+)
+from repro.utils.rng import ensure_rng
+
+
+class TestChungLuBipartite:
+    def test_preserves_expected_degrees_roughly(self):
+        rng = ensure_rng(0)
+        node_degrees = np.array([10.0, 8.0, 6.0, 4.0, 2.0, 2.0, 2.0, 1.0, 1.0])
+        edge_sizes = np.array([4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0])
+        totals = np.zeros(len(node_degrees))
+        trials = 200
+        for _ in range(trials):
+            memberships = chung_lu_bipartite(node_degrees, edge_sizes, rng)
+            for members in memberships:
+                for node in members:
+                    totals[node] += 1
+        observed = totals / trials
+        # Higher-weight nodes should receive systematically more incidences.
+        assert observed[0] > observed[-1]
+        assert np.corrcoef(observed, node_degrees)[0, 1] > 0.9
+
+    def test_rejects_negative_degrees(self):
+        with pytest.raises(RandomizationError):
+            chung_lu_bipartite([-1.0, 2.0], [1.0], ensure_rng(0))
+
+    def test_rejects_zero_totals(self):
+        with pytest.raises(RandomizationError):
+            chung_lu_bipartite([0.0, 0.0], [1.0], ensure_rng(0))
+
+    def test_zero_size_edges_get_no_members(self):
+        memberships = chung_lu_bipartite([2.0, 2.0], [0.0, 2.0], ensure_rng(0))
+        assert memberships[0] == []
+
+
+class TestHypergraphRandomization:
+    def test_chung_lu_preserves_scale(self, medium_random_hypergraph):
+        randomized = chung_lu_hypergraph(medium_random_hypergraph, seed=0)
+        assert randomized.num_hyperedges > 0
+        # Total incidences should be roughly preserved (within a factor of 2).
+        original = sum(medium_random_hypergraph.hyperedge_sizes())
+        generated = sum(randomized.hyperedge_sizes())
+        assert 0.5 * original < generated < 2.0 * original
+
+    def test_chung_lu_uses_original_node_labels(self, paper_hypergraph):
+        randomized = chung_lu_hypergraph(paper_hypergraph, seed=1)
+        assert set(randomized.nodes()) <= set(paper_hypergraph.nodes())
+
+    def test_slot_fill_preserves_sizes_exactly_modulo_duplicates(
+        self, medium_random_hypergraph
+    ):
+        randomized = weighted_slot_fill(medium_random_hypergraph, seed=0)
+        original_sizes = sorted(medium_random_hypergraph.hyperedge_sizes())
+        generated_sizes = sorted(randomized.hyperedge_sizes())
+        # Duplicate randomized hyperedges are dropped, so allow a small deficit.
+        assert len(generated_sizes) >= 0.8 * len(original_sizes)
+        assert set(generated_sizes) <= set(original_sizes)
+
+    def test_empty_hypergraph_rejected(self):
+        with pytest.raises(RandomizationError):
+            chung_lu_hypergraph(Hypergraph([]))
+        with pytest.raises(RandomizationError):
+            weighted_slot_fill(Hypergraph([]))
+
+    def test_seed_reproducibility(self, small_random_hypergraph):
+        first = chung_lu_hypergraph(small_random_hypergraph, seed=9)
+        second = chung_lu_hypergraph(small_random_hypergraph, seed=9)
+        assert first == second
+
+
+class TestRandomizationDriver:
+    def test_randomize_produces_requested_count(self, small_random_hypergraph):
+        samples = randomize(small_random_hypergraph, num_samples=3, seed=0)
+        assert len(samples) == 3
+        assert len({sample.name for sample in samples}) == 3
+
+    def test_randomize_with_slot_fill(self, small_random_hypergraph):
+        samples = randomize(
+            small_random_hypergraph, num_samples=2, null_model=NULL_MODEL_SLOT_FILL, seed=0
+        )
+        assert len(samples) == 2
+
+    def test_unknown_null_model_rejected(self):
+        with pytest.raises(RandomizationError):
+            get_randomizer("shuffle")
+
+    def test_known_null_models_registered(self):
+        for name in NULL_MODELS:
+            assert callable(get_randomizer(name))
+
+    def test_random_motif_counts(self, small_random_hypergraph):
+        result = random_motif_counts(
+            small_random_hypergraph, num_random=3, seed=0, null_model=NULL_MODEL_CHUNG_LU
+        )
+        assert len(result.per_sample_counts) == 3
+        assert result.mean_counts.total() >= 0
+        assert result.null_model == NULL_MODEL_CHUNG_LU
+
+    def test_random_counts_differ_from_real(self, medium_random_hypergraph):
+        from repro.counting import count_exact
+
+        real = count_exact(medium_random_hypergraph)
+        null = random_motif_counts(medium_random_hypergraph, num_random=2, seed=1)
+        assert null.mean_counts.to_dict() != real.to_dict()

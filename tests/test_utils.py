@@ -1,0 +1,132 @@
+"""Tests for the shared utilities (rng, timer, logging, validation)."""
+
+from __future__ import annotations
+
+import logging
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    Timer,
+    ensure_rng,
+    get_logger,
+    require_in_range,
+    require_non_negative_int,
+    require_positive_int,
+    require_probability,
+    spawn_rngs,
+)
+from repro.utils.logging import enable_console_logging
+from repro.utils.rng import sample_indices_with_replacement, weighted_choice
+from repro.utils.timer import StageTimings
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(3).integers(0, 100) == ensure_rng(3).integers(0, 100)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_invalid_seed_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_rngs_independent_and_reproducible(self):
+        first = [rng.integers(0, 1000) for rng in spawn_rngs(7, 3)]
+        second = [rng.integers(0, 1000) for rng in spawn_rngs(7, 3)]
+        assert first == second
+        assert len(set(first)) > 1 or len(first) == 1
+
+    def test_spawn_rngs_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_sample_indices(self):
+        indices = sample_indices_with_replacement(ensure_rng(0), 10, 100)
+        assert indices.min() >= 0 and indices.max() < 10
+        with pytest.raises(ValueError):
+            sample_indices_with_replacement(ensure_rng(0), 0, 5)
+
+    def test_weighted_choice(self):
+        rng = ensure_rng(0)
+        picks = [weighted_choice(rng, np.array([0.0, 1.0])) for _ in range(20)]
+        assert set(picks) == {1}
+        array = weighted_choice(rng, np.array([1.0, 1.0]), size=10)
+        assert len(array) == 10
+        with pytest.raises(ValueError):
+            weighted_choice(rng, np.array([]))
+        with pytest.raises(ValueError):
+            weighted_choice(rng, np.array([-1.0, 2.0]))
+        with pytest.raises(ValueError):
+            weighted_choice(rng, np.array([0.0, 0.0]))
+
+
+class TestTimer:
+    def test_elapsed_is_positive(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+
+    def test_elapsed_before_use_is_zero(self):
+        assert Timer().elapsed == 0.0
+
+    def test_stage_timings(self):
+        timings = StageTimings()
+        timings.record("projection", 1.0)
+        timings.record("projection", 2.0)
+        timings.record("counting", 4.0)
+        assert timings.total("projection") == 3.0
+        assert timings.mean("projection") == 1.5
+        assert timings.total("missing") == 0.0
+        assert timings.mean("missing") == 0.0
+        assert timings.stages() == ["counting", "projection"]
+        with pytest.raises(ValueError):
+            timings.record("bad", -1.0)
+
+
+class TestLogging:
+    def test_get_logger_namespaced(self):
+        assert get_logger("repro.counting").name == "repro.counting"
+        assert get_logger("custom").name == "repro.custom"
+
+    def test_enable_console_logging(self):
+        handler = enable_console_logging(logging.DEBUG)
+        try:
+            assert handler in logging.getLogger("repro").handlers
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+
+
+class TestValidation:
+    def test_positive_int(self):
+        assert require_positive_int(3, "x") == 3
+        with pytest.raises(ValueError):
+            require_positive_int(0, "x")
+        with pytest.raises(TypeError):
+            require_positive_int(1.5, "x")
+        with pytest.raises(TypeError):
+            require_positive_int(True, "x")
+
+    def test_non_negative_int(self):
+        assert require_non_negative_int(0, "x") == 0
+        with pytest.raises(ValueError):
+            require_non_negative_int(-1, "x")
+
+    def test_probability(self):
+        assert require_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            require_probability(1.5, "p")
+        with pytest.raises(TypeError):
+            require_probability("0.5", "p")
+
+    def test_in_range(self):
+        assert require_in_range(2, "x", 0, 5) == 2.0
+        with pytest.raises(ValueError):
+            require_in_range(9, "x", 0, 5)
