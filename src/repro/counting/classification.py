@@ -20,7 +20,10 @@ class NeighborhoodProvider(Protocol):
     """The projection interface the counters rely on.
 
     Both :class:`repro.projection.ProjectedGraph` and
-    :class:`repro.projection.LazyProjection` satisfy it.
+    :class:`repro.projection.LazyProjection` satisfy it. Providers that can
+    additionally expose CSR adjacency arrays (via an ``adjacency_arrays()``
+    method) are routed through the batched fast-core kernels; see
+    :func:`fast_adjacency`.
     """
 
     def neighbors(self, i: int) -> dict:  # pragma: no cover - protocol
@@ -28,6 +31,18 @@ class NeighborhoodProvider(Protocol):
 
     def overlap(self, i: int, j: int) -> int:  # pragma: no cover - protocol
         ...
+
+
+def fast_adjacency(projection: NeighborhoodProvider):
+    """The provider's CSR adjacency arrays, or ``None`` if it has none.
+
+    This is the single dispatch seam between the per-triple fallback loops
+    and the batched fast-core kernels: any provider exposing
+    ``adjacency_arrays()`` (today :class:`repro.projection.ProjectedGraph`)
+    takes the fast path in every counter at once.
+    """
+    getter = getattr(projection, "adjacency_arrays", None)
+    return getter() if getter is not None else None
 
 
 def classify_triple(

@@ -7,6 +7,11 @@ visited exactly once (by iterating over ``e_j ∈ N(e_i)`` and
 corresponding counter is incremented. Since each instance contains three
 hyperedges, it is counted ``3s/|E|`` times in expectation, so multiplying by
 ``|E| / (3s)`` yields an unbiased estimate (Theorem 2).
+
+With an array-backed :class:`~repro.projection.ProjectedGraph` the per-sample
+visit runs through the batched fast-core kernel
+(:func:`repro.fastcore.count_containing_batched`); other neighborhood
+providers (e.g. a budgeted lazy projection) use the per-triple fallback.
 """
 
 from __future__ import annotations
@@ -14,8 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.counting.classification import NeighborhoodProvider, classify_triple
+from repro.counting.classification import (
+    NeighborhoodProvider,
+    classify_triple,
+    fast_adjacency,
+)
 from repro.exceptions import SamplingError
+from repro.fastcore.kernels import count_containing_batched
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.motifs.counts import MotifCounts
 from repro.projection.builder import project
@@ -82,9 +92,7 @@ def run_edge_sampling(
             f"sampled_indices has length {len(sampled_indices)} but num_samples is {num_samples}"
         )
 
-    raw = MotifCounts.zeros()
-    for i in sampled_indices:
-        _accumulate_instances_containing(hypergraph, projection, int(i), raw)
+    raw = accumulate_containing(hypergraph, projection, sampled_indices)
     raw_total = raw.total()
     # Rescale: each instance is counted 3s/|E| times in expectation.
     estimates = raw.scaled(num_hyperedges / (3.0 * num_samples))
@@ -93,13 +101,37 @@ def run_edge_sampling(
     )
 
 
+def accumulate_containing(
+    hypergraph: Hypergraph,
+    projection: NeighborhoodProvider,
+    anchors: Sequence[int],
+) -> MotifCounts:
+    """Raw counts over all instances containing each anchor hyperedge.
+
+    Each instance containing an anchor is visited exactly once per occurrence
+    of that anchor in *anchors* (duplicates are intentional: sampling is with
+    replacement).
+    """
+    adjacency = fast_adjacency(projection)
+    if adjacency is not None:
+        return MotifCounts(
+            count_containing_batched(
+                hypergraph.csr(), adjacency, [int(anchor) for anchor in anchors]
+            )
+        )
+    counts = MotifCounts.zeros()
+    for anchor in anchors:
+        _accumulate_instances_containing(hypergraph, projection, int(anchor), counts)
+    return counts
+
+
 def _accumulate_instances_containing(
     hypergraph: Hypergraph,
     projection: NeighborhoodProvider,
     i: int,
     counts: MotifCounts,
 ) -> None:
-    """Visit every h-motif instance containing ``e_i`` once, incrementing counts."""
+    """Per-triple fallback: visit every instance containing ``e_i`` once."""
     neighbors_i = projection.neighbors(i)
     neighbor_set = set(neighbors_i)
     for j in neighbors_i:

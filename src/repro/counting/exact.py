@@ -6,6 +6,15 @@ instance. An open instance (``e_j ∩ e_k = ∅``) is seen only from its center
 ``e_i``; a closed instance is seen from each of its three hyperedges, so it is
 counted only when ``i < min(j, k)``. This guarantees every instance is counted
 exactly once. Complexity is ``O(Σ_i |N_{e_i}|² · |e_i|)`` (Theorem 1).
+
+``count_exact`` routes through the batched fast-core kernel
+(:func:`repro.fastcore.count_exact_batched`) whenever the projection is the
+array-backed :class:`~repro.projection.ProjectedGraph`; with any other
+:class:`NeighborhoodProvider` (e.g. a budgeted
+:class:`~repro.projection.LazyProjection`) it falls back to the per-triple
+enumeration, which is also kept as the instance-level API
+(``enumerate_instances``). Both paths visit identical triples and produce
+bit-identical counts.
 """
 
 from __future__ import annotations
@@ -13,7 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Tuple
 
-from repro.counting.classification import NeighborhoodProvider, classify_triple
+from repro.counting.classification import (
+    NeighborhoodProvider,
+    classify_triple,
+    fast_adjacency,
+)
+from repro.fastcore.kernels import count_exact_batched
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.motifs.counts import MotifCounts
 from repro.projection.builder import project
@@ -46,6 +60,13 @@ def count_exact(
         each instance is attributed to a single "responsible" hyperedge
         (its center for open instances, its minimum index for closed ones).
     """
+    if projection is None:
+        projection = project(hypergraph)
+    adjacency = fast_adjacency(projection)
+    if adjacency is not None:
+        return MotifCounts(
+            count_exact_batched(hypergraph.csr(), adjacency, hyperedge_indices)
+        )
     counts = MotifCounts.zeros()
     for instance in enumerate_instances(hypergraph, projection, hyperedge_indices):
         counts.increment(instance.motif)
@@ -59,8 +80,8 @@ def enumerate_instances(
 ) -> Iterator[MotifInstance]:
     """Enumerate every h-motif instance exactly once (MoCHy-E-ENUM).
 
-    Yields :class:`MotifInstance` objects; the counting algorithm is this
-    enumeration plus a counter, exactly as in the paper.
+    Yields :class:`MotifInstance` objects; this is the per-triple reference
+    path — use :func:`count_exact` when only the counts are needed.
     """
     if projection is None:
         projection = project(hypergraph)
@@ -86,24 +107,11 @@ def count_instances_containing(
     This is the per-hyperedge feature used by the hyperedge-prediction
     application (paper Section 4.4, feature set HM26): entry ``t`` is the
     number of h-motif ``t`` instances containing ``e_{hyperedge_index}``.
+    Each instance containing the hyperedge is visited exactly once, as in
+    MoCHy-A for a single sample (without rescaling).
     """
+    from repro.counting.edge_sampling import accumulate_containing
+
     if projection is None:
         projection = project(hypergraph)
-    counts = MotifCounts.zeros()
-    i = hyperedge_index
-    neighbors_i = sorted(projection.neighbors(i))
-    neighbor_set = set(neighbors_i)
-    # Instances where e_i is the center or an endpoint: every instance that
-    # contains e_i has its two other hyperedges drawn from N(e_i) or from the
-    # neighborhood of a neighbor. Enumerate as in MoCHy-A for a single sample
-    # (without rescaling), which visits each instance containing e_i exactly once.
-    for j in neighbors_i:
-        neighbors_j = projection.neighbors(j)
-        candidates = neighbor_set.union(neighbors_j)
-        candidates.discard(i)
-        candidates.discard(j)
-        for k in candidates:
-            if k not in neighbor_set or j < k:
-                motif = classify_triple(hypergraph, projection, i, j, k)
-                counts.increment(motif)
-    return counts
+    return accumulate_containing(hypergraph, projection, (int(hyperedge_index),))

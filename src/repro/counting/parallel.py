@@ -6,9 +6,12 @@ summing the per-thread counters once at the end. The same structure is used
 here with ``concurrent.futures``:
 
 * ``ProcessPoolExecutor`` (the default) gives real speedups for CPU-bound
-  pure-Python counting, at the cost of pickling the hypergraph to each worker;
+  counting. Workers receive only the CSR arrays of the hypergraph and of the
+  (built-once) projection — plain NumPy buffers — never a pickled frozenset
+  graph, and run the batched fast-core kernels directly;
 * ``ThreadPoolExecutor`` mirrors the paper's shared-memory threading and is
-  useful when the GIL is released (or simply to validate the decomposition).
+  useful when the GIL is released (or simply to validate the decomposition);
+  threads share the parent's structures with no copying at all.
 
 Correctness does not depend on the executor: the work decomposition assigns
 each h-motif instance to exactly one worker (MoCHy-E) or preserves the i.i.d.
@@ -20,14 +23,21 @@ from __future__ import annotations
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
+from repro.fastcore.csr import HypergraphCSR
+from repro.fastcore.kernels import (
+    count_containing_batched,
+    count_exact_batched,
+    count_wedges_batched,
+)
+from repro.fastcore.projection import AdjacencyArrays
+from repro.counting.classification import NeighborhoodProvider, fast_adjacency
 from repro.counting.edge_sampling import count_approx_edge_sampling
 from repro.counting.exact import count_exact
-from repro.counting.wedge_sampling import count_approx_wedge_sampling
+from repro.counting.wedge_sampling import _rescale, count_approx_wedge_sampling
 from repro.exceptions import SamplingError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.motifs.counts import MotifCounts, aggregate_counts
 from repro.projection.builder import project
-from repro.projection.projected_graph import ProjectedGraph
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_positive_int
 
@@ -37,12 +47,16 @@ BACKEND_THREAD = "thread"
 _BACKENDS = (BACKEND_PROCESS, BACKEND_THREAD)
 
 
+def _check_backend(backend: str) -> None:
+    if backend not in _BACKENDS:
+        raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+
+
 def _make_executor(backend: str, num_workers: int) -> Executor:
+    _check_backend(backend)
     if backend == BACKEND_PROCESS:
         return ProcessPoolExecutor(max_workers=num_workers)
-    if backend == BACKEND_THREAD:
-        return ThreadPoolExecutor(max_workers=num_workers)
-    raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+    return ThreadPoolExecutor(max_workers=num_workers)
 
 
 def _split_evenly(items: Sequence, parts: int) -> List[Sequence]:
@@ -59,64 +73,100 @@ def _split_evenly(items: Sequence, parts: int) -> List[Sequence]:
     return chunks
 
 
+def _worker_adjacency(
+    hypergraph: Hypergraph, projection: Optional[NeighborhoodProvider]
+) -> AdjacencyArrays:
+    """CSR adjacency arrays to ship to the workers.
+
+    A provider without arrays (e.g. a budgeted LazyProjection) cannot be
+    split across workers, so a full projection is built instead — matching
+    the pre-fastcore process backend, whose workers always re-projected the
+    whole hypergraph. Results are identical either way.
+    """
+    if projection is not None:
+        arrays = fast_adjacency(projection)
+        if arrays is not None:
+            return arrays
+    return project(hypergraph).adjacency_arrays()
+
+
+def _fan_out(
+    backend: str,
+    num_workers: int,
+    worker,
+    csr: HypergraphCSR,
+    adjacency: AdjacencyArrays,
+    chunks: Sequence[Sequence],
+) -> List[MotifCounts]:
+    """Run ``worker(csr, adjacency, chunk)`` for every chunk on the backend.
+
+    Both arguments are plain-array containers, so the process backend ships
+    NumPy buffers only; the thread backend shares them directly.
+    """
+    with _make_executor(backend, num_workers) as executor:
+        futures = [
+            executor.submit(worker, csr, adjacency, chunk) for chunk in chunks
+        ]
+        return [future.result() for future in futures]
+
+
 # ------------------------------------------------------------------- MoCHy-E
 def _exact_worker(
-    hypergraph: Hypergraph, indices: Sequence[int]
+    csr: HypergraphCSR, adjacency: AdjacencyArrays, indices: Sequence[int]
 ) -> MotifCounts:
-    projection = project(hypergraph)
-    return count_exact(hypergraph, projection, hyperedge_indices=indices)
+    return MotifCounts(count_exact_batched(csr, adjacency, indices))
 
 
 def count_exact_parallel(
     hypergraph: Hypergraph,
     num_workers: int = 2,
-    projection: Optional[ProjectedGraph] = None,
+    projection: Optional[NeighborhoodProvider] = None,
     backend: str = BACKEND_PROCESS,
 ) -> MotifCounts:
     """Exact counts using *num_workers* workers.
 
-    Hyperedge indices are split into contiguous chunks; each worker runs
-    MoCHy-E restricted to its chunk, and the per-worker counters are summed.
-    Results are identical to :func:`repro.counting.count_exact`.
+    The projection is built once in the parent; hyperedge indices are split
+    into contiguous chunks and each worker runs the batched MoCHy-E kernel
+    restricted to its chunk over the shipped CSR arrays. The per-worker
+    counters are summed; results are identical to
+    :func:`repro.counting.count_exact`.
     """
     require_positive_int(num_workers, "num_workers")
+    _check_backend(backend)
     if num_workers == 1 or hypergraph.num_hyperedges < 2 * num_workers:
         return count_exact(hypergraph, projection)
-    indices = list(range(hypergraph.num_hyperedges))
-    chunks = _split_evenly(indices, num_workers)
-    if backend == BACKEND_THREAD:
-        # Threads can share one projection; build it once.
-        shared = projection if projection is not None else project(hypergraph)
+    chunks = _split_evenly(list(range(hypergraph.num_hyperedges)), num_workers)
+    if (
+        backend == BACKEND_THREAD
+        and projection is not None
+        and fast_adjacency(projection) is None
+    ):
+        # Threads can share a budgeted provider (e.g. LazyProjection) without
+        # materializing the full projection — preserve its memory bound by
+        # running the provider-agnostic counter per chunk.
         with _make_executor(backend, num_workers) as executor:
             futures = [
-                executor.submit(count_exact, hypergraph, shared, chunk)
+                executor.submit(count_exact, hypergraph, projection, chunk)
                 for chunk in chunks
             ]
-            partials = [future.result() for future in futures]
-    else:
-        with _make_executor(backend, num_workers) as executor:
-            futures = [
-                executor.submit(_exact_worker, hypergraph, chunk) for chunk in chunks
-            ]
-            partials = [future.result() for future in futures]
+            return aggregate_counts(future.result() for future in futures)
+    partials = _fan_out(
+        backend,
+        num_workers,
+        _exact_worker,
+        hypergraph.csr(),
+        _worker_adjacency(hypergraph, projection),
+        chunks,
+    )
     return aggregate_counts(partials)
 
 
 # ------------------------------------------------------------------- MoCHy-A
 def _edge_sampling_worker(
-    hypergraph: Hypergraph, sample: Sequence[int]
+    csr: HypergraphCSR, adjacency: AdjacencyArrays, sample: Sequence[int]
 ) -> MotifCounts:
-    projection = project(hypergraph)
-    # Return raw (unscaled) increments: rescaling happens once at the end.
-    raw = count_approx_edge_sampling(
-        hypergraph,
-        num_samples=len(sample),
-        projection=projection,
-        sampled_indices=list(sample),
-    )
-    # count_approx_edge_sampling rescales by |E| / (3 * len(sample)); undo it so
-    # the final rescale over the full sample count is applied exactly once.
-    return raw.scaled(3.0 * len(sample) / hypergraph.num_hyperedges)
+    """Raw (unscaled) increments for one chunk of sampled hyperedges."""
+    return MotifCounts(count_containing_batched(csr, adjacency, sample))
 
 
 def count_approx_edge_sampling_parallel(
@@ -125,41 +175,47 @@ def count_approx_edge_sampling_parallel(
     num_workers: int = 2,
     seed: SeedLike = None,
     backend: str = BACKEND_PROCESS,
+    projection: Optional[NeighborhoodProvider] = None,
 ) -> MotifCounts:
     """MoCHy-A with the sample split across *num_workers* workers."""
     require_positive_int(num_samples, "num_samples")
     require_positive_int(num_workers, "num_workers")
+    _check_backend(backend)
     if hypergraph.num_hyperedges == 0:
         raise SamplingError("cannot sample hyperedges from an empty hypergraph")
     rng = ensure_rng(seed)
     sample = rng.integers(0, hypergraph.num_hyperedges, size=num_samples).tolist()
     if num_workers == 1:
         return count_approx_edge_sampling(
-            hypergraph, num_samples, seed=None, sampled_indices=sample
+            hypergraph,
+            num_samples,
+            projection=projection,
+            seed=None,
+            sampled_indices=sample,
         )
     chunks = _split_evenly(sample, num_workers)
-    with _make_executor(backend, num_workers) as executor:
-        futures = [
-            executor.submit(_edge_sampling_worker, hypergraph, chunk)
-            for chunk in chunks
-        ]
-        partials = [future.result() for future in futures]
+    partials = _fan_out(
+        backend,
+        num_workers,
+        _edge_sampling_worker,
+        hypergraph.csr(),
+        _worker_adjacency(hypergraph, projection),
+        chunks,
+    )
     raw = aggregate_counts(partials)
+    # Rescale once over the full sample: each instance is counted 3s/|E| times
+    # in expectation (Theorem 2).
     return raw.scaled(hypergraph.num_hyperedges / (3.0 * num_samples))
 
 
 # ------------------------------------------------------------------ MoCHy-A+
 def _wedge_sampling_worker(
-    hypergraph: Hypergraph, sample: Sequence[Tuple[int, int]]
+    csr: HypergraphCSR,
+    adjacency: AdjacencyArrays,
+    sample: Sequence[Tuple[int, int]],
 ) -> MotifCounts:
     """Raw (unscaled) increments for one chunk of sampled hyperwedges."""
-    from repro.counting.wedge_sampling import _accumulate_instances_containing_wedge
-
-    projection = project(hypergraph)
-    raw = MotifCounts.zeros()
-    for i, j in sample:
-        _accumulate_instances_containing_wedge(hypergraph, projection, int(i), int(j), raw)
-    return raw
+    return MotifCounts(count_wedges_batched(csr, adjacency, sample))
 
 
 def count_approx_wedge_sampling_parallel(
@@ -168,11 +224,12 @@ def count_approx_wedge_sampling_parallel(
     num_workers: int = 2,
     seed: SeedLike = None,
     backend: str = BACKEND_PROCESS,
-    projection: Optional[ProjectedGraph] = None,
+    projection: Optional[NeighborhoodProvider] = None,
 ) -> MotifCounts:
     """MoCHy-A+ with the hyperwedge sample split across *num_workers* workers."""
     require_positive_int(num_samples, "num_samples")
     require_positive_int(num_workers, "num_workers")
+    _check_backend(backend)
     if projection is None:
         projection = project(hypergraph)
     hyperwedges = projection.hyperwedge_list()
@@ -190,18 +247,13 @@ def count_approx_wedge_sampling_parallel(
             sampled_wedges=sample,
         )
     chunks = _split_evenly(sample, num_workers)
-    with _make_executor(backend, num_workers) as executor:
-        futures = [
-            executor.submit(_wedge_sampling_worker, hypergraph, chunk)
-            for chunk in chunks
-        ]
-        partials = [future.result() for future in futures]
+    partials = _fan_out(
+        backend,
+        num_workers,
+        _wedge_sampling_worker,
+        hypergraph.csr(),
+        _worker_adjacency(hypergraph, projection),
+        chunks,
+    )
     raw = aggregate_counts(partials)
-    from repro.motifs.patterns import NUM_MOTIFS, open_motif_indices
-
-    open_set = set(open_motif_indices())
-    factors = {
-        index: len(hyperwedges) / ((2.0 if index in open_set else 3.0) * num_samples)
-        for index in range(1, NUM_MOTIFS + 1)
-    }
-    return raw.scaled_per_motif(factors)
+    return _rescale(raw, len(hyperwedges), num_samples)

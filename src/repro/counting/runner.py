@@ -137,7 +137,11 @@ def run_counting(
         elif algorithm == ALGORITHM_EDGE_SAMPLING:
             if num_workers > 1:
                 counts = count_approx_edge_sampling_parallel(
-                    hypergraph, resolved_samples, num_workers, seed=seed
+                    hypergraph,
+                    resolved_samples,
+                    num_workers,
+                    seed=seed,
+                    projection=projection,
                 )
             else:
                 counts = count_approx_edge_sampling(

@@ -9,6 +9,12 @@ hyperwedges and an open instance two, so the raw counters are rescaled by
 (Theorem 4). MoCHy-A+ has the same asymptotic cost as MoCHy-A at equal
 sampling ratios but strictly smaller variance (Section 3.3), which is the
 paper's headline algorithmic result.
+
+With an array-backed :class:`~repro.projection.ProjectedGraph` the
+per-wedge visit runs through the batched fast-core kernel
+(:func:`repro.fastcore.count_wedges_batched`); other neighborhood providers
+(notably a budgeted :class:`~repro.projection.LazyProjection`, which is the
+point of Section 3.4) use the per-triple fallback.
 """
 
 from __future__ import annotations
@@ -16,8 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.counting.classification import NeighborhoodProvider, classify_triple
+from repro.counting.classification import (
+    NeighborhoodProvider,
+    classify_triple,
+    fast_adjacency,
+)
 from repro.exceptions import SamplingError
+from repro.fastcore.kernels import count_wedges_batched
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.motifs.counts import MotifCounts
 from repro.motifs.patterns import NUM_MOTIFS, open_motif_indices
@@ -102,9 +113,7 @@ def run_wedge_sampling(
             f"sampled_wedges has length {len(sampled_wedges)} but num_samples is {num_samples}"
         )
 
-    raw = MotifCounts.zeros()
-    for i, j in sampled_wedges:
-        _accumulate_instances_containing_wedge(hypergraph, projection, int(i), int(j), raw)
+    raw = accumulate_containing_wedges(hypergraph, projection, sampled_wedges)
     raw_total = raw.total()
     estimates = _rescale(raw, num_hyperwedges, num_samples)
     return WedgeSamplingResult(
@@ -126,6 +135,27 @@ def _hyperwedge_list(
     )
 
 
+def accumulate_containing_wedges(
+    hypergraph: Hypergraph,
+    projection: NeighborhoodProvider,
+    wedges: Sequence[Tuple[int, int]],
+) -> MotifCounts:
+    """Raw counts over all instances containing each sampled hyperwedge."""
+    adjacency = fast_adjacency(projection)
+    if adjacency is not None:
+        return MotifCounts(
+            count_wedges_batched(
+                hypergraph.csr(), adjacency, [(int(i), int(j)) for i, j in wedges]
+            )
+        )
+    counts = MotifCounts.zeros()
+    for i, j in wedges:
+        _accumulate_instances_containing_wedge(
+            hypergraph, projection, int(i), int(j), counts
+        )
+    return counts
+
+
 def _accumulate_instances_containing_wedge(
     hypergraph: Hypergraph,
     projection: NeighborhoodProvider,
@@ -133,7 +163,7 @@ def _accumulate_instances_containing_wedge(
     j: int,
     counts: MotifCounts,
 ) -> None:
-    """Visit every h-motif instance containing the hyperwedge ``∧_ij`` once."""
+    """Per-triple fallback: visit every instance containing ``∧_ij`` once."""
     neighbors_i = projection.neighbors(i)
     neighbors_j = projection.neighbors(j)
     candidates = set(neighbors_i)

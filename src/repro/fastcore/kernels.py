@@ -1,0 +1,458 @@
+"""Batched h-motif classification kernels over CSR arrays.
+
+Every MoCHy counter reduces to the same inner step: given an anchor (a
+hyperedge ``e_i`` or a hyperwedge ``∧_ij``), classify a *set* of candidate
+triples. The seed implementation called ``classify_triple`` once per triple
+(three dict lookups, a set intersection, and a Python canonicalization per
+call); these kernels process all candidates of one anchor at once:
+
+* pairwise overlaps come from one vectorized ``searchsorted`` against the
+  projected graph's sorted key array (:meth:`AdjacencyArrays.pair_weights`);
+* triple overlaps ``|e_i ∩ e_j ∩ e_k|`` are computed by sorted-array
+  intersection against the smallest set that matters — the anchor hyperedge:
+  each neighbor ``e_j`` is encoded as a bitmask over ``e_i``'s (sorted) node
+  positions, and a pair's triple overlap is ``popcount(mask_j & mask_k)``;
+* the seven Venn-region cardinalities follow from inclusion–exclusion
+  (Lemma 2) in vectorized int arithmetic, and the final motif ids come from
+  the 128-entry pattern→motif table of
+  :func:`repro.motifs.classify.motif_lookup_table` with one fancy index.
+
+Exactness: the kernels enumerate exactly the triples the reference loops
+enumerate, compute identical integer cardinalities, and raise the same
+exceptions (``MotifError`` / ``DuplicateHyperedgeError`` /
+``NotConnectedError``) on invalid triples. Counters are sums of unit
+increments, so the resulting ``MotifCounts`` are bit-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DuplicateHyperedgeError, MotifError, NotConnectedError
+from repro.fastcore.csr import HypergraphCSR
+from repro.fastcore.projection import (
+    AdjacencyArrays,
+    iter_triu_chunks,
+    sorted_member_positions,
+)
+from repro.motifs.classify import (
+    LOOKUP_DISCONNECTED,
+    LOOKUP_DUPLICATE,
+    LOOKUP_EMPTY_EDGE,
+    motif_lookup_table,
+)
+from repro.motifs.patterns import NUM_MOTIFS
+
+# Upper-triangle index pairs per neighborhood size, shared across anchors
+# (and across the parallel drivers' threads — hence the lock below).
+_TRIU_CACHE: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+_TRIU_CACHE_LOCK = threading.Lock()
+
+# Degrees above this are recomputed on the fly: a cached entry holds
+# O(degree²) int64 pairs, so hub rows would pin worst-case memory forever.
+_TRIU_CACHE_MAX_DEGREE = 1024
+
+# Aggregate pair budget across all cached entries (~128 MB of index arrays);
+# the cache is cleared when exceeded so degree-diverse workloads stay bounded.
+_TRIU_CACHE_PAIR_BUDGET = 1 << 23
+_triu_cached_pairs = 0
+
+
+def _triu_pairs(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    global _triu_cached_pairs
+    if size > _TRIU_CACHE_MAX_DEGREE:
+        return np.triu_indices(size, 1)
+    cached = _TRIU_CACHE.get(size)
+    if cached is None:
+        cached = np.triu_indices(size, 1)
+        num_pairs = size * (size - 1) // 2
+        with _TRIU_CACHE_LOCK:
+            if _triu_cached_pairs + num_pairs > _TRIU_CACHE_PAIR_BUDGET:
+                _TRIU_CACHE.clear()
+                _triu_cached_pairs = 0
+            _TRIU_CACHE[size] = cached
+            _triu_cached_pairs += num_pairs
+    return cached
+
+
+# Maximum candidate pairs materialized at once for one anchor (~16 MB per
+# int64 array). Pair enumeration is chunked above this so hub anchors with
+# projected degree in the tens of thousands stay memory-bounded instead of
+# allocating O(degree²) arrays in one shot.
+_PAIR_CHUNK = 1 << 21
+
+
+def _iter_triu_chunks(size: int):
+    """Yield ``(left, right)`` position pairs of ``triu_indices(size, 1)``.
+
+    Same pairs and order as the unchunked call, in slabs of at most
+    ``_PAIR_CHUNK`` pairs; small sizes reuse the shared cache.
+    """
+    total = size * (size - 1) // 2
+    if total <= _PAIR_CHUNK:
+        if total:
+            yield _triu_pairs(size)
+        return
+    yield from iter_triu_chunks(size, _PAIR_CHUNK)
+
+
+_BYTE_POPCOUNT = np.unpackbits(
+    np.arange(256, dtype=np.uint8)[:, None], axis=1
+).sum(axis=1)
+
+
+def _popcount_rows_bytes(masks: np.ndarray) -> np.ndarray:
+    """Row-wise popcount via a byte lookup table (works on any numpy)."""
+    as_bytes = np.ascontiguousarray(masks).view(np.uint8)
+    return _BYTE_POPCOUNT[as_bytes].sum(axis=1).astype(np.int64)
+
+
+if hasattr(np, "bitwise_count"):
+
+    def _popcount_rows(masks: np.ndarray) -> np.ndarray:
+        """Row-wise population count of a (n, words) uint64 matrix."""
+        return np.bitwise_count(masks).sum(axis=1).astype(np.int64)
+
+else:  # pragma: no cover - numpy < 2.0
+    _popcount_rows = _popcount_rows_bytes
+
+
+def classify_batch(
+    size_i: np.ndarray,
+    size_j: np.ndarray,
+    size_k: np.ndarray,
+    overlap_ij: np.ndarray,
+    overlap_jk: np.ndarray,
+    overlap_ki: np.ndarray,
+    overlap_ijk: np.ndarray,
+) -> np.ndarray:
+    """Motif ids (1..26) for a batch of triples given sizes and overlaps.
+
+    Inputs broadcast against each other; all values are integers. Raises the
+    same exceptions as the scalar ``classify_from_cardinalities`` when any
+    element of the batch is invalid, reporting the first offending triple.
+    """
+    size_i, size_j, size_k, overlap_ij, overlap_jk, overlap_ki, overlap_ijk = (
+        np.atleast_1d(*np.broadcast_arrays(
+            *(
+                np.asarray(value, dtype=np.int64)
+                for value in (
+                    size_i,
+                    size_j,
+                    size_k,
+                    overlap_ij,
+                    overlap_jk,
+                    overlap_ki,
+                    overlap_ijk,
+                )
+            )
+        ))
+    )
+    only_i = size_i - overlap_ij - overlap_ki + overlap_ijk
+    only_j = size_j - overlap_ij - overlap_jk + overlap_ijk
+    only_k = size_k - overlap_ki - overlap_jk + overlap_ijk
+    pair_ij = overlap_ij - overlap_ijk
+    pair_jk = overlap_jk - overlap_ijk
+    pair_ki = overlap_ki - overlap_ijk
+    regions = (only_i, only_j, only_k, pair_ij, pair_jk, pair_ki, overlap_ijk)
+
+    bad = np.zeros(only_i.shape, dtype=bool)
+    for region in regions:
+        bad |= region < 0
+    if bad.any():
+        at = int(np.argmax(bad))
+        raise MotifError(
+            "inconsistent cardinalities: "
+            f"sizes=({int(size_i[at])}, {int(size_j[at])}, {int(size_k[at])}), "
+            f"pairwise=({int(overlap_ij[at])}, {int(overlap_jk[at])}, "
+            f"{int(overlap_ki[at])}), "
+            f"triple={int(overlap_ijk[at])} produce negative region sizes "
+            f"{tuple(int(region[at]) for region in regions)}"
+        )
+
+    code = np.zeros(only_i.shape, dtype=np.uint8)
+    for position, region in enumerate(regions):
+        code |= (region > 0).astype(np.uint8) << np.uint8(position)
+    motifs = motif_lookup_table()[code]
+    if (motifs < 0).any():
+        # Report the first offending triple in batch order, matching the
+        # failure point of the per-triple reference loop.
+        sentinel = int(motifs[np.argmax(motifs < 0)])
+        if sentinel == LOOKUP_EMPTY_EDGE:
+            raise MotifError("an h-motif instance cannot contain an empty hyperedge")
+        if sentinel == LOOKUP_DUPLICATE:
+            raise DuplicateHyperedgeError(
+                "h-motif instances must consist of three distinct hyperedges"
+            )
+        if sentinel == LOOKUP_DISCONNECTED:
+            raise NotConnectedError(
+                "the three hyperedges are not connected and do not form an "
+                "h-motif instance"
+            )
+    return motifs.astype(np.int64)
+
+
+def _gather_row_positions(
+    ptr: np.ndarray, rows: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flat data positions of the given CSR rows; returns ``(positions, owner)``.
+
+    ``owner[t]`` is the position within *rows* whose row produced
+    ``positions[t]``; indexing any per-entry array with *positions* is the
+    pure-array equivalent of ``concatenate([data[r] ...])``.
+    """
+    starts = ptr[rows].astype(np.int64)
+    lengths = (ptr[rows + 1] - ptr[rows]).astype(np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    positions = np.arange(total, dtype=np.int64) + np.repeat(
+        starts - offsets, lengths
+    )
+    owner = np.repeat(np.arange(len(rows), dtype=np.int64), lengths)
+    return positions, owner
+
+
+def _gather_rows(
+    ptr: np.ndarray, data: np.ndarray, rows: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate variable-length CSR rows; returns ``(values, owner)``."""
+    positions, owner = _gather_row_positions(ptr, rows)
+    return data[positions], owner
+
+
+def _neighbor_bitmasks(
+    csr: HypergraphCSR, anchor: int, neighbors: np.ndarray
+) -> np.ndarray:
+    """Bitmasks of ``e_j ∩ e_anchor`` over the anchor's sorted node positions.
+
+    Row ``t`` of the returned ``(len(neighbors), words)`` uint64 matrix has
+    bit ``p`` set iff the ``p``-th node of the anchor hyperedge also belongs
+    to ``e_{neighbors[t]}``; a pair's triple overlap with the anchor is then
+    ``popcount(row_a & row_b)``.
+    """
+    anchor_nodes = csr.edge_row(anchor)
+    words = (anchor_nodes.size + 63) // 64
+    masks = np.zeros((len(neighbors), words), dtype=np.uint64)
+    values, owner = _gather_rows(csr.edge_ptr, csr.edge_nodes, neighbors)
+    if values.size == 0:
+        return masks
+    hit, positions = sorted_member_positions(anchor_nodes, values)
+    owner = owner[hit]
+    bit = positions[hit].astype(np.uint64)
+    np.bitwise_or.at(
+        masks,
+        (owner, (bit >> np.uint64(6)).astype(np.int64)),
+        np.uint64(1) << (bit & np.uint64(63)),
+    )
+    return masks
+
+
+def _pair_triple_overlaps(
+    csr: HypergraphCSR,
+    anchor: int,
+    neighbors: np.ndarray,
+    left_pos: np.ndarray,
+    right_pos: np.ndarray,
+    closed: np.ndarray,
+) -> np.ndarray:
+    """Triple overlaps ``|e_anchor ∩ e_j ∩ e_k|`` for the selected pairs.
+
+    ``left_pos``/``right_pos`` index into *neighbors*; only entries where
+    *closed* is True are computed (an open pair has ``e_j ∩ e_k = ∅`` and
+    hence a zero triple overlap).
+    """
+    overlaps = np.zeros(len(left_pos), dtype=np.int64)
+    if not closed.any():
+        return overlaps
+    # Build bitmasks only for neighbors that actually participate in a closed
+    # pair: on high-index anchors most pairs are filtered out, and gathering
+    # every neighbor's node row would be wasted work.
+    left_closed = left_pos[closed]
+    right_closed = right_pos[closed]
+    used = np.unique(np.concatenate([left_closed, right_closed]))
+    masks = _neighbor_bitmasks(csr, anchor, neighbors[used])
+    left_remapped = np.searchsorted(used, left_closed)
+    right_remapped = np.searchsorted(used, right_closed)
+    overlaps[closed] = _popcount_rows(
+        masks[left_remapped] & masks[right_remapped]
+    )
+    return overlaps
+
+
+def count_exact_batched(
+    csr: HypergraphCSR,
+    adjacency: AdjacencyArrays,
+    hyperedge_indices: Optional[Iterable[int]] = None,
+) -> np.ndarray:
+    """Exact h-motif counts (MoCHy-E) as a length-26 float array.
+
+    For each anchor ``e_i`` the candidate pairs are every unordered
+    ``{e_j, e_k} ⊆ N_{e_i}``; a pair is counted iff it is open (seen only
+    from its center) or ``i < min(j, k)`` (a closed instance is attributed to
+    its minimum index), exactly as in Algorithm 2.
+    """
+    totals = np.zeros(NUM_MOTIFS + 1, dtype=np.float64)
+    sizes = csr.edge_sizes
+    anchors = (
+        range(csr.num_edges) if hyperedge_indices is None else hyperedge_indices
+    )
+    for i in anchors:
+        i = int(i)
+        neighbors, anchor_weights = adjacency.row(i)
+        degree = neighbors.size
+        if degree < 2:
+            continue
+        for left, right in _iter_triu_chunks(degree):
+            weight_jk = adjacency.pair_weights(neighbors[left], neighbors[right])
+            # neighbors is sorted, so min(j, k) == neighbors[left] per pair.
+            keep = (weight_jk == 0) | (i < neighbors[left])
+            if not keep.any():
+                continue
+            left = left[keep]
+            right = right[keep]
+            weight_jk = weight_jk[keep].astype(np.int64)
+            closed = weight_jk > 0
+            triple = _pair_triple_overlaps(csr, i, neighbors, left, right, closed)
+            motifs = classify_batch(
+                sizes[i],
+                sizes[neighbors[left]],
+                sizes[neighbors[right]],
+                anchor_weights[left],
+                weight_jk,
+                anchor_weights[right],
+                triple,
+            )
+            totals += np.bincount(motifs, minlength=NUM_MOTIFS + 1)
+    return totals[1:]
+
+
+def count_containing_batched(
+    csr: HypergraphCSR,
+    adjacency: AdjacencyArrays,
+    anchors: Sequence[int],
+) -> np.ndarray:
+    """Raw counts of instances containing each anchor hyperedge (MoCHy-A).
+
+    Visits every instance containing ``e_i`` exactly once, split into the two
+    cases of Algorithm 4's inner loop:
+
+    * both other hyperedges neighbor the anchor — every unordered pair from
+      ``N_{e_i}``;
+    * ``e_k`` neighbors only ``e_j`` — for each ``e_j ∈ N_{e_i}``, the
+      candidates ``N_{e_j} \\ (N_{e_i} ∪ {e_i})``.
+    """
+    totals = np.zeros(NUM_MOTIFS + 1, dtype=np.float64)
+    sizes = csr.edge_sizes
+    for i in anchors:
+        i = int(i)
+        neighbors, anchor_weights = adjacency.row(i)
+        degree = neighbors.size
+        if degree == 0:
+            continue
+        # Case 1: pairs within the anchor's neighborhood.
+        if degree >= 2:
+            for left, right in _iter_triu_chunks(degree):
+                weight_jk = adjacency.pair_weights(
+                    neighbors[left], neighbors[right]
+                ).astype(np.int64)
+                closed = weight_jk > 0
+                triple = _pair_triple_overlaps(
+                    csr, i, neighbors, left, right, closed
+                )
+                motifs = classify_batch(
+                    sizes[i],
+                    sizes[neighbors[left]],
+                    sizes[neighbors[right]],
+                    anchor_weights[left],
+                    weight_jk,
+                    anchor_weights[right],
+                    triple,
+                )
+                totals += np.bincount(motifs, minlength=NUM_MOTIFS + 1)
+        # Case 2: e_k adjacent to e_j but not to the anchor.
+        positions, owner = _gather_row_positions(
+            adjacency.ptr, neighbors.astype(np.int64)
+        )
+        if positions.size == 0:
+            continue
+        candidates = adjacency.idx[positions]
+        weights_jk = adjacency.weight[positions]
+        in_anchor_neighborhood, _ = sorted_member_positions(neighbors, candidates)
+        keep = ~in_anchor_neighborhood & (candidates != i)
+        if not keep.any():
+            continue
+        owner = owner[keep]
+        candidates = candidates[keep]
+        weights_jk = weights_jk[keep]
+        # e_k ∩ e_i = ∅ here, so both ω(∧_ki) and the triple overlap vanish.
+        motifs = classify_batch(
+            sizes[i],
+            sizes[neighbors[owner]],
+            sizes[candidates],
+            anchor_weights[owner],
+            weights_jk,
+            0,
+            0,
+        )
+        totals += np.bincount(motifs, minlength=NUM_MOTIFS + 1)
+    return totals[1:]
+
+
+def count_wedges_batched(
+    csr: HypergraphCSR,
+    adjacency: AdjacencyArrays,
+    wedges: Sequence[Tuple[int, int]],
+) -> np.ndarray:
+    """Raw counts of instances containing each sampled hyperwedge (MoCHy-A+).
+
+    For a wedge ``∧_ij`` the candidates are ``N_{e_i} ∪ N_{e_j}`` minus the
+    wedge endpoints; triple overlaps are computed by intersecting each
+    candidate hyperedge with the precomputed sorted array ``e_i ∩ e_j``.
+    """
+    totals = np.zeros(NUM_MOTIFS + 1, dtype=np.float64)
+    sizes = csr.edge_sizes
+    for i, j in wedges:
+        i = int(i)
+        j = int(j)
+        neighbors_i, _ = adjacency.row(i)
+        neighbors_j, _ = adjacency.row(j)
+        candidates = np.union1d(neighbors_i, neighbors_j)
+        candidates = candidates[(candidates != i) & (candidates != j)]
+        if candidates.size == 0:
+            continue
+        weight_ij = int(adjacency.pair_weights(np.array([i]), np.array([j]))[0])
+        weight_ik = adjacency.pair_weights(
+            np.full(candidates.size, i), candidates
+        ).astype(np.int64)
+        weight_jk = adjacency.pair_weights(
+            np.full(candidates.size, j), candidates
+        ).astype(np.int64)
+        triple = np.zeros(candidates.size, dtype=np.int64)
+        needs_triple = (weight_ik > 0) & (weight_jk > 0)
+        if needs_triple.any():
+            shared = np.intersect1d(
+                csr.edge_row(i), csr.edge_row(j), assume_unique=True
+            )
+            if shared.size:
+                rows = candidates[needs_triple].astype(np.int64)
+                values, owner = _gather_rows(csr.edge_ptr, csr.edge_nodes, rows)
+                hit, _ = sorted_member_positions(shared, values)
+                triple[needs_triple] = np.bincount(
+                    owner[hit], minlength=len(rows)
+                )
+        motifs = classify_batch(
+            sizes[i],
+            sizes[j],
+            sizes[candidates],
+            weight_ij,
+            weight_jk,
+            weight_ik,
+            triple,
+        )
+        totals += np.bincount(motifs, minlength=NUM_MOTIFS + 1)
+    return totals[1:]

@@ -12,7 +12,18 @@ hypergraph as read-only, and immutability lets us cache derived structures
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.exceptions import (
     EmptyHyperedgeError,
@@ -20,8 +31,22 @@ from repro.exceptions import (
     UnknownNodeError,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.fastcore.csr import HypergraphCSR
+
 Node = Hashable
 Hyperedge = FrozenSet[Node]
+
+
+def _node_sort_key(node: Node) -> Tuple[str, str]:
+    """Deterministic node ordering key: group by type name, then repr.
+
+    Sorting by ``repr`` alone interleaves types by string accident (``10``
+    sorts before ``'a'`` or after depending on quoting); grouping by the type
+    name first keeps the order stable across type mixes while remaining
+    deterministic across runs and platforms.
+    """
+    return (type(node).__name__, repr(node))
 
 
 class Hypergraph:
@@ -44,7 +69,14 @@ class Hypergraph:
         If any supplied hyperedge is empty.
     """
 
-    __slots__ = ("_hyperedges", "_memberships", "_nodes", "_name")
+    __slots__ = (
+        "_hyperedges",
+        "_memberships",
+        "_nodes",
+        "_name",
+        "_node_ids",
+        "_csr",
+    )
 
     def __init__(
         self, hyperedges: Iterable[Iterable[Node]], name: str = "hypergraph"
@@ -65,9 +97,15 @@ class Hypergraph:
         self._memberships: Dict[Node, Tuple[int, ...]] = {
             node: tuple(indices) for node, indices in memberships.items()
         }
+        # Sorted once; the resulting positions double as the dense node ids of
+        # the CSR view, cached so the sort never reruns.
         self._nodes: Tuple[Node, ...] = tuple(
-            sorted(self._memberships, key=repr)
+            sorted(self._memberships, key=_node_sort_key)
         )
+        self._node_ids: Dict[Node, int] = {
+            node: position for position, node in enumerate(self._nodes)
+        }
+        self._csr: Optional["HypergraphCSR"] = None
         self._name = str(name)
 
     # ------------------------------------------------------------------ basic
@@ -164,6 +202,37 @@ class Hypergraph:
             result.update(self._memberships[node])
         result.discard(i)
         return frozenset(result)
+
+    # -------------------------------------------------------------- fast core
+    def node_id(self, node: Node) -> int:
+        """Dense integer id of *node* (its position in :meth:`nodes`)."""
+        try:
+            return self._node_ids[node]
+        except KeyError:
+            raise UnknownNodeError(f"node {node!r} is not in the hypergraph") from None
+
+    def csr(self) -> "HypergraphCSR":
+        """The CSR (array-native) view of this hypergraph.
+
+        Built lazily on first use and cached; immutability makes the cache
+        safe. All fast counting/projection kernels consume this view — the
+        frozenset API stays available for everything else.
+        """
+        if self._csr is None:
+            from repro.fastcore.csr import build_csr
+
+            self._csr = build_csr(self._hyperedges, self._node_ids)
+        return self._csr
+
+    # --------------------------------------------------------------- pickling
+    def __getstate__(self) -> Tuple[Tuple[Hyperedge, ...], str]:
+        # Ship only the defining data; derived structures (memberships, node
+        # ids, the cached CSR view) are rebuilt on the receiving side.
+        return (self._hyperedges, self._name)
+
+    def __setstate__(self, state: Tuple[Tuple[Hyperedge, ...], str]) -> None:
+        hyperedges, name = state
+        self.__init__(hyperedges, name=name)
 
     # -------------------------------------------------------------- iteration
     def __iter__(self) -> Iterator[Hyperedge]:

@@ -12,12 +12,55 @@ the projected graph.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import AbstractSet, Optional, Tuple
+
+import numpy as np
 
 from repro.exceptions import DuplicateHyperedgeError, MotifError, NotConnectedError
 from repro.motifs.patterns import Pattern, motif_index, pattern_from_bits
 
 SetLike = AbstractSet
+
+#: Sentinels used in :func:`motif_lookup_table` for invalid emptiness patterns,
+#: mirroring the check order of :func:`_classify_pattern`.
+LOOKUP_EMPTY_EDGE = -1
+LOOKUP_DUPLICATE = -2
+LOOKUP_DISCONNECTED = -3
+
+
+@lru_cache(maxsize=1)
+def motif_lookup_table() -> np.ndarray:
+    """Pattern-code → motif-index lookup table for batched classification.
+
+    Entry ``c`` (for ``c`` in ``[0, 128)``) holds the 1-based motif index of
+    the emptiness pattern whose :func:`repro.motifs.patterns.pattern_to_int`
+    encoding is ``c``, or a negative sentinel (:data:`LOOKUP_EMPTY_EDGE`,
+    :data:`LOOKUP_DUPLICATE`, :data:`LOOKUP_DISCONNECTED`) matching the first
+    check :func:`_classify_pattern` would fail. The table folds the whole
+    canonicalization + validation pipeline into one int8 array so the fast
+    kernels classify entire batches with a single fancy index.
+    """
+    from repro.motifs import patterns as pattern_module
+
+    table = np.empty(128, dtype=np.int8)
+    for code in range(128):
+        pattern = pattern_module.pattern_from_int(code)
+        if any(
+            pattern_module.edge_is_empty(pattern, position) for position in range(3)
+        ):
+            table[code] = LOOKUP_EMPTY_EDGE
+        elif any(
+            pattern_module.edges_are_duplicated(pattern, first, second)
+            for first, second in ((0, 1), (1, 2), (0, 2))
+        ):
+            table[code] = LOOKUP_DUPLICATE
+        elif not pattern_module.is_connected(pattern):
+            table[code] = LOOKUP_DISCONNECTED
+        else:
+            table[code] = motif_index(pattern)
+    table.setflags(write=False)
+    return table
 
 
 def region_cardinalities_from_sizes(

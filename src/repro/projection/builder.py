@@ -1,20 +1,36 @@
-"""Hypergraph projection (paper Algorithm 1).
+"""Hypergraph projection (paper Algorithm 1), array-native.
 
-``project`` builds the full projected graph ``G¯ = (E, ∧, ω)`` by scanning,
-for each hyperedge ``e_i`` and each node ``v ∈ e_i``, the hyperedges ``e_j``
-with ``j > i`` that also contain ``v``; every such co-occurrence increments
-``ω(∧_ij)``. Complexity is ``O(Σ_{∧_ij ∈ ∧} |e_i ∩ e_j|)`` (Lemma 1).
+``project`` builds the full projected graph ``G¯ = (E, ∧, ω)`` from the
+hypergraph's CSR view: every node's sorted membership row ``E_v`` contributes
+all of its hyperedge pairs, and the multiplicity of a pair across rows *is*
+its overlap weight ``ω(∧_ij)``. The pair stream is aggregated with NumPy
+sorts instead of a tuple-keyed Python dict (see
+:mod:`repro.fastcore.projection`); complexity stays
+``O(Σ_{∧_ij ∈ ∧} |e_i ∩ e_j|)`` pairs (Lemma 1), now at array speed.
 
-``project_parallel`` splits the hyperedge range across processes and merges
-the partial weight maps; it exists to reproduce the parallelization discussion
-in Section 3.4 (Figure 10).
+``project_parallel`` splits the *node* rows across processes; per-worker
+partial aggregates are combined with the CSR partial-merge
+(:func:`repro.fastcore.projection.merge_partial_pairs`) — a sort +
+``reduceat`` that sums weights for pairs produced in several node ranges —
+reproducing the parallelization discussion in Section 3.4 (Figure 10)
+without dict-union costs. Workers receive plain membership arrays, never a
+pickled frozenset graph.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
+import numpy as np
+
+from repro.fastcore.projection import (
+    aggregate_cooccurrence,
+    build_projection_arrays,
+    merge_partial_pairs,
+    neighborhood_counts,
+    pairs_to_symmetric_csr,
+)
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.projection.projected_graph import ProjectedGraph
 from repro.utils.validation import require_positive_int
@@ -22,34 +38,43 @@ from repro.utils.validation import require_positive_int
 
 def project(hypergraph: Hypergraph) -> ProjectedGraph:
     """Build the projected graph of *hypergraph* (Algorithm 1)."""
-    weights = _project_range(hypergraph, 0, hypergraph.num_hyperedges)
-    return _weights_to_graph(hypergraph.num_hyperedges, weights)
+    csr = hypergraph.csr()
+    ptr, idx, weight = build_projection_arrays(
+        csr.node_ptr, csr.node_edges, csr.num_edges
+    )
+    return ProjectedGraph.from_csr(csr.num_edges, ptr, idx, weight)
 
 
 def project_parallel(hypergraph: Hypergraph, num_workers: int = 2) -> ProjectedGraph:
     """Build the projected graph using *num_workers* processes.
 
-    Each worker handles a contiguous slice of hyperedge indices; the partial
-    ``ω`` maps are disjoint by construction (pair ``(i, j)`` with ``i < j`` is
-    produced only by the worker owning ``i``), so merging is a plain union.
+    Each worker aggregates the co-occurrence pairs of a contiguous slice of
+    *node* membership rows. A hyperedge pair may surface in several slices
+    (its weight is a sum over shared nodes), so the partial ``(key, count)``
+    arrays are combined with one sorted merge that sums counts per key.
     """
     require_positive_int(num_workers, "num_workers")
-    total = hypergraph.num_hyperedges
-    if num_workers == 1 or total < 2 * num_workers:
+    csr = hypergraph.csr()
+    total_nodes = csr.num_nodes
+    if num_workers == 1 or total_nodes < 2 * num_workers:
         return project(hypergraph)
-    boundaries = _split_range(total, num_workers)
-    partials: List[Dict[Tuple[int, int], int]] = []
+    boundaries = _split_range(total_nodes, num_workers)
+    partials: List[Tuple[np.ndarray, np.ndarray]] = []
     with ProcessPoolExecutor(max_workers=num_workers) as executor:
         futures = [
-            executor.submit(_project_range, hypergraph, start, end)
+            executor.submit(
+                _project_node_range_worker,
+                csr.node_ptr[start : end + 1] - csr.node_ptr[start],
+                csr.node_edges[csr.node_ptr[start] : csr.node_ptr[end]],
+                csr.num_edges,
+            )
             for start, end in boundaries
         ]
         for future in futures:
             partials.append(future.result())
-    merged: Dict[Tuple[int, int], int] = {}
-    for partial in partials:
-        merged.update(partial)
-    return _weights_to_graph(total, merged)
+    keys, counts = merge_partial_pairs(tuple(partials))
+    ptr, idx, weight = pairs_to_symmetric_csr(keys, counts, csr.num_edges)
+    return ProjectedGraph.from_csr(csr.num_edges, ptr, idx, weight)
 
 
 def _split_range(total: int, parts: int) -> List[Tuple[int, int]]:
@@ -65,40 +90,20 @@ def _split_range(total: int, parts: int) -> List[Tuple[int, int]]:
     return boundaries
 
 
-def _project_range(
-    hypergraph: Hypergraph, start: int, end: int
-) -> Dict[Tuple[int, int], int]:
-    """Overlap weights for hyperwedges ``(i, j)`` with ``start <= i < end`` and ``j > i``."""
-    weights: Dict[Tuple[int, int], int] = {}
-    for i in range(start, end):
-        edge = hypergraph.hyperedge(i)
-        for node in edge:
-            for j in hypergraph.memberships(node):
-                if j > i:
-                    key = (i, j)
-                    weights[key] = weights.get(key, 0) + 1
-    return weights
-
-
-def _weights_to_graph(
-    num_hyperedges: int, weights: Dict[Tuple[int, int], int]
-) -> ProjectedGraph:
-    adjacency: Dict[int, Dict[int, int]] = {}
-    for (i, j), weight in weights.items():
-        adjacency.setdefault(i, {})[j] = weight
-        adjacency.setdefault(j, {})[i] = weight
-    return ProjectedGraph(num_hyperedges, adjacency)
+def _project_node_range_worker(
+    node_ptr: np.ndarray, node_edges: np.ndarray, num_edges: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Aggregated ``(pair keys, multiplicities)`` for one slice of node rows."""
+    return aggregate_cooccurrence(node_ptr, node_edges, num_edges)
 
 
 def neighborhood_of(hypergraph: Hypergraph, i: int) -> Dict[int, int]:
     """Compute ``{j: ω(∧_ij)}`` for a single hyperedge *i* without full projection.
 
     This is the unit of work that the lazy / memoized projection of Section 3.4
-    computes on demand.
+    computes on demand; it histograms the membership rows of ``e_i``'s nodes
+    instead of incrementing a Python dict per co-occurrence.
     """
-    weights: Dict[int, int] = {}
-    for node in hypergraph.hyperedge(i):
-        for j in hypergraph.memberships(node):
-            if j != i:
-                weights[j] = weights.get(j, 0) + 1
-    return weights
+    hypergraph._check_edge_index(i)
+    csr = hypergraph.csr()
+    return neighborhood_counts(csr.node_ptr, csr.node_edges, csr.edge_row(i), i)

@@ -7,6 +7,11 @@ it, and memoizes at most a configurable number of neighborhoods. The paper
 reports that prioritizing hyperedges with high projected-graph degree
 outperforms random or LRU retention (Figure 11); all three policies are
 implemented so the ablation can be reproduced.
+
+Each on-demand neighborhood is computed by the array-backed
+:func:`repro.projection.builder.neighborhood_of` (a histogram over the CSR
+membership rows); the memoization cache itself stays a dict of dicts, since
+its contents are consumed incrementally by the per-triple counters.
 """
 
 from __future__ import annotations
