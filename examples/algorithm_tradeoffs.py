@@ -2,78 +2,66 @@
 
 Sweeps the sampling ratio of both approximate counters on one synthetic
 dataset, reports the speed/accuracy trade-off, and demonstrates the lazy
-(memory-budgeted) projection and the parallel drivers.
+(memory-budgeted) projection and the parallel drivers — all through
+:class:`repro.MotifEngine` spec options. The engine builds the projection
+once; every run in the sweep reuses it.
 
 Run with ``python examples/algorithm_tradeoffs.py``.
 """
 
 from __future__ import annotations
 
-from repro import count_exact, generate_email
-from repro.counting import (
-    count_approx_edge_sampling,
-    count_approx_wedge_sampling,
-    count_exact_parallel,
-)
-from repro.projection import POLICY_DEGREE, LazyProjection, project
-from repro.utils.timer import Timer
+from repro import CountSpec, MotifEngine, generate_email
 
 
 def main() -> None:
     hypergraph = generate_email(num_accounts=90, num_messages=200, seed=3)
+    engine = MotifEngine(hypergraph)
     print(f"dataset: {hypergraph.num_nodes} nodes, {hypergraph.num_hyperedges} hyperedges")
+    print(f"hyperwedges: {engine.projection.num_hyperwedges}")
 
-    projection = project(hypergraph)
-    print(f"hyperwedges: {projection.num_hyperwedges}")
-
-    with Timer() as exact_timer:
-        exact = count_exact(hypergraph, projection)
-    print(f"\nMoCHy-E: {int(exact.total())} instances in {exact_timer.elapsed:.2f}s")
+    exact = engine.count()
+    print(
+        f"\nMoCHy-E: {int(exact.counts.total())} instances in "
+        f"{exact.counting_seconds:.2f}s"
+    )
 
     print(f"\n{'algorithm':<10} {'ratio':>6} {'time (s)':>9} {'rel. error':>11}")
     for ratio in (0.05, 0.1, 0.2, 0.4):
-        edge_samples = max(1, int(ratio * hypergraph.num_hyperedges))
-        wedge_samples = max(1, int(ratio * projection.num_hyperwedges))
-        with Timer() as timer_a:
-            estimate_a = count_approx_edge_sampling(
-                hypergraph, edge_samples, projection, seed=0
+        for label, algorithm in (("MoCHy-A", "mochy-a"), ("MoCHy-A+", "mochy-a+")):
+            run = engine.count(
+                CountSpec(algorithm=algorithm, sampling_ratio=ratio, seed=0)
             )
-        with Timer() as timer_aplus:
-            estimate_aplus = count_approx_wedge_sampling(
-                hypergraph, wedge_samples, projection, seed=0
+            assert run.projection_cached  # the sweep never re-projects
+            print(
+                f"{label:<10} {ratio:>6.2f} {run.counting_seconds:>9.3f} "
+                f"{run.counts.relative_error(exact.counts):>11.4f}"
             )
-        print(
-            f"{'MoCHy-A':<10} {ratio:>6.2f} {timer_a.elapsed:>9.3f} "
-            f"{estimate_a.relative_error(exact):>11.4f}"
-        )
-        print(
-            f"{'MoCHy-A+':<10} {ratio:>6.2f} {timer_aplus.elapsed:>9.3f} "
-            f"{estimate_aplus.relative_error(exact):>11.4f}"
-        )
 
-    # On-the-fly projection with a 10% memoization budget (Section 3.4).
+    # On-the-fly projection with a 10% memoization budget (Section 3.4),
+    # selected with the spec's projection="lazy" option.
     budget = hypergraph.num_hyperedges // 10
-    lazy = LazyProjection(hypergraph, budget=budget, policy=POLICY_DEGREE, seed=0)
-    wedge_samples = max(1, int(0.2 * projection.num_hyperwedges))
-    with Timer() as lazy_timer:
-        count_approx_wedge_sampling(
-            hypergraph,
-            wedge_samples,
-            projection=lazy,
-            hyperwedges=projection.hyperwedge_list(),
+    lazy_run = engine.count(
+        CountSpec(
+            algorithm="mochy-a+",
+            sampling_ratio=0.2,
             seed=0,
+            projection="lazy",
+            budget=budget,
         )
+    )
     print(
         f"\nMoCHy-A+ with a {budget}-neighborhood memoization budget: "
-        f"{lazy_timer.elapsed:.3f}s, {lazy.computations} neighborhood computations, "
-        f"{lazy.cache_hits} cache hits"
+        f"{lazy_run.counting_seconds:.3f}s "
+        f"({lazy_run.num_samples} sampled hyperwedges, per-triple fallback)"
     )
 
-    # Parallel exact counting.
-    for workers in (1, 2):
-        with Timer() as parallel_timer:
-            count_exact_parallel(hypergraph, num_workers=workers)
-        print(f"MoCHy-E with {workers} worker(s): {parallel_timer.elapsed:.2f}s")
+    # Parallel exact counting through the same engine. (The serial run's time
+    # comes from the measurement above — asking the engine again would just
+    # hit the memo and report a zero-cost cached result.)
+    print(f"MoCHy-E with 1 worker(s): {exact.counting_seconds:.2f}s")
+    parallel = engine.count(CountSpec(num_workers=2))
+    print(f"MoCHy-E with 2 worker(s): {parallel.counting_seconds:.2f}s")
 
 
 if __name__ == "__main__":

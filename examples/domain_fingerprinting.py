@@ -1,15 +1,16 @@
 """Domain fingerprinting with characteristic profiles (paper Q2/Q3, Figures 5-6).
 
-Generates a small corpus with two datasets per domain, computes every CP, and
-shows that (a) CPs cluster by domain and (b) a held-out hypergraph's domain
-can be identified by nearest-CP classification.
+Generates a small corpus with two datasets per domain, computes every CP
+through one :class:`repro.MotifEngine` per dataset, and shows that (a) CPs
+cluster by domain and (b) a held-out hypergraph's domain can be identified by
+nearest-CP classification.
 
 Run with ``python examples/domain_fingerprinting.py`` (takes a minute or two).
 """
 
 from __future__ import annotations
 
-from repro import characteristic_profile
+from repro import MotifEngine, ProfileSpec
 from repro.analysis import analyze_domains, classify_domain, leave_one_out_domain_accuracy
 from repro.generators import (
     generate_contact,
@@ -40,19 +41,15 @@ def main() -> None:
     names = []
     for name, (hypergraph, domain) in corpus.items():
         print(f"computing CP of {name} ({domain}) ...")
-        # The denser tags datasets use the hyperwedge sampler, like the paper does
-        # for its largest datasets.
-        algorithm = "mochy-a+" if domain == "tags" else "mochy-e"
-        ratio = 0.2 if domain == "tags" else None
-        profiles.append(
-            characteristic_profile(
-                hypergraph,
-                num_random=3,
-                algorithm=algorithm,
-                sampling_ratio=ratio,
-                seed=0,
-            )
+        # The denser tags datasets use the hyperwedge sampler, like the paper
+        # does for its largest datasets.
+        spec = ProfileSpec(
+            num_random=3,
+            algorithm="mochy-a+" if domain == "tags" else "mochy-e",
+            sampling_ratio=0.2 if domain == "tags" else None,
+            seed=0,
         )
+        profiles.append(MotifEngine(hypergraph).profile(spec).profile)
         domains.append(domain)
         names.append(name)
 
@@ -74,7 +71,9 @@ def main() -> None:
 
     # Classify a freshly generated hypergraph that was not part of the corpus.
     query_hypergraph = generate_contact(75, 150, seed=99, name="mystery")
-    query_profile = characteristic_profile(query_hypergraph, num_random=3, seed=0)
+    query_profile = MotifEngine(query_hypergraph).profile(
+        ProfileSpec(num_random=3, seed=0)
+    ).profile
     predicted = classify_domain(query_profile, profiles, domains)
     print(f"\nthe mystery hypergraph (a contact network) is classified as: {predicted}")
 

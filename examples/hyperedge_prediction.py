@@ -1,16 +1,17 @@
 """Hyperedge prediction with h-motif features (paper Section 4.4, Table 4).
 
-Builds a temporal co-authorship hypergraph, uses the earlier years as context,
-and predicts which candidate hyperedges of the final year are real, comparing
-the HM26 / HM7 / HC feature sets across the five classifier families.
+Builds a temporal co-authorship hypergraph, binds a :class:`repro.MotifEngine`
+to it, and runs the prediction experiment: the earlier years are the context,
+candidate hyperedges of the final year are classified as real or fake, and the
+HM26 / HM7 / HC feature sets are compared across the five classifier families.
 
 Run with ``python examples/hyperedge_prediction.py`` (takes a few minutes).
 """
 
 from __future__ import annotations
 
-from repro import generate_temporal_coauthorship
-from repro.prediction import FEATURE_SETS, run_prediction_experiment
+from repro import MotifEngine, PredictSpec, generate_temporal_coauthorship
+from repro.prediction import FEATURE_SETS
 
 
 def main() -> None:
@@ -27,15 +28,10 @@ def main() -> None:
     )
     print(f"context window: {years[0]}-{years[-2]}, test year: {years[-1]}")
 
-    result = run_prediction_experiment(
-        temporal,
-        context_start=years[0],
-        context_end=years[-2],
-        test_start=years[-1],
-        test_end=years[-1],
-        max_positives=100,
-        seed=0,
-    )
+    engine = MotifEngine(temporal)
+    # PredictSpec defaults to the paper's split: all years but the last are
+    # the context window, the last year is the test window.
+    result = engine.predict(PredictSpec(max_positives=100, seed=0))
 
     print(f"\n{'classifier':<22} {'features':<6} {'ACC':>7} {'AUC':>7}")
     for classifier, feature_set, accuracy, auc in result.as_rows():

@@ -1,15 +1,19 @@
 """Quickstart: count h-motifs, estimate them by sampling, and compute a CP.
 
-Run with ``python examples/quickstart.py``. Everything uses the public API of
-the ``repro`` package and finishes in a few seconds.
+Run with ``python examples/quickstart.py``. Everything goes through
+:class:`repro.MotifEngine`, the unified API: one engine per hypergraph builds
+the projection once and shares it (and any deterministic counts) across
+``count()``, ``profile()`` and the other workflows. It finishes in a few
+seconds.
 """
 
 from __future__ import annotations
 
 from repro import (
+    CountSpec,
     Hypergraph,
-    characteristic_profile,
-    count_motifs,
+    MotifEngine,
+    ProfileSpec,
     generate_coauthorship,
     summarize,
 )
@@ -29,33 +33,44 @@ def main() -> None:
     )
     print("== The paper's Figure 2 example ==")
     print(summarize(figure2))
-    counts = count_motifs(figure2, algorithm="mochy-e")
+    counts = MotifEngine(figure2).count(CountSpec(algorithm="mochy-e")).counts
     for motif, value in counts.items():
         if value:
             print(f"  {describe_motif(motif)}: {int(value)} instance(s)")
 
-    # 2. Generate a synthetic co-authorship hypergraph and count exactly.
+    # 2. Generate a synthetic co-authorship hypergraph and bind one engine to
+    #    it; everything below reuses this engine's cached projection.
     hypergraph = generate_coauthorship(num_authors=250, num_papers=180, seed=1)
+    engine = MotifEngine(hypergraph)
     print("\n== Synthetic co-authorship hypergraph ==")
     print(summarize(hypergraph))
-    exact = count_motifs(hypergraph, algorithm="mochy-e")
-    print(f"total h-motif instances (exact): {int(exact.total())}")
+    exact = engine.count()  # MoCHy-E is the default spec
+    print(f"total h-motif instances (exact): {int(exact.counts.total())}")
 
     # 3. Estimate the same counts with MoCHy-A+ using 20% of the hyperwedges.
-    estimate = count_motifs(
-        hypergraph, algorithm="mochy-a+", sampling_ratio=0.2, seed=0
+    #    The engine reuses the projection built for the exact count.
+    estimate = engine.count(
+        CountSpec(algorithm="mochy-a+", sampling_ratio=0.2, seed=0)
     )
+    assert estimate.projection_cached, "second count must reuse the projection"
     print(
         "relative error of MoCHy-A+ at a 20% sampling ratio: "
-        f"{estimate.relative_error(exact):.4f}"
+        f"{estimate.counts.relative_error(exact.counts):.4f}"
     )
 
     # 4. Compute the characteristic profile against Chung-Lu randomizations.
-    profile = characteristic_profile(hypergraph, num_random=3, seed=0, real_counts=exact)
-    top = sorted(profile.as_dict().items(), key=lambda item: -abs(item[1]))[:5]
+    #    The exact counts above are memoized, so only the randomized
+    #    hypergraphs are counted here.
+    result = engine.profile(ProfileSpec(num_random=3, seed=0))
+    top = sorted(result.profile.as_dict().items(), key=lambda item: -abs(item[1]))[:5]
     print("\nmost significant h-motifs (by |CP| entry):")
     for motif, value in top:
         print(f"  h-motif {motif:>2}: CP = {value:+.3f}")
+
+    # 5. Every result is machine-readable for scripting pipelines.
+    document = result.to_json()
+    print(f"\nprofile as JSON: {len(document)} characters "
+          f"(also available from the CLI via --json)")
 
 
 if __name__ == "__main__":

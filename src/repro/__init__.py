@@ -11,10 +11,18 @@ classifiers.
 
 Quickstart
 ----------
->>> from repro import generate_coauthorship, count_motifs, characteristic_profile
+The unified API (:mod:`repro.api`) binds a :class:`MotifEngine` to one
+hypergraph; the engine caches the projection and memoized results across
+workflows:
+
+>>> from repro import CountSpec, MotifEngine, ProfileSpec, generate_coauthorship
 >>> hypergraph = generate_coauthorship(num_authors=120, num_papers=80, seed=0)
->>> counts = count_motifs(hypergraph, algorithm="mochy-e")
->>> profile = characteristic_profile(hypergraph, num_random=3, seed=0)
+>>> engine = MotifEngine(hypergraph)
+>>> counts = engine.count(CountSpec(algorithm="mochy-e")).counts
+>>> profile = engine.profile(ProfileSpec(num_random=3, seed=0)).profile
+
+The pre-engine free functions (``count_motifs``, ``characteristic_profile``,
+...) remain as thin shims over the engine.
 """
 
 from repro.exceptions import ReproError
@@ -64,8 +72,22 @@ from repro.analysis import (
     real_vs_random,
 )
 from repro.prediction import run_prediction_experiment
+from repro.api import (
+    CompareResult,
+    CompareSpec,
+    CountResult,
+    CountSpec,
+    DatasetRegistry,
+    MotifEngine,
+    PredictResult,
+    PredictSpec,
+    ProfileResult,
+    ProfileSpec,
+    load,
+    register_dataset,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ReproError",
@@ -107,5 +129,17 @@ __all__ = [
     "real_vs_random",
     "motif_fraction_evolution",
     "run_prediction_experiment",
+    "MotifEngine",
+    "CountSpec",
+    "ProfileSpec",
+    "CompareSpec",
+    "PredictSpec",
+    "CountResult",
+    "ProfileResult",
+    "CompareResult",
+    "PredictResult",
+    "DatasetRegistry",
+    "load",
+    "register_dataset",
     "__version__",
 ]

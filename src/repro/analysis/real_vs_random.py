@@ -11,12 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.counting.runner import ALGORITHM_EXACT, count_motifs
+from repro.counting.runner import ALGORITHM_EXACT
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.motifs.counts import MotifCounts
 from repro.motifs.patterns import NUM_MOTIFS
 from repro.profile.significance import relative_count
-from repro.randomization.null_model import NULL_MODEL_CHUNG_LU, random_motif_counts
+from repro.randomization.null_model import NULL_MODEL_CHUNG_LU
 from repro.utils.rng import SeedLike
 
 
@@ -94,19 +94,23 @@ def real_vs_random(
     null_model: str = NULL_MODEL_CHUNG_LU,
     seed: SeedLike = None,
 ) -> RealVsRandomReport:
-    """Count the real hypergraph and its randomizations, then compare them."""
-    real_counts = count_motifs(
-        hypergraph, algorithm=algorithm, sampling_ratio=sampling_ratio, seed=seed
-    )
-    null = random_motif_counts(
-        hypergraph,
+    """Count the real hypergraph and its randomizations, then compare them.
+
+    .. deprecated:: thin shim over :meth:`repro.api.MotifEngine.compare`,
+       which caches the projection across workflows on the same hypergraph.
+    """
+    # Imported here: repro.api builds on this module (compare_counts).
+    from repro.api.config import CompareSpec
+    from repro.api.engine import MotifEngine
+
+    spec = CompareSpec(
         num_random=num_random,
-        null_model=null_model,
         algorithm=algorithm,
         sampling_ratio=sampling_ratio,
+        null_model=null_model,
         seed=seed,
     )
-    return compare_counts(real_counts, null.mean_counts, dataset=hypergraph.name)
+    return MotifEngine(hypergraph).compare(spec).report
 
 
 def format_report(report: RealVsRandomReport) -> str:

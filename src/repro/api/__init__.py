@@ -1,0 +1,62 @@
+"""repro.api — the unified public API of the reproduction.
+
+:class:`MotifEngine` is the front door: bind it to one hypergraph (by object,
+registered dataset name or file path) and run the paper's workflows —
+``count()``, ``profile()``, ``compare()``, ``predict()`` — with typed spec
+objects. The engine builds the projection once, caches it together with the
+hyperwedge population, and memoizes deterministic results, so workflows on the
+same dataset share work instead of recomputing it.
+
+>>> from repro.api import CountSpec, MotifEngine, ProfileSpec
+>>> engine = MotifEngine.load("email-enron-like")
+>>> exact = engine.count()                                     # builds the projection
+>>> estimate = engine.count(CountSpec(algorithm="mochy-a+", sampling_ratio=0.2, seed=0))
+>>> profile = engine.profile(ProfileSpec(num_random=3, seed=0))  # projection reused
+>>> print(profile.to_json())  # doctest: +SKIP
+"""
+
+from repro.api.config import (
+    PROJECTION_FULL,
+    PROJECTION_LAZY,
+    PROJECTIONS,
+    CompareSpec,
+    CountSpec,
+    PredictSpec,
+    ProfileSpec,
+)
+from repro.api.engine import MotifEngine
+from repro.api.registry import (
+    DEFAULT_REGISTRY,
+    DatasetRegistry,
+    dataset_names,
+    load,
+    register_dataset,
+)
+from repro.api.results import (
+    CompareResult,
+    CountResult,
+    EngineResult,
+    PredictResult,
+    ProfileResult,
+)
+
+__all__ = [
+    "MotifEngine",
+    "CountSpec",
+    "ProfileSpec",
+    "CompareSpec",
+    "PredictSpec",
+    "PROJECTION_FULL",
+    "PROJECTION_LAZY",
+    "PROJECTIONS",
+    "EngineResult",
+    "CountResult",
+    "ProfileResult",
+    "CompareResult",
+    "PredictResult",
+    "DatasetRegistry",
+    "DEFAULT_REGISTRY",
+    "load",
+    "register_dataset",
+    "dataset_names",
+]

@@ -1,0 +1,269 @@
+"""Typed, frozen workload specifications for the :class:`~repro.api.MotifEngine`.
+
+Every engine workflow is configured by one immutable spec object instead of a
+sprawl of positional strings and kwargs:
+
+* :class:`CountSpec` — one MoCHy counting run (exact or sampling-based),
+* :class:`ProfileSpec` — a characteristic-profile computation,
+* :class:`CompareSpec` — a real-vs-random comparison table,
+* :class:`PredictSpec` — the hyperedge-prediction experiment.
+
+Specs validate eagerly at construction (``num_samples`` xor ``sampling_ratio``,
+positive sample counts, known null models, ...) and resolve the paper's
+algorithm aliases (``"MoCHy-A+"`` → ``"wedge-sampling"``) in one central place,
+so invalid configurations fail before any hypergraph is loaded or projected.
+Being frozen dataclasses, specs are hashable and serve directly as cache keys
+for the engine's result memoization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.counting.runner import ALGORITHM_EXACT, resolve_algorithm
+from repro.exceptions import CountSpecError, SpecError
+from repro.profile.significance import DEFAULT_EPSILON
+from repro.projection.lazy import POLICY_DEGREE, POLICY_LRU, POLICY_RANDOM
+from repro.randomization.null_model import NULL_MODEL_CHUNG_LU, NULL_MODELS
+from repro.utils.rng import SeedLike
+
+#: Projection strategies selectable from a :class:`CountSpec`.
+PROJECTION_FULL = "full"
+PROJECTION_LAZY = "lazy"
+PROJECTIONS = (PROJECTION_FULL, PROJECTION_LAZY)
+
+_LAZY_POLICIES = (POLICY_DEGREE, POLICY_LRU, POLICY_RANDOM)
+
+
+def _check_positive_int(value, name: str) -> int:
+    try:
+        if isinstance(value, bool) or value != int(value):
+            raise CountSpecError(f"{name} must be an integer, got {value!r}")
+    except (TypeError, ValueError):
+        raise CountSpecError(f"{name} must be an integer, got {value!r}") from None
+    if value <= 0:
+        raise CountSpecError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+@dataclass(frozen=True)
+class CountSpec:
+    """Configuration of one h-motif counting run.
+
+    Parameters
+    ----------
+    algorithm:
+        ``"exact"`` (MoCHy-E), ``"edge-sampling"`` (MoCHy-A) or
+        ``"wedge-sampling"`` (MoCHy-A+); the paper names are accepted as
+        aliases and resolved at construction.
+    num_samples / sampling_ratio:
+        For the approximate algorithms, either an explicit sample count or a
+        ratio of the population size (``s = ratio · |E|`` for MoCHy-A,
+        ``r = ratio · |∧|`` for MoCHy-A+). At most one may be given; the
+        engine falls back to a ratio of 0.1 when neither is.
+    num_workers:
+        Use the parallel drivers when greater than one.
+    seed:
+        Randomness for the sampling algorithms (and the lazy projection's
+        ``"random"`` retention policy).
+    projection:
+        ``"full"`` materializes (and caches, engine-wide) the projected graph;
+        ``"lazy"`` counts over a memory-budgeted on-the-fly
+        :class:`~repro.projection.LazyProjection` (paper Section 3.4).
+        Lazy projection is serial-only (``num_workers`` must stay 1).
+    budget / policy:
+        Lazy-projection memoization budget (``None`` = unlimited) and
+        retention policy; only meaningful with ``projection="lazy"``.
+    """
+
+    algorithm: str = ALGORITHM_EXACT
+    num_samples: Optional[int] = None
+    sampling_ratio: Optional[float] = None
+    num_workers: int = 1
+    seed: SeedLike = None
+    projection: str = PROJECTION_FULL
+    budget: Optional[int] = None
+    policy: str = POLICY_DEGREE
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "algorithm", resolve_algorithm(self.algorithm))
+        if self.num_samples is not None and self.sampling_ratio is not None:
+            raise CountSpecError(
+                "pass either num_samples or sampling_ratio, not both"
+            )
+        if self.num_samples is not None:
+            object.__setattr__(
+                self, "num_samples", _check_positive_int(self.num_samples, "num_samples")
+            )
+        if self.sampling_ratio is not None:
+            if self.sampling_ratio <= 0:
+                raise CountSpecError(
+                    f"sampling_ratio must be positive, got {self.sampling_ratio}"
+                )
+            object.__setattr__(self, "sampling_ratio", float(self.sampling_ratio))
+        object.__setattr__(
+            self, "num_workers", _check_positive_int(self.num_workers, "num_workers")
+        )
+        if self.projection not in PROJECTIONS:
+            raise CountSpecError(
+                f"projection must be one of {PROJECTIONS}, got {self.projection!r}"
+            )
+        if self.policy not in _LAZY_POLICIES:
+            raise CountSpecError(
+                f"policy must be one of {_LAZY_POLICIES}, got {self.policy!r}"
+            )
+        if self.projection != PROJECTION_LAZY and self.policy != POLICY_DEGREE:
+            # Symmetric with budget: a retention policy is meaningless on a
+            # full projection, and letting it through would fragment the
+            # engine's memo cache with equivalent-but-unequal specs.
+            raise CountSpecError("policy requires projection='lazy'")
+        if self.budget is not None:
+            if self.projection != PROJECTION_LAZY:
+                raise CountSpecError("budget requires projection='lazy'")
+            if isinstance(self.budget, bool) or self.budget != int(self.budget) or self.budget < 0:
+                raise CountSpecError(
+                    f"budget must be a non-negative integer, got {self.budget!r}"
+                )
+            object.__setattr__(self, "budget", int(self.budget))
+        if self.projection == PROJECTION_LAZY and self.num_workers > 1:
+            # The parallel drivers ship full-projection arrays to workers,
+            # which would silently defeat the memory budget lazy was chosen
+            # for; make the conflict explicit instead.
+            raise CountSpecError(
+                "projection='lazy' is serial (the parallel drivers materialize "
+                "a full projection); use num_workers=1 with a lazy projection"
+            )
+        if self.algorithm == ALGORITHM_EXACT:
+            # Exact counting ignores sampling parameters; normalizing them away
+            # makes equivalent exact specs hash to the same cache slot. The
+            # seed survives only when the lazy projection's "random" retention
+            # policy still consumes it.
+            object.__setattr__(self, "num_samples", None)
+            object.__setattr__(self, "sampling_ratio", None)
+            if not (self.projection == PROJECTION_LAZY and self.policy == POLICY_RANDOM):
+                object.__setattr__(self, "seed", None)
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether this spec runs MoCHy-E (no sampling)."""
+        return self.algorithm == ALGORITHM_EXACT
+
+
+def _validate_profile_like(spec) -> None:
+    object.__setattr__(spec, "algorithm", resolve_algorithm(spec.algorithm))
+    if isinstance(spec.num_random, bool) or spec.num_random != int(spec.num_random):
+        raise SpecError(f"num_random must be an integer, got {spec.num_random!r}")
+    if spec.num_random <= 0:
+        raise SpecError(f"num_random must be positive, got {spec.num_random}")
+    object.__setattr__(spec, "num_random", int(spec.num_random))
+    if spec.sampling_ratio is not None:
+        if spec.sampling_ratio <= 0:
+            raise SpecError(f"sampling_ratio must be positive, got {spec.sampling_ratio}")
+        object.__setattr__(spec, "sampling_ratio", float(spec.sampling_ratio))
+    if spec.null_model not in NULL_MODELS:
+        raise SpecError(
+            f"null_model must be one of {NULL_MODELS}, got {spec.null_model!r}"
+        )
+
+
+@dataclass(frozen=True)
+class ProfileSpec:
+    """Configuration of a characteristic-profile computation (paper Eq. 2).
+
+    The real hypergraph and each of the *num_random* null-model randomizations
+    are counted with *algorithm* (at *sampling_ratio* when approximate); the
+    26 significances are L2-normalized into the CP.
+    """
+
+    num_random: int = 5
+    algorithm: str = ALGORITHM_EXACT
+    sampling_ratio: Optional[float] = None
+    null_model: str = NULL_MODEL_CHUNG_LU
+    seed: SeedLike = None
+    epsilon: float = DEFAULT_EPSILON
+
+    def __post_init__(self) -> None:
+        _validate_profile_like(self)
+        if self.epsilon < 0:
+            raise SpecError(f"epsilon must be non-negative, got {self.epsilon}")
+
+    def count_spec(self) -> CountSpec:
+        """The :class:`CountSpec` used for the real hypergraph's counts."""
+        return CountSpec(
+            algorithm=self.algorithm,
+            sampling_ratio=self.sampling_ratio,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class CompareSpec:
+    """Configuration of a real-vs-random comparison table (paper Table 3)."""
+
+    num_random: int = 5
+    algorithm: str = ALGORITHM_EXACT
+    sampling_ratio: Optional[float] = None
+    null_model: str = NULL_MODEL_CHUNG_LU
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        _validate_profile_like(self)
+
+    def count_spec(self) -> CountSpec:
+        """The :class:`CountSpec` used for the real hypergraph's counts."""
+        return CountSpec(
+            algorithm=self.algorithm,
+            sampling_ratio=self.sampling_ratio,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class PredictSpec:
+    """Configuration of the hyperedge-prediction experiment (paper Table 4).
+
+    The windows are inclusive timestamp ranges over the engine's temporal
+    hypergraph. When omitted, the default split is the paper's: every year but
+    the last is the context window, the last year is the test window.
+    """
+
+    context_start: Optional[int] = None
+    context_end: Optional[int] = None
+    test_start: Optional[int] = None
+    test_end: Optional[int] = None
+    replace_fraction: float = 0.5
+    max_positives: Optional[int] = None
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        for start_name, end_name in (
+            ("context_start", "context_end"),
+            ("test_start", "test_end"),
+        ):
+            start = getattr(self, start_name)
+            end = getattr(self, end_name)
+            if (start is None) != (end is None):
+                raise SpecError(
+                    f"{start_name} and {end_name} must be given together"
+                )
+            if start is not None and end < start:
+                raise SpecError(f"{end_name} ({end}) must be >= {start_name} ({start})")
+        if (self.context_start is None) != (self.test_start is None):
+            raise SpecError(
+                "the context and test windows must be given together "
+                "(or both omitted for the default split)"
+            )
+        if not 0.0 <= self.replace_fraction <= 1.0:
+            raise SpecError(
+                f"replace_fraction must be in [0, 1], got {self.replace_fraction}"
+            )
+        if self.max_positives is not None and self.max_positives <= 0:
+            raise SpecError(
+                f"max_positives must be positive, got {self.max_positives}"
+            )
+
+    @property
+    def has_explicit_windows(self) -> bool:
+        """Whether both windows were given (vs. derived from the timestamps)."""
+        return self.context_start is not None and self.test_start is not None

@@ -1,0 +1,505 @@
+"""The :class:`MotifEngine` — one front door to the paper's workflows.
+
+An engine is bound to one hypergraph and lazily builds and **caches** the
+artifacts every workflow needs: the projected graph (Algorithm 1), the CSR
+views (cached on the hypergraph itself), and the hyperwedge population used
+by MoCHy-A+. Running ``count()`` then ``profile()`` then ``compare()`` on the
+same engine therefore projects exactly once, where the legacy free functions
+re-projected per call. Deterministic results (exact counts, seeded sampling
+runs) are additionally memoized per spec, so a profile reuses the counts of a
+previous ``count()`` with the same configuration.
+
+The engine is the single place where backend selection lives: a
+:class:`~repro.api.CountSpec` chooses the algorithm, serial or parallel
+drivers, and a ``"full"`` (materialized, cached) or ``"lazy"``
+(memory-budgeted, Section 3.4) projection. The legacy entrypoints
+(:func:`repro.counting.count_motifs`, :func:`repro.profile.characteristic_profile`,
+:func:`repro.analysis.real_vs_random`,
+:func:`repro.prediction.run_prediction_experiment`) are thin shims over an
+engine and return bit-identical results.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import replace
+from numbers import Integral
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.api.config import (
+    PROJECTION_LAZY,
+    CompareSpec,
+    CountSpec,
+    PredictSpec,
+    ProfileSpec,
+)
+from repro.api.registry import DEFAULT_REGISTRY, DatasetRegistry, Source
+from repro.api.results import (
+    CompareResult,
+    CountResult,
+    PredictResult,
+    ProfileResult,
+)
+from repro.analysis.real_vs_random import compare_counts
+from repro.counting.edge_sampling import count_approx_edge_sampling
+from repro.counting.exact import count_exact
+from repro.counting.parallel import (
+    count_approx_edge_sampling_parallel,
+    count_approx_wedge_sampling_parallel,
+    count_exact_parallel,
+)
+from repro.counting.runner import (
+    ALGORITHM_EDGE_SAMPLING,
+    ALGORITHM_WEDGE_SAMPLING,
+)
+from repro.counting.wedge_sampling import count_approx_wedge_sampling
+from repro.exceptions import SpecError
+from repro.hypergraph.builders import TemporalHypergraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.ml import default_classifiers
+from repro.ml.base import BinaryClassifier
+from repro.motifs.counts import MotifCounts
+from repro.prediction.metrics import accuracy, roc_auc
+from repro.prediction.task import (
+    FEATURE_SETS,
+    PredictionExperimentResult,
+    PredictionScore,
+    build_prediction_dataset,
+)
+from repro.profile.characteristic_profile import profile_from_counts
+from repro.projection.builder import project
+from repro.projection.lazy import LazyProjection
+from repro.projection.projected_graph import ProjectedGraph
+from repro.randomization.null_model import NullModelCounts, random_motif_counts
+from repro.utils.timer import Timer
+
+EngineSource = Union[Hypergraph, TemporalHypergraph]
+
+
+def _is_deterministic_seed(seed) -> bool:
+    """Whether *seed* replays identically (ints do; a stateful Generator doesn't)."""
+    return isinstance(seed, Integral)
+
+
+def _copy_counts(counts: MotifCounts) -> MotifCounts:
+    return MotifCounts(counts.to_array())
+
+
+class MotifEngine:
+    """Facade over counting, profiling, comparison and prediction.
+
+    Parameters
+    ----------
+    hypergraph:
+        The bound :class:`~repro.hypergraph.Hypergraph` — or a
+        :class:`~repro.hypergraph.TemporalHypergraph`, which additionally
+        enables :meth:`predict`; the static workflows then operate on the
+        deduplicated union of all timestamps.
+    projection:
+        Optionally seed the projection cache with a pre-built projected graph
+        (it must belong to *hypergraph*; this is not checked).
+    """
+
+    def __init__(
+        self,
+        hypergraph: EngineSource,
+        projection: Optional[ProjectedGraph] = None,
+    ) -> None:
+        if isinstance(hypergraph, TemporalHypergraph):
+            self._temporal: Optional[TemporalHypergraph] = hypergraph
+            self._hypergraph: Optional[Hypergraph] = None
+        elif isinstance(hypergraph, Hypergraph):
+            self._temporal = None
+            self._hypergraph = hypergraph
+        else:
+            raise SpecError(
+                "MotifEngine requires a Hypergraph or TemporalHypergraph, "
+                f"got {type(hypergraph).__name__}"
+            )
+        self._projection = projection
+        self._projection_builds = 0
+        self._hyperwedges: Optional[List[Tuple[int, int]]] = None
+        self._lazy_hyperwedges: Optional[List[Tuple[int, int]]] = None
+        self._count_cache: Dict[CountSpec, CountResult] = {}
+        self._null_cache: Dict[Tuple, NullModelCounts] = {}
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def load(
+        cls,
+        source: Source,
+        scale: float = 1.0,
+        registry: Optional[DatasetRegistry] = None,
+    ) -> "MotifEngine":
+        """Build an engine from a registered dataset name or a hypergraph file."""
+        registry = DEFAULT_REGISTRY if registry is None else registry
+        return cls(registry.load(source, scale=scale))
+
+    # -------------------------------------------------------------- properties
+    @property
+    def hypergraph(self) -> Hypergraph:
+        """The bound (static) hypergraph."""
+        return self._static()
+
+    @property
+    def temporal(self) -> Optional[TemporalHypergraph]:
+        """The bound temporal hypergraph, when the engine was built from one."""
+        return self._temporal
+
+    @property
+    def name(self) -> str:
+        """Name of the bound hypergraph."""
+        if self._temporal is not None:
+            return self._temporal.name
+        return self._static().name
+
+    @property
+    def projection(self) -> ProjectedGraph:
+        """The cached projected graph, built on first access."""
+        return self._ensure_projection()[0]
+
+    @property
+    def num_projection_builds(self) -> int:
+        """How many times this engine has built a full projection."""
+        return self._projection_builds
+
+    def hyperwedges(self) -> List[Tuple[int, int]]:
+        """The cached hyperwedge list ``∧`` (lexicographic order).
+
+        Returns a copy; the engine's internal list also serves as the
+        sampling population for MoCHy-A+, so handing it out by reference
+        would let callers corrupt subsequent counts.
+        """
+        return list(self._hyperwedge_cache())
+
+    def _hyperwedge_cache(self) -> List[Tuple[int, int]]:
+        if self._hyperwedges is None:
+            self._hyperwedges = self.projection.hyperwedge_list()
+        return self._hyperwedges
+
+    def clear_cache(self) -> None:
+        """Drop the cached projection, hyperwedge lists and memoized results."""
+        self._projection = None
+        self._hyperwedges = None
+        self._lazy_hyperwedges = None
+        self._count_cache.clear()
+        self._null_cache.clear()
+
+    # ------------------------------------------------------------------- count
+    def count(self, spec: Optional[CountSpec] = None) -> CountResult:
+        """Count (or estimate) every h-motif's instances per *spec*.
+
+        Exact and integer-seeded sampling runs are memoized per spec (callers
+        get a defensive copy of the counts, so mutating a returned vector
+        cannot poison the cache). Runs without a replayable seed — ``None``
+        or a stateful ``Generator`` — are recomputed so repeated calls stay
+        independent estimates.
+        """
+        spec = CountSpec() if spec is None else spec
+        cacheable = spec.is_exact or _is_deterministic_seed(spec.seed)
+        if cacheable:
+            cached = self._count_cache.get(spec)
+            if cached is not None:
+                # Nothing ran during this call: report zero timings and mark
+                # the hit instead of replaying the original run's metadata.
+                return replace(
+                    cached,
+                    counts=_copy_counts(cached.counts),
+                    projection_seconds=0.0,
+                    counting_seconds=0.0,
+                    projection_cached=True,
+                    from_cache=True,
+                )
+        hypergraph = self._static()
+        provider, projection_seconds, projection_cached = self._counting_projection(spec)
+        wedges: Optional[List[Tuple[int, int]]] = None
+        if spec.algorithm == ALGORITHM_WEDGE_SAMPLING and spec.num_workers == 1:
+            if provider is self._projection:
+                wedges = self._hyperwedge_cache()
+            else:
+                # Lazy providers are per-call, but the hyperwedge set they
+                # enumerate depends only on the hypergraph — cache it so
+                # repeated lazy runs don't re-pay the full enumeration.
+                if self._lazy_hyperwedges is None:
+                    self._lazy_hyperwedges = provider.hyperwedge_list()
+                wedges = self._lazy_hyperwedges
+        resolved_samples = self._resolve_samples(spec, hypergraph, provider, wedges)
+        with Timer() as counting_timer:
+            counts = self._dispatch(spec, hypergraph, provider, resolved_samples, wedges)
+        result = CountResult(
+            dataset=hypergraph.name,
+            algorithm=spec.algorithm,
+            counts=counts,
+            num_samples=resolved_samples,
+            projection_seconds=projection_seconds,
+            counting_seconds=counting_timer.elapsed,
+            projection_cached=projection_cached,
+            projection_mode=spec.projection,
+        )
+        if cacheable:
+            # Memoize a private copy; the caller's result stays mutable
+            # without aliasing the cache.
+            self._count_cache[spec] = replace(result, counts=_copy_counts(counts))
+        return result
+
+    # ----------------------------------------------------------------- profile
+    def profile(
+        self,
+        spec: Optional[ProfileSpec] = None,
+        real_counts: Optional[MotifCounts] = None,
+    ) -> ProfileResult:
+        """Characteristic profile of the bound hypergraph (paper Eq. 2).
+
+        The real counts come from :meth:`count` (hitting its memo when a
+        matching count ran before); *real_counts* overrides them entirely.
+        """
+        spec = ProfileSpec() if spec is None else spec
+        hypergraph = self._static()
+        with Timer() as timer:
+            if real_counts is None:
+                real_counts = self.count(spec.count_spec()).counts
+            profile = profile_from_counts(
+                real_counts,
+                self._null_counts(spec),
+                name=hypergraph.name,
+                epsilon=spec.epsilon,
+            )
+        return ProfileResult(
+            dataset=hypergraph.name,
+            profile=profile,
+            algorithm=spec.algorithm,
+            num_random=spec.num_random,
+            null_model=spec.null_model,
+            seconds=timer.elapsed,
+        )
+
+    # ----------------------------------------------------------------- compare
+    def compare(
+        self,
+        spec: Optional[CompareSpec] = None,
+        real_counts: Optional[MotifCounts] = None,
+    ) -> CompareResult:
+        """Real-vs-random comparison table (paper Table 3)."""
+        spec = CompareSpec() if spec is None else spec
+        hypergraph = self._static()
+        with Timer() as timer:
+            if real_counts is None:
+                real_counts = self.count(spec.count_spec()).counts
+            report = compare_counts(
+                real_counts, self._null_counts(spec), dataset=hypergraph.name
+            )
+        return CompareResult(
+            dataset=hypergraph.name,
+            report=report,
+            algorithm=spec.algorithm,
+            num_random=spec.num_random,
+            null_model=spec.null_model,
+            seconds=timer.elapsed,
+        )
+
+    # ----------------------------------------------------------------- predict
+    def predict(
+        self,
+        spec: Optional[PredictSpec] = None,
+        classifiers: Optional[Dict[str, BinaryClassifier]] = None,
+    ) -> PredictResult:
+        """Hyperedge-prediction experiment (paper Table 4).
+
+        Requires the engine to be bound to a
+        :class:`~repro.hypergraph.TemporalHypergraph`. Every (feature set,
+        classifier) pair is trained on the context window and evaluated on
+        the test window.
+        """
+        spec = PredictSpec() if spec is None else spec
+        if self._temporal is None:
+            raise SpecError(
+                "predict() requires the engine to be bound to a "
+                "TemporalHypergraph (timestamped hyperedges)"
+            )
+        context_window, test_window = self._predict_windows(spec)
+        with Timer() as timer:
+            dataset = build_prediction_dataset(
+                self._temporal,
+                context_window[0],
+                context_window[1],
+                test_window[0],
+                test_window[1],
+                replace_fraction=spec.replace_fraction,
+                max_positives=spec.max_positives,
+                seed=spec.seed,
+            )
+            if classifiers is None:
+                classifiers = default_classifiers(seed=0)
+            result = PredictionExperimentResult()
+            for feature_set in FEATURE_SETS:
+                train = dataset.features_train[feature_set]
+                test = dataset.features_test[feature_set]
+                for name, classifier in classifiers.items():
+                    # Each cell trains its own copy of the supplied template,
+                    # keeping the caller's hyperparameters and seed while
+                    # preventing fitted state from leaking across feature
+                    # sets. (The legacy loop rebuilt with type(classifier)(),
+                    # silently discarding the configuration.)
+                    model = copy.deepcopy(classifier)
+                    model.fit(train, dataset.labels_train)
+                    probabilities = model.predict_proba(test)
+                    predictions = (probabilities >= 0.5).astype(int)
+                    result.scores.append(
+                        PredictionScore(
+                            classifier=name,
+                            feature_set=feature_set,
+                            accuracy=accuracy(dataset.labels_test, predictions),
+                            auc=roc_auc(dataset.labels_test, probabilities),
+                        )
+                    )
+        return PredictResult(
+            dataset=self._temporal.name,
+            result=result,
+            context_window=context_window,
+            test_window=test_window,
+            seconds=timer.elapsed,
+        )
+
+    # ---------------------------------------------------------------- internal
+    def _null_counts(self, spec) -> MotifCounts:
+        """Mean null-model counts for a Profile/Compare spec, memoized.
+
+        ``profile()`` and ``compare()`` with the same randomization
+        parameters share the generated-and-counted null models — the
+        dominant cost of both workflows. Only integer-seeded (replayable)
+        runs are cached; the returned vector is a defensive copy.
+        """
+        key = (
+            spec.num_random,
+            spec.null_model,
+            spec.algorithm,
+            spec.sampling_ratio,
+            spec.seed,
+        )
+        cacheable = _is_deterministic_seed(spec.seed)
+        if cacheable:
+            cached = self._null_cache.get(key)
+            if cached is not None:
+                return _copy_counts(cached.mean_counts)
+        null = random_motif_counts(
+            self._static(),
+            num_random=spec.num_random,
+            null_model=spec.null_model,
+            algorithm=spec.algorithm,
+            sampling_ratio=spec.sampling_ratio,
+            seed=spec.seed,
+        )
+        if cacheable:
+            self._null_cache[key] = null
+        return _copy_counts(null.mean_counts)
+
+    def _predict_windows(
+        self, spec: PredictSpec
+    ) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        """Resolve the (context, test) windows, defaulting to the paper's split."""
+        if spec.has_explicit_windows:
+            return (
+                (spec.context_start, spec.context_end),
+                (spec.test_start, spec.test_end),
+            )
+        stamps = self._temporal.timestamps()
+        if len(stamps) < 2:
+            raise SpecError(
+                "the default prediction split needs at least two distinct "
+                "timestamps; pass explicit windows instead"
+            )
+        return (stamps[0], stamps[-2]), (stamps[-1], stamps[-1])
+
+    def _static(self) -> Hypergraph:
+        if self._hypergraph is None:
+            stamps = self._temporal.timestamps()
+            if not stamps:
+                raise SpecError("the bound temporal hypergraph is empty")
+            self._hypergraph = self._temporal.window(stamps[0], stamps[-1])
+        return self._hypergraph
+
+    def _ensure_projection(self) -> Tuple[ProjectedGraph, float, bool]:
+        """(projection, seconds spent building it now, served-from-cache)."""
+        if self._projection is not None:
+            return self._projection, 0.0, True
+        with Timer() as timer:
+            self._projection = project(self._static())
+        self._projection_builds += 1
+        return self._projection, timer.elapsed, False
+
+    def _counting_projection(self, spec: CountSpec):
+        if spec.projection == PROJECTION_LAZY:
+            provider = LazyProjection(
+                self._static(), budget=spec.budget, policy=spec.policy, seed=spec.seed
+            )
+            return provider, 0.0, False
+        return self._ensure_projection()
+
+    @staticmethod
+    def _resolve_samples(
+        spec: CountSpec,
+        hypergraph: Hypergraph,
+        provider,
+        wedges: Optional[List[Tuple[int, int]]],
+    ) -> Optional[int]:
+        if spec.is_exact:
+            return None
+        if spec.num_samples is not None:
+            return spec.num_samples
+        ratio = 0.1 if spec.sampling_ratio is None else spec.sampling_ratio
+        if spec.algorithm == ALGORITHM_EDGE_SAMPLING:
+            population = hypergraph.num_hyperedges
+        elif wedges is not None:
+            population = len(wedges)
+        else:
+            population = getattr(provider, "num_hyperwedges", None)
+            if population is None:
+                population = len(provider.hyperwedge_list())
+        return max(1, int(round(ratio * population)))
+
+    def _dispatch(
+        self,
+        spec: CountSpec,
+        hypergraph: Hypergraph,
+        provider,
+        resolved_samples: Optional[int],
+        wedges: Optional[List[Tuple[int, int]]],
+    ) -> MotifCounts:
+        if spec.is_exact:
+            if spec.num_workers > 1:
+                return count_exact_parallel(hypergraph, spec.num_workers, provider)
+            return count_exact(hypergraph, provider)
+        if spec.algorithm == ALGORITHM_EDGE_SAMPLING:
+            if spec.num_workers > 1:
+                return count_approx_edge_sampling_parallel(
+                    hypergraph,
+                    resolved_samples,
+                    spec.num_workers,
+                    seed=spec.seed,
+                    projection=provider,
+                )
+            return count_approx_edge_sampling(
+                hypergraph, resolved_samples, provider, seed=spec.seed
+            )
+        if spec.num_workers > 1:
+            return count_approx_wedge_sampling_parallel(
+                hypergraph,
+                resolved_samples,
+                spec.num_workers,
+                seed=spec.seed,
+                projection=provider,
+            )
+        return count_approx_wedge_sampling(
+            hypergraph,
+            resolved_samples,
+            provider,
+            seed=spec.seed,
+            hyperwedges=wedges,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MotifEngine(name={self.name!r}, "
+            f"projection_cached={self._projection is not None}, "
+            f"memoized_counts={len(self._count_cache)})"
+        )

@@ -1,0 +1,192 @@
+"""Typed, machine-readable results returned by the :class:`~repro.api.MotifEngine`.
+
+Each workflow returns one result object carrying the payload (counts, profile,
+comparison rows, prediction scores) together with the run's metadata: the
+resolved algorithm, sample sizes, wall-clock timings and whether the engine's
+cached projection was reused. ``to_dict()`` gives a plain-JSON-types mapping
+and ``to_json()`` its serialization, which is what the CLI's ``--json`` flag
+emits for scripting.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.real_vs_random import RealVsRandomReport
+from repro.motifs.counts import MotifCounts
+from repro.prediction.task import PredictionExperimentResult
+from repro.profile.characteristic_profile import CharacteristicProfile
+
+
+class EngineResult:
+    """Base class for engine results: dict/JSON serialization."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready mapping of the result."""
+        raise NotImplementedError
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The result serialized as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+@dataclass(frozen=True)
+class CountResult(EngineResult):
+    """Outcome of :meth:`~repro.api.MotifEngine.count`.
+
+    ``projection_seconds`` is the time spent building the projection *during
+    this call* — zero when the engine served it from its cache
+    (``projection_cached`` is then true) or when counting over a lazy
+    projection (whose neighborhoods are built inside the counting phase).
+    A memoized result (``from_cache`` true) ran no counting at all, so both
+    timings are zero.
+    """
+
+    dataset: str
+    algorithm: str
+    counts: MotifCounts
+    num_samples: Optional[int]
+    projection_seconds: float
+    counting_seconds: float
+    projection_cached: bool = False
+    projection_mode: str = "full"
+    from_cache: bool = False
+
+    @property
+    def total_seconds(self) -> float:
+        """Projection plus counting time of this call."""
+        return self.projection_seconds + self.counting_seconds
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "count",
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "num_samples": self.num_samples,
+            "projection": self.projection_mode,
+            "projection_cached": self.projection_cached,
+            "projection_seconds": self.projection_seconds,
+            "counting_seconds": self.counting_seconds,
+            "from_cache": self.from_cache,
+            "counts": {str(motif): value for motif, value in self.counts.items()},
+            "total": self.counts.total(),
+        }
+
+
+@dataclass(frozen=True)
+class ProfileResult(EngineResult):
+    """Outcome of :meth:`~repro.api.MotifEngine.profile`."""
+
+    dataset: str
+    profile: CharacteristicProfile
+    algorithm: str
+    num_random: int
+    null_model: str
+    seconds: float
+
+    @property
+    def values(self):
+        """The L2-normalized CP vector (length 26)."""
+        return self.profile.values
+
+    @property
+    def significances(self):
+        """The raw significance vector (length 26)."""
+        return self.profile.significances
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "profile",
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "num_random": self.num_random,
+            "null_model": self.null_model,
+            "seconds": self.seconds,
+            "significances": [float(value) for value in self.profile.significances],
+            "values": [float(value) for value in self.profile.values],
+            "real_counts": {
+                str(motif): value for motif, value in self.profile.real_counts.items()
+            },
+            "random_counts": {
+                str(motif): value for motif, value in self.profile.random_counts.items()
+            },
+        }
+
+
+@dataclass(frozen=True)
+class CompareResult(EngineResult):
+    """Outcome of :meth:`~repro.api.MotifEngine.compare` (Table-3 style rows)."""
+
+    dataset: str
+    report: RealVsRandomReport
+    algorithm: str
+    num_random: int
+    null_model: str
+    seconds: float
+
+    @property
+    def rows(self):
+        """The 26 per-motif comparison rows."""
+        return self.report.rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "compare",
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "num_random": self.num_random,
+            "null_model": self.null_model,
+            "seconds": self.seconds,
+            "mean_rank_difference": self.report.mean_rank_difference(),
+            "rows": [
+                {
+                    "motif": row.motif,
+                    "real_count": row.real_count,
+                    "random_count": row.random_count,
+                    "real_rank": row.real_rank,
+                    "random_rank": row.random_rank,
+                    "rank_difference": row.rank_difference,
+                    "relative_count": row.relative_count,
+                }
+                for row in self.report.rows
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class PredictResult(EngineResult):
+    """Outcome of :meth:`~repro.api.MotifEngine.predict` (Table-4 style grid)."""
+
+    dataset: str
+    result: PredictionExperimentResult
+    context_window: Tuple[int, int]
+    test_window: Tuple[int, int]
+    seconds: float
+
+    def as_rows(self) -> List[Tuple[str, str, float, float]]:
+        """Rows of (classifier, feature set, accuracy, AUC)."""
+        return self.result.as_rows()
+
+    def mean_metric(self, feature_set: str, metric: str = "auc") -> float:
+        """Average of a metric over classifiers, for one feature set."""
+        return self.result.mean_metric(feature_set, metric)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "predict",
+            "dataset": self.dataset,
+            "context_window": list(self.context_window),
+            "test_window": list(self.test_window),
+            "seconds": self.seconds,
+            "scores": [
+                {
+                    "classifier": classifier,
+                    "feature_set": feature_set,
+                    "accuracy": accuracy,
+                    "auc": auc,
+                }
+                for classifier, feature_set, accuracy, auc in self.result.as_rows()
+            ],
+        }

@@ -1,21 +1,28 @@
 """Command-line interface for the MoCHy reproduction.
 
+Every sub-command is a thin veneer over :class:`repro.api.MotifEngine`: the
+arguments are parsed into one of the typed specs (:class:`repro.api.CountSpec`
+etc.), validated *before* any dataset is loaded, and the engine runs the
+workflow. ``count`` and ``profile`` accept ``--json`` to emit the result
+objects' machine-readable serialization for scripting.
+
 Sub-commands
 ------------
 ``count``
-    Count h-motif instances in a hypergraph file with a chosen MoCHy variant.
+    Count h-motif instances with a chosen MoCHy variant.
 ``profile``
-    Compute the characteristic profile of a hypergraph file.
+    Compute the characteristic profile of a hypergraph.
 ``compare``
-    Real-vs-random comparison table (Table 3 style) for a hypergraph file.
+    Real-vs-random comparison table (Table 3 style).
 ``generate``
-    Generate one of the synthetic corpus datasets (or a whole domain) to disk.
+    Generate one of the synthetic corpus datasets to disk.
 ``predict``
     Run the hyperedge-prediction experiment on a synthetic temporal
     co-authorship hypergraph and print the Table-4 style grid.
 
-Hypergraph files use the plain one-hyperedge-per-line format
-(see :mod:`repro.hypergraph.io`).
+Dataset arguments accept either a file path (plain one-hyperedge-per-line, or
+a ``.json`` document) or the name of a registered synthetic dataset (see
+``repro-mochy generate --help`` for the names).
 """
 
 from __future__ import annotations
@@ -23,17 +30,22 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.analysis.real_vs_random import format_report, real_vs_random
-from repro.counting.runner import ALGORITHMS, run_counting
-from repro.exceptions import CLIError, ReproError
+from repro.api import (
+    PROJECTIONS,
+    CountSpec,
+    MotifEngine,
+    ProfileSpec,
+    CompareSpec,
+    PredictSpec,
+)
+from repro.counting.runner import ALGORITHMS
+from repro.exceptions import CLIError, DatasetError, ReproError, SpecError
 from repro.generators.corpus import dataset_names, generate_dataset
 from repro.generators.temporal import generate_temporal_coauthorship
 from repro.hypergraph import io as hio
 from repro.motifs.patterns import NUM_MOTIFS, motif_is_open
-from repro.prediction.task import run_prediction_experiment
-from repro.profile.characteristic_profile import characteristic_profile
 from repro.utils.logging import enable_console_logging
 
 
@@ -49,7 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     count = subparsers.add_parser("count", help="count h-motif instances")
-    count.add_argument("path", type=Path, help="hypergraph file (one hyperedge per line)")
+    count.add_argument(
+        "path",
+        help="hypergraph file (one hyperedge per line) or registered dataset name",
+    )
     count.add_argument(
         "--algorithm",
         default="exact",
@@ -61,16 +76,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     count.add_argument("--workers", type=int, default=1, help="number of parallel workers")
     count.add_argument("--seed", type=int, default=None, help="random seed")
+    count.add_argument(
+        "--projection",
+        choices=PROJECTIONS,
+        default="full",
+        help="'full' materializes the projected graph; 'lazy' counts over a "
+        "memory-budgeted on-the-fly projection",
+    )
+    count.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="lazy-projection memoization budget (number of neighborhoods)",
+    )
+    count.add_argument(
+        "--json", action="store_true", help="emit the result as a JSON document"
+    )
 
     profile = subparsers.add_parser("profile", help="compute the characteristic profile")
-    profile.add_argument("path", type=Path, help="hypergraph file")
+    profile.add_argument("path", help="hypergraph file or registered dataset name")
     profile.add_argument("--random", type=int, default=5, help="number of randomizations")
     profile.add_argument("--algorithm", default="exact", help="counting algorithm")
     profile.add_argument("--ratio", type=float, default=None, help="sampling ratio")
     profile.add_argument("--seed", type=int, default=0, help="random seed")
+    profile.add_argument(
+        "--json", action="store_true", help="emit the result as a JSON document"
+    )
 
     compare = subparsers.add_parser("compare", help="real vs. random comparison table")
-    compare.add_argument("path", type=Path, help="hypergraph file")
+    compare.add_argument("path", help="hypergraph file or registered dataset name")
     compare.add_argument("--random", type=int, default=5, help="number of randomizations")
     compare.add_argument("--seed", type=int, default=0, help="random seed")
 
@@ -119,57 +153,80 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
-def _load(path: Path):
-    if not path.exists():
-        raise CLIError(f"no such file: {path}")
-    return hio.read_plain(path)
+def _engine(source: str) -> MotifEngine:
+    """An engine over a file path or registered dataset name."""
+    try:
+        return MotifEngine.load(source)
+    except DatasetError as error:
+        raise CLIError(str(error)) from error
 
 
 def _run_count(arguments) -> None:
-    hypergraph = _load(arguments.path)
-    run = run_counting(
-        hypergraph,
-        algorithm=arguments.algorithm,
-        num_samples=arguments.samples,
-        sampling_ratio=arguments.ratio,
-        num_workers=arguments.workers,
-        seed=arguments.seed,
-    )
-    print(f"# dataset: {hypergraph.name}")
-    print(f"# algorithm: {run.algorithm}  samples: {run.num_samples}")
+    # Validate the spec before touching the dataset, so conflicting or invalid
+    # options fail fast with a parse-time error.
+    if arguments.samples is not None and arguments.ratio is not None:
+        raise CLIError("pass either --samples or --ratio, not both")
+    try:
+        spec = CountSpec(
+            algorithm=arguments.algorithm,
+            num_samples=arguments.samples,
+            sampling_ratio=arguments.ratio,
+            num_workers=arguments.workers,
+            seed=arguments.seed,
+            projection=arguments.projection,
+            budget=arguments.budget,
+        )
+    except SpecError as error:
+        raise CLIError(str(error)) from error
+    engine = _engine(arguments.path)
+    result = engine.count(spec)
+    if arguments.json:
+        print(result.to_json(indent=2))
+        return
+    print(f"# dataset: {result.dataset}")
+    print(f"# algorithm: {result.algorithm}  samples: {result.num_samples}")
     print(
-        f"# projection: {run.projection_seconds:.3f}s  counting: {run.counting_seconds:.3f}s"
+        f"# projection: {result.projection_seconds:.3f}s  counting: {result.counting_seconds:.3f}s"
     )
     print(f"{'motif':>5} {'open':>5} {'count':>16}")
-    for motif, value in run.counts.items():
+    for motif, value in result.counts.items():
         print(f"{motif:>5} {str(motif_is_open(motif)):>5} {value:>16.4f}")
-    print(f"total instances: {run.counts.total():.1f}")
+    print(f"total instances: {result.counts.total():.1f}")
 
 
 def _run_profile(arguments) -> None:
-    hypergraph = _load(arguments.path)
-    profile = characteristic_profile(
-        hypergraph,
-        num_random=arguments.random,
-        algorithm=arguments.algorithm,
-        sampling_ratio=arguments.ratio,
-        seed=arguments.seed,
-    )
-    print(f"# characteristic profile of {hypergraph.name}")
+    try:
+        spec = ProfileSpec(
+            num_random=arguments.random,
+            algorithm=arguments.algorithm,
+            sampling_ratio=arguments.ratio,
+            seed=arguments.seed,
+        )
+    except SpecError as error:
+        raise CLIError(str(error)) from error
+    engine = _engine(arguments.path)
+    result = engine.profile(spec)
+    if arguments.json:
+        print(result.to_json(indent=2))
+        return
+    print(f"# characteristic profile of {result.dataset}")
     print(f"{'motif':>5} {'significance':>13} {'CP':>9}")
     for motif in range(1, NUM_MOTIFS + 1):
         print(
-            f"{motif:>5} {profile.significances[motif - 1]:>13.4f} "
-            f"{profile.values[motif - 1]:>9.4f}"
+            f"{motif:>5} {result.significances[motif - 1]:>13.4f} "
+            f"{result.values[motif - 1]:>9.4f}"
         )
 
 
 def _run_compare(arguments) -> None:
-    hypergraph = _load(arguments.path)
-    report = real_vs_random(
-        hypergraph, num_random=arguments.random, seed=arguments.seed
-    )
-    print(format_report(report))
+    from repro.analysis.real_vs_random import format_report
+
+    try:
+        spec = CompareSpec(num_random=arguments.random, seed=arguments.seed)
+    except SpecError as error:
+        raise CLIError(str(error)) from error
+    engine = _engine(arguments.path)
+    print(format_report(engine.compare(spec).report))
 
 
 def _run_generate(arguments) -> None:
@@ -185,15 +242,9 @@ def _run_predict(arguments) -> None:
     temporal = generate_temporal_coauthorship(
         num_years=arguments.years, seed=arguments.seed
     )
-    years = temporal.timestamps()
-    result = run_prediction_experiment(
-        temporal,
-        context_start=years[0],
-        context_end=years[-2],
-        test_start=years[-1],
-        test_end=years[-1],
-        max_positives=arguments.max_positives,
-        seed=arguments.seed,
+    engine = MotifEngine(temporal)
+    result = engine.predict(
+        PredictSpec(max_positives=arguments.max_positives, seed=arguments.seed)
     )
     print(f"{'classifier':<22} {'features':<6} {'ACC':>7} {'AUC':>7}")
     for classifier, feature_set, acc, auc in result.as_rows():

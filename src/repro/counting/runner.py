@@ -1,9 +1,15 @@
-"""High-level entry point for h-motif counting.
+"""Legacy high-level entry points for h-motif counting.
 
-:func:`count_motifs` dispatches to the requested MoCHy variant with sensible
-defaults, handling projection construction and sample-size selection from a
-sampling ratio. It is the function most users (and the CLI, examples and
-benchmarks) call.
+.. deprecated::
+    :func:`count_motifs` and :func:`run_counting` are kept as thin shims over
+    :class:`repro.api.MotifEngine` so existing callers, tests and benchmarks
+    keep working bit-identically. New code should construct an engine and a
+    :class:`repro.api.CountSpec` directly — the engine caches the projection
+    and memoizes results across workflows, which these one-shot functions
+    cannot.
+
+The algorithm-name constants and :func:`resolve_algorithm` remain the
+canonical registry of MoCHy variant names (the spec layer builds on them).
 """
 
 from __future__ import annotations
@@ -11,21 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.counting.edge_sampling import count_approx_edge_sampling
-from repro.counting.exact import count_exact
-from repro.counting.parallel import (
-    count_approx_edge_sampling_parallel,
-    count_approx_wedge_sampling_parallel,
-    count_exact_parallel,
-)
-from repro.counting.wedge_sampling import count_approx_wedge_sampling
 from repro.exceptions import SamplingError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.motifs.counts import MotifCounts
-from repro.projection.builder import project
 from repro.projection.projected_graph import ProjectedGraph
 from repro.utils.rng import SeedLike
-from repro.utils.timer import Timer
 
 #: Supported algorithm names.
 ALGORITHM_EXACT = "exact"
@@ -82,6 +78,9 @@ def count_motifs(
 ) -> MotifCounts:
     """Count (or estimate) the instances of every h-motif in *hypergraph*.
 
+    .. deprecated:: use :meth:`repro.api.MotifEngine.count`; this shim builds
+       a throwaway engine per call.
+
     Parameters
     ----------
     algorithm:
@@ -116,77 +115,29 @@ def run_counting(
     seed: SeedLike = None,
     projection: Optional[ProjectedGraph] = None,
 ) -> CountingRun:
-    """As :func:`count_motifs`, but also reporting timing metadata."""
-    algorithm = resolve_algorithm(algorithm)
-    if num_samples is not None and sampling_ratio is not None:
-        raise SamplingError("pass either num_samples or sampling_ratio, not both")
+    """As :func:`count_motifs`, but also reporting timing metadata.
 
-    with Timer() as projection_timer:
-        if projection is None:
-            projection = project(hypergraph)
-    resolved_samples = _resolve_samples(
-        algorithm, hypergraph, projection, num_samples, sampling_ratio
-    )
+    .. deprecated:: use :meth:`repro.api.MotifEngine.count`, whose
+       :class:`repro.api.CountResult` carries the same metadata plus
+       projection-cache information.
+    """
+    # Imported here: repro.api builds on the counting layer, so a module-level
+    # import would be circular.
+    from repro.api.config import CountSpec
+    from repro.api.engine import MotifEngine
 
-    with Timer() as counting_timer:
-        if algorithm == ALGORITHM_EXACT:
-            if num_workers > 1:
-                counts = count_exact_parallel(hypergraph, num_workers, projection)
-            else:
-                counts = count_exact(hypergraph, projection)
-        elif algorithm == ALGORITHM_EDGE_SAMPLING:
-            if num_workers > 1:
-                counts = count_approx_edge_sampling_parallel(
-                    hypergraph,
-                    resolved_samples,
-                    num_workers,
-                    seed=seed,
-                    projection=projection,
-                )
-            else:
-                counts = count_approx_edge_sampling(
-                    hypergraph, resolved_samples, projection, seed=seed
-                )
-        else:
-            if num_workers > 1:
-                counts = count_approx_wedge_sampling_parallel(
-                    hypergraph,
-                    resolved_samples,
-                    num_workers,
-                    seed=seed,
-                    projection=projection,
-                )
-            else:
-                counts = count_approx_wedge_sampling(
-                    hypergraph, resolved_samples, projection, seed=seed
-                )
-    return CountingRun(
-        counts=counts,
+    spec = CountSpec(
         algorithm=algorithm,
-        num_samples=resolved_samples if algorithm != ALGORITHM_EXACT else None,
-        projection_seconds=projection_timer.elapsed,
-        counting_seconds=counting_timer.elapsed,
+        num_samples=num_samples,
+        sampling_ratio=sampling_ratio,
+        num_workers=num_workers,
+        seed=seed,
     )
-
-
-def _resolve_samples(
-    algorithm: str,
-    hypergraph: Hypergraph,
-    projection: ProjectedGraph,
-    num_samples: Optional[int],
-    sampling_ratio: Optional[float],
-) -> Optional[int]:
-    if algorithm == ALGORITHM_EXACT:
-        return None
-    if num_samples is not None:
-        if num_samples <= 0:
-            raise SamplingError(f"num_samples must be positive, got {num_samples}")
-        return int(num_samples)
-    ratio = 0.1 if sampling_ratio is None else float(sampling_ratio)
-    if ratio <= 0:
-        raise SamplingError(f"sampling_ratio must be positive, got {ratio}")
-    if algorithm == ALGORITHM_EDGE_SAMPLING:
-        population = hypergraph.num_hyperedges
-    else:
-        population = projection.num_hyperwedges
-    return max(1, int(round(ratio * population)))
+    result = MotifEngine(hypergraph, projection=projection).count(spec)
+    return CountingRun(
+        counts=result.counts,
+        algorithm=result.algorithm,
+        num_samples=result.num_samples,
+        projection_seconds=result.projection_seconds,
+        counting_seconds=result.counting_seconds,
+    )

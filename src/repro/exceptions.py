@@ -70,3 +70,16 @@ class PredictionTaskError(ReproError):
 
 class CLIError(ReproError):
     """Raised for user-facing command line errors."""
+
+
+class SpecError(ReproError):
+    """Raised when a :mod:`repro.api` spec is constructed with invalid options."""
+
+
+class CountSpecError(SpecError, SamplingError):
+    """Raised when a :class:`repro.api.CountSpec` is invalid.
+
+    Also a :class:`SamplingError` so callers of the legacy counting entrypoints
+    (which validated the same parameters and raised ``SamplingError``) keep
+    working unchanged.
+    """

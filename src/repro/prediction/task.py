@@ -23,7 +23,6 @@ import numpy as np
 from repro.exceptions import PredictionTaskError
 from repro.hypergraph.builders import TemporalHypergraph
 from repro.hypergraph.hypergraph import Hypergraph
-from repro.ml import default_classifiers
 from repro.ml.base import BinaryClassifier
 from repro.prediction.features import (
     hc_features,
@@ -176,46 +175,32 @@ def run_prediction_experiment(
     max_positives: Optional[int] = None,
     seed: SeedLike = None,
 ) -> PredictionExperimentResult:
-    """Run the full Table-4 experiment and return all (classifier, feature set) scores."""
-    dataset = build_prediction_dataset(
-        temporal,
-        context_start,
-        context_end,
-        test_start,
-        test_end,
+    """Run the full Table-4 experiment and return all (classifier, feature set) scores.
+
+    .. deprecated:: thin shim over :meth:`repro.api.MotifEngine.predict`,
+       which hosts the experiment loop; the signature is unchanged.
+
+    Behavior change vs. the pre-engine implementation: each cell now trains a
+    ``deepcopy`` of the supplied classifier template, so configured
+    hyperparameters and seeds are honored (the old loop rebuilt every model
+    with bare ``type(classifier)()``, discarding both — which also made
+    seeded runs nondeterministic). Scores therefore differ from pre-engine
+    runs, deliberately.
+    """
+    # Imported here: repro.api builds on this module (build_prediction_dataset).
+    from repro.api.config import PredictSpec
+    from repro.api.engine import MotifEngine
+
+    spec = PredictSpec(
+        context_start=context_start,
+        context_end=context_end,
+        test_start=test_start,
+        test_end=test_end,
         replace_fraction=replace_fraction,
         max_positives=max_positives,
         seed=seed,
     )
-    if classifiers is None:
-        classifiers = default_classifiers(seed=0)
-    result = PredictionExperimentResult()
-    for feature_set in FEATURE_SETS:
-        train = dataset.features_train[feature_set]
-        test = dataset.features_test[feature_set]
-        for name, classifier in classifiers.items():
-            model = _fresh_copy(classifier)
-            model.fit(train, dataset.labels_train)
-            probabilities = model.predict_proba(test)
-            predictions = (probabilities >= 0.5).astype(int)
-            result.scores.append(
-                PredictionScore(
-                    classifier=name,
-                    feature_set=feature_set,
-                    accuracy=accuracy(dataset.labels_test, predictions),
-                    auc=roc_auc(dataset.labels_test, probabilities),
-                )
-            )
-    return result
-
-
-def _fresh_copy(classifier: BinaryClassifier) -> BinaryClassifier:
-    """A new, unfitted instance with the same constructor defaults.
-
-    Each (feature set, classifier) cell must be trained independently; re-using
-    a fitted model across feature sets would leak state.
-    """
-    return type(classifier)()
+    return MotifEngine(temporal).predict(spec, classifiers=classifiers).result
 
 
 def _has_known_node(context: Hypergraph, edge) -> bool:

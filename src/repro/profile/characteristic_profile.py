@@ -13,15 +13,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.counting.runner import ALGORITHM_EXACT, count_motifs
+from repro.counting.runner import ALGORITHM_EXACT
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.motifs.counts import MotifCounts
 from repro.motifs.patterns import NUM_MOTIFS
 from repro.profile.significance import DEFAULT_EPSILON, significance_vector
-from repro.randomization.null_model import (
-    NULL_MODEL_CHUNG_LU,
-    random_motif_counts,
-)
+from repro.randomization.null_model import NULL_MODEL_CHUNG_LU
 from repro.utils.rng import SeedLike
 
 
@@ -88,28 +85,26 @@ def characteristic_profile(
 ) -> CharacteristicProfile:
     """Compute the CP of *hypergraph* end to end.
 
+    .. deprecated:: thin shim over :meth:`repro.api.MotifEngine.profile`,
+       which caches the projection across workflows on the same hypergraph.
+
     Counts the real hypergraph (unless *real_counts* is supplied), generates
     *num_random* randomized hypergraphs with the chosen null model, counts each
     with the same algorithm, and normalizes the significances.
     """
-    if real_counts is None:
-        real_counts = count_motifs(
-            hypergraph,
-            algorithm=algorithm,
-            sampling_ratio=sampling_ratio,
-            seed=seed,
-        )
-    null = random_motif_counts(
-        hypergraph,
+    # Imported here: repro.api builds on this module (profile_from_counts).
+    from repro.api.config import ProfileSpec
+    from repro.api.engine import MotifEngine
+
+    spec = ProfileSpec(
         num_random=num_random,
-        null_model=null_model,
         algorithm=algorithm,
         sampling_ratio=sampling_ratio,
+        null_model=null_model,
         seed=seed,
+        epsilon=epsilon,
     )
-    return profile_from_counts(
-        real_counts, null.mean_counts, name=hypergraph.name, epsilon=epsilon
-    )
+    return MotifEngine(hypergraph).profile(spec, real_counts=real_counts).profile
 
 
 def profile_correlation(first: Sequence[float], second: Sequence[float]) -> float:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -77,3 +79,49 @@ class TestCommands:
 
     def test_verbose_flag(self, hypergraph_file):
         assert main(["--verbose", "count", str(hypergraph_file)]) == 0
+
+    def test_count_rejects_samples_and_ratio_together(self, hypergraph_file, capsys):
+        code = main(
+            [
+                "count", str(hypergraph_file),
+                "--algorithm", "mochy-a", "--samples", "5", "--ratio", "0.2",
+            ]
+        )
+        assert code == 1
+        assert "either --samples or --ratio" in capsys.readouterr().err
+
+    def test_count_json_output(self, hypergraph_file, capsys):
+        code = main(
+            ["count", str(hypergraph_file), "--algorithm", "mochy-a",
+             "--samples", "10", "--seed", "3", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "count"
+        assert payload["algorithm"] == "edge-sampling"
+        assert payload["num_samples"] == 10
+        assert len(payload["counts"]) == 26
+
+    def test_profile_json_output(self, hypergraph_file, capsys):
+        code = main(
+            ["profile", str(hypergraph_file), "--random", "2", "--seed", "0", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "profile"
+        assert len(payload["values"]) == 26
+
+    def test_count_lazy_projection(self, hypergraph_file, capsys):
+        code = main(
+            ["count", str(hypergraph_file), "--projection", "lazy", "--budget", "4"]
+        )
+        assert code == 0
+        assert "total instances" in capsys.readouterr().out
+
+    def test_count_budget_requires_lazy(self, hypergraph_file, capsys):
+        assert main(["count", str(hypergraph_file), "--budget", "4"]) == 1
+        assert "lazy" in capsys.readouterr().err
+
+    def test_count_registered_dataset_name(self, capsys):
+        assert main(["count", "contact-primary-like"]) == 0
+        assert "contact-primary-like" in capsys.readouterr().out
