@@ -86,8 +86,10 @@ from repro.api import (
     load,
     register_dataset,
 )
+from repro.store import ArtifactStore, default_store
+from repro.store.serve import EngineServer, ServeRequest
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ReproError",
@@ -141,5 +143,9 @@ __all__ = [
     "DatasetRegistry",
     "load",
     "register_dataset",
+    "ArtifactStore",
+    "default_store",
+    "EngineServer",
+    "ServeRequest",
     "__version__",
 ]

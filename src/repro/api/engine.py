@@ -17,6 +17,15 @@ drivers, and a ``"full"`` (materialized, cached) or ``"lazy"``
 :func:`repro.analysis.real_vs_random`,
 :func:`repro.prediction.run_prediction_experiment`) are thin shims over an
 engine and return bit-identical results.
+
+Beyond its private memo, an engine can be handed an
+:class:`~repro.store.ArtifactStore` (``MotifEngine(hypergraph, store=...)``,
+or the ``REPRO_STORE_DIR``-backed process default): deterministic artifacts —
+the full projection, exact/seeded counts, null-model averages and profiles —
+are then looked up in the store before computing and persisted after, keyed
+by the hypergraph's content fingerprint. Engines sharing a store share work
+across instances, and a persistent store directory makes cold runs in new
+processes warm-start with bit-identical results.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from repro.api.config import (
 )
 from repro.api.registry import DEFAULT_REGISTRY, DatasetRegistry, Source
 from repro.api.results import (
+    CACHE_TIER_ENGINE,
     CompareResult,
     CountResult,
     PredictResult,
@@ -71,6 +81,8 @@ from repro.projection.builder import project
 from repro.projection.lazy import LazyProjection
 from repro.projection.projected_graph import ProjectedGraph
 from repro.randomization.null_model import NullModelCounts, random_motif_counts
+from repro.store import codecs
+from repro.store.artifacts import ArtifactStore, resolve_store
 from repro.utils.timer import Timer
 
 EngineSource = Union[Hypergraph, TemporalHypergraph]
@@ -98,12 +110,21 @@ class MotifEngine:
     projection:
         Optionally seed the projection cache with a pre-built projected graph
         (it must belong to *hypergraph*; this is not checked).
+    store:
+        Cross-engine artifact cache. ``True`` (the default) uses the
+        process-wide default store — persistent only when ``REPRO_STORE_DIR``
+        is set, disabled otherwise; ``None``/``False`` disables store
+        consultation entirely; an explicit
+        :class:`~repro.store.ArtifactStore` is used as given. Only
+        deterministic artifacts (the full projection, exact or integer-seeded
+        results) are stored, so cached and cold paths stay bit-identical.
     """
 
     def __init__(
         self,
         hypergraph: EngineSource,
         projection: Optional[ProjectedGraph] = None,
+        store: Union[ArtifactStore, bool, None] = True,
     ) -> None:
         if isinstance(hypergraph, TemporalHypergraph):
             self._temporal: Optional[TemporalHypergraph] = hypergraph
@@ -122,6 +143,7 @@ class MotifEngine:
         self._lazy_hyperwedges: Optional[List[Tuple[int, int]]] = None
         self._count_cache: Dict[CountSpec, CountResult] = {}
         self._null_cache: Dict[Tuple, NullModelCounts] = {}
+        self._store = resolve_store(store)
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -130,10 +152,11 @@ class MotifEngine:
         source: Source,
         scale: float = 1.0,
         registry: Optional[DatasetRegistry] = None,
+        store: Union[ArtifactStore, bool, None] = True,
     ) -> "MotifEngine":
         """Build an engine from a registered dataset name or a hypergraph file."""
         registry = DEFAULT_REGISTRY if registry is None else registry
-        return cls(registry.load(source, scale=scale))
+        return cls(registry.load(source, scale=scale), store=store)
 
     # -------------------------------------------------------------- properties
     @property
@@ -152,6 +175,16 @@ class MotifEngine:
         if self._temporal is not None:
             return self._temporal.name
         return self._static().name
+
+    @property
+    def store(self) -> Optional[ArtifactStore]:
+        """The artifact store this engine consults (``None`` when disabled)."""
+        return self._store
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the bound (static) hypergraph."""
+        return self._static().fingerprint()
 
     @property
     def projection(self) -> ProjectedGraph:
@@ -178,7 +211,11 @@ class MotifEngine:
         return self._hyperwedges
 
     def clear_cache(self) -> None:
-        """Drop the cached projection, hyperwedge lists and memoized results."""
+        """Drop the cached projection, hyperwedge lists and memoized results.
+
+        Only this engine's private caches are cleared; an attached artifact
+        store keeps its entries (use :meth:`ArtifactStore.gc` to compact it).
+        """
         self._projection = None
         self._hyperwedges = None
         self._lazy_hyperwedges = None
@@ -209,7 +246,16 @@ class MotifEngine:
                     counting_seconds=0.0,
                     projection_cached=True,
                     from_cache=True,
+                    cache_tier=CACHE_TIER_ENGINE,
                 )
+            stored = self._stored_count(spec)
+            if stored is not None:
+                result, tier = stored
+                # Seed the in-process memo so later calls skip the store.
+                self._count_cache[spec] = replace(
+                    result, counts=_copy_counts(result.counts)
+                )
+                return replace(result, from_cache=True, cache_tier=tier)
         hypergraph = self._static()
         provider, projection_seconds, projection_cached = self._counting_projection(spec)
         wedges: Optional[List[Tuple[int, int]]] = None
@@ -240,6 +286,7 @@ class MotifEngine:
             # Memoize a private copy; the caller's result stays mutable
             # without aliasing the cache.
             self._count_cache[spec] = replace(result, counts=_copy_counts(counts))
+            self._persist_count(spec, result)
         return result
 
     # ----------------------------------------------------------------- profile
@@ -252,19 +299,27 @@ class MotifEngine:
 
         The real counts come from :meth:`count` (hitting its memo when a
         matching count ran before); *real_counts* overrides them entirely.
+        Integer-seeded profiles are persisted to (and served whole from) the
+        artifact store when one is attached.
         """
         spec = ProfileSpec() if spec is None else spec
         hypergraph = self._static()
+        storable = real_counts is None and _is_deterministic_seed(spec.seed)
+        if storable:
+            stored = self._stored_profile(spec)
+            if stored is not None:
+                return stored
         with Timer() as timer:
             if real_counts is None:
                 real_counts = self.count(spec.count_spec()).counts
+            null_mean, _ = self._null_counts(spec)
             profile = profile_from_counts(
                 real_counts,
-                self._null_counts(spec),
+                null_mean,
                 name=hypergraph.name,
                 epsilon=spec.epsilon,
             )
-        return ProfileResult(
+        result = ProfileResult(
             dataset=hypergraph.name,
             profile=profile,
             algorithm=spec.algorithm,
@@ -272,6 +327,9 @@ class MotifEngine:
             null_model=spec.null_model,
             seconds=timer.elapsed,
         )
+        if storable:
+            self._persist_profile(spec, profile)
+        return result
 
     # ----------------------------------------------------------------- compare
     def compare(
@@ -279,15 +337,24 @@ class MotifEngine:
         spec: Optional[CompareSpec] = None,
         real_counts: Optional[MotifCounts] = None,
     ) -> CompareResult:
-        """Real-vs-random comparison table (paper Table 3)."""
+        """Real-vs-random comparison table (paper Table 3).
+
+        The rows are recomputed each call (they are cheap); the heavy
+        ingredients — real counts and null-model averages — come from the
+        engine memo or the artifact store when available, which is what
+        ``from_cache``/``cache_tier`` report.
+        """
         spec = CompareSpec() if spec is None else spec
         hypergraph = self._static()
+        real_cached = False
         with Timer() as timer:
             if real_counts is None:
-                real_counts = self.count(spec.count_spec()).counts
-            report = compare_counts(
-                real_counts, self._null_counts(spec), dataset=hypergraph.name
-            )
+                count_result = self.count(spec.count_spec())
+                real_counts = count_result.counts
+                real_cached = count_result.from_cache
+            null_mean, null_tier = self._null_counts(spec)
+            report = compare_counts(real_counts, null_mean, dataset=hypergraph.name)
+        from_cache = real_cached and null_tier is not None
         return CompareResult(
             dataset=hypergraph.name,
             report=report,
@@ -295,6 +362,8 @@ class MotifEngine:
             num_random=spec.num_random,
             null_model=spec.null_model,
             seconds=timer.elapsed,
+            from_cache=from_cache,
+            cache_tier=null_tier if from_cache else None,
         )
 
     # ----------------------------------------------------------------- predict
@@ -361,13 +430,14 @@ class MotifEngine:
         )
 
     # ---------------------------------------------------------------- internal
-    def _null_counts(self, spec) -> MotifCounts:
+    def _null_counts(self, spec) -> Tuple[MotifCounts, Optional[str]]:
         """Mean null-model counts for a Profile/Compare spec, memoized.
 
         ``profile()`` and ``compare()`` with the same randomization
         parameters share the generated-and-counted null models — the
         dominant cost of both workflows. Only integer-seeded (replayable)
-        runs are cached; the returned vector is a defensive copy.
+        runs are cached (in the engine memo and, when attached, the artifact
+        store); returns ``(defensive copy, cache tier or None)``.
         """
         key = (
             spec.num_random,
@@ -380,7 +450,12 @@ class MotifEngine:
         if cacheable:
             cached = self._null_cache.get(key)
             if cached is not None:
-                return _copy_counts(cached.mean_counts)
+                return _copy_counts(cached.mean_counts), CACHE_TIER_ENGINE
+            stored = self._stored_null(spec)
+            if stored is not None:
+                null, tier = stored
+                self._null_cache[key] = null
+                return _copy_counts(null.mean_counts), tier
         null = random_motif_counts(
             self._static(),
             num_random=spec.num_random,
@@ -391,7 +466,110 @@ class MotifEngine:
         )
         if cacheable:
             self._null_cache[key] = null
-        return _copy_counts(null.mean_counts)
+            if self._store is not None:
+                arrays, meta = codecs.encode_null_counts(null)
+                self._store.put(
+                    codecs.KIND_NULL,
+                    self.fingerprint,
+                    codecs.null_params(spec),
+                    arrays,
+                    meta,
+                    dataset=self._static().name,
+                )
+        return _copy_counts(null.mean_counts), None
+
+    # ------------------------------------------------------------- store layer
+    def _stored_count(self, spec: CountSpec) -> Optional[Tuple[CountResult, str]]:
+        """A memoizable count result served from the artifact store, if any."""
+        if self._store is None:
+            return None
+        hit = self._store.get(
+            codecs.KIND_COUNT, self.fingerprint, codecs.count_params(spec)
+        )
+        if hit is None:
+            return None
+        arrays, meta, tier = hit
+        counts = codecs.decode_counts(arrays)
+        if counts is None:
+            return None
+        num_samples = meta.get("num_samples")
+        result = CountResult(
+            dataset=self._static().name,
+            algorithm=spec.algorithm,
+            counts=counts,
+            num_samples=None if num_samples is None else int(num_samples),
+            projection_seconds=0.0,
+            counting_seconds=0.0,
+            projection_cached=True,
+            projection_mode=spec.projection,
+        )
+        return result, tier
+
+    def _persist_count(self, spec: CountSpec, result: CountResult) -> None:
+        if self._store is None:
+            return
+        arrays, meta = codecs.encode_counts(
+            result.counts, {"num_samples": result.num_samples}
+        )
+        self._store.put(
+            codecs.KIND_COUNT,
+            self.fingerprint,
+            codecs.count_params(spec),
+            arrays,
+            meta,
+            dataset=result.dataset,
+        )
+
+    def _stored_null(self, spec) -> Optional[Tuple[NullModelCounts, str]]:
+        if self._store is None:
+            return None
+        hit = self._store.get(
+            codecs.KIND_NULL, self.fingerprint, codecs.null_params(spec)
+        )
+        if hit is None:
+            return None
+        arrays, meta, tier = hit
+        null = codecs.decode_null_counts(arrays, meta)
+        if null is None:
+            return None
+        return null, tier
+
+    def _stored_profile(self, spec: ProfileSpec) -> Optional[ProfileResult]:
+        if self._store is None:
+            return None
+        with Timer() as timer:
+            hit = self._store.get(
+                codecs.KIND_PROFILE, self.fingerprint, codecs.profile_params(spec)
+            )
+            if hit is None:
+                return None
+            arrays, _, tier = hit
+            profile = codecs.decode_profile(arrays, name=self._static().name)
+        if profile is None:
+            return None
+        return ProfileResult(
+            dataset=self._static().name,
+            profile=profile,
+            algorithm=spec.algorithm,
+            num_random=spec.num_random,
+            null_model=spec.null_model,
+            seconds=timer.elapsed,
+            from_cache=True,
+            cache_tier=tier,
+        )
+
+    def _persist_profile(self, spec: ProfileSpec, profile) -> None:
+        if self._store is None:
+            return
+        arrays, meta = codecs.encode_profile(profile)
+        self._store.put(
+            codecs.KIND_PROFILE,
+            self.fingerprint,
+            codecs.profile_params(spec),
+            arrays,
+            meta,
+            dataset=self._static().name,
+        )
 
     def _predict_windows(
         self, spec: PredictSpec
@@ -422,9 +600,33 @@ class MotifEngine:
         """(projection, seconds spent building it now, served-from-cache)."""
         if self._projection is not None:
             return self._projection, 0.0, True
+        if self._store is not None:
+            hit = self._store.get(
+                codecs.KIND_PROJECTION, self.fingerprint, codecs.projection_params()
+            )
+            if hit is not None:
+                arrays, meta, _ = hit
+                loaded = codecs.decode_projection(
+                    arrays, meta, self._static().num_hyperedges
+                )
+                if loaded is not None:
+                    # Served, not built: no build counted, load time rounds
+                    # to the cache-hit contract (projection_seconds == 0).
+                    self._projection = loaded
+                    return self._projection, 0.0, True
         with Timer() as timer:
             self._projection = project(self._static())
         self._projection_builds += 1
+        if self._store is not None:
+            arrays, meta = codecs.encode_projection(self._projection)
+            self._store.put(
+                codecs.KIND_PROJECTION,
+                self.fingerprint,
+                codecs.projection_params(),
+                arrays,
+                meta,
+                dataset=self._static().name,
+            )
         return self._projection, timer.elapsed, False
 
     def _counting_projection(self, spec: CountSpec):
@@ -501,5 +703,6 @@ class MotifEngine:
         return (
             f"MotifEngine(name={self.name!r}, "
             f"projection_cached={self._projection is not None}, "
-            f"memoized_counts={len(self._count_cache)})"
+            f"memoized_counts={len(self._count_cache)}, "
+            f"store={'on' if self._store is not None else 'off'})"
         )

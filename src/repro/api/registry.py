@@ -11,6 +11,7 @@ which is how site-specific corpora plug into the engine and CLI.
 
 from __future__ import annotations
 
+import difflib
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
@@ -50,8 +51,21 @@ class DatasetRegistry:
     def domain(self, name: str) -> Optional[str]:
         """Domain label of a registered dataset (``None`` when unknown)."""
         if name not in self._factories:
-            raise DatasetError(f"unknown dataset {name!r}; known: {self.names()}")
+            raise DatasetError(self._unknown_name_message(name, kind="dataset"))
         return self._domains[name]
+
+    def _unknown_name_message(self, name: str, kind: str) -> str:
+        """A helpful unknown-name error: nearest match plus the full roster."""
+        names = self.names()
+        message = f"unknown {kind} {name!r}"
+        suggestions = difflib.get_close_matches(name, names, n=1, cutoff=0.5)
+        if suggestions:
+            message += f"; did you mean {suggestions[0]!r}?"
+        if names:
+            message += f" (registered datasets: {', '.join(names)})"
+        else:
+            message += " (no datasets are registered)"
+        return message
 
     def load(self, source: Source, scale: float = 1.0) -> Hypergraph:
         """Load a hypergraph from a registered name or a file path.
@@ -74,8 +88,7 @@ class DatasetRegistry:
                 return hio.read_json(path)
             return hio.read_plain(path)
         raise DatasetError(
-            f"no such file or registered dataset: {key!r}; "
-            f"registered datasets: {self.names()}"
+            self._unknown_name_message(key, kind="file or registered dataset")
         )
 
     def __contains__(self, name: object) -> bool:

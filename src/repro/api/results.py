@@ -19,6 +19,13 @@ from repro.motifs.counts import MotifCounts
 from repro.prediction.task import PredictionExperimentResult
 from repro.profile.characteristic_profile import CharacteristicProfile
 
+#: Cache-hit provenance values carried by results: ``"engine"`` is the
+#: engine's own per-spec memo, ``"memory"``/``"disk"`` are the artifact
+#: store's tiers (:mod:`repro.store`), ``None`` means freshly computed.
+CACHE_TIER_ENGINE = "engine"
+CACHE_TIER_MEMORY = "memory"
+CACHE_TIER_DISK = "disk"
+
 
 class EngineResult:
     """Base class for engine results: dict/JSON serialization."""
@@ -40,8 +47,10 @@ class CountResult(EngineResult):
     this call* — zero when the engine served it from its cache
     (``projection_cached`` is then true) or when counting over a lazy
     projection (whose neighborhoods are built inside the counting phase).
-    A memoized result (``from_cache`` true) ran no counting at all, so both
-    timings are zero.
+    A cached result (``from_cache`` true) ran no counting at all, so both
+    timings are zero; ``cache_tier`` then records where the hit came from —
+    ``"engine"`` (the engine's in-process memo), ``"memory"`` or ``"disk"``
+    (the artifact store's tiers).
     """
 
     dataset: str
@@ -53,6 +62,7 @@ class CountResult(EngineResult):
     projection_cached: bool = False
     projection_mode: str = "full"
     from_cache: bool = False
+    cache_tier: Optional[str] = None
 
     @property
     def total_seconds(self) -> float:
@@ -70,6 +80,7 @@ class CountResult(EngineResult):
             "projection_seconds": self.projection_seconds,
             "counting_seconds": self.counting_seconds,
             "from_cache": self.from_cache,
+            "cache_tier": self.cache_tier,
             "counts": {str(motif): value for motif, value in self.counts.items()},
             "total": self.counts.total(),
         }
@@ -77,7 +88,13 @@ class CountResult(EngineResult):
 
 @dataclass(frozen=True)
 class ProfileResult(EngineResult):
-    """Outcome of :meth:`~repro.api.MotifEngine.profile`."""
+    """Outcome of :meth:`~repro.api.MotifEngine.profile`.
+
+    ``from_cache`` is true when the whole profile artifact was served from
+    the artifact store (``cache_tier`` names the tier); a profile merely
+    *assembled* from cached counts reports false, since the significance
+    computation still ran.
+    """
 
     dataset: str
     profile: CharacteristicProfile
@@ -85,6 +102,8 @@ class ProfileResult(EngineResult):
     num_random: int
     null_model: str
     seconds: float
+    from_cache: bool = False
+    cache_tier: Optional[str] = None
 
     @property
     def values(self):
@@ -104,6 +123,8 @@ class ProfileResult(EngineResult):
             "num_random": self.num_random,
             "null_model": self.null_model,
             "seconds": self.seconds,
+            "from_cache": self.from_cache,
+            "cache_tier": self.cache_tier,
             "significances": [float(value) for value in self.profile.significances],
             "values": [float(value) for value in self.profile.values],
             "real_counts": {
@@ -117,7 +138,13 @@ class ProfileResult(EngineResult):
 
 @dataclass(frozen=True)
 class CompareResult(EngineResult):
-    """Outcome of :meth:`~repro.api.MotifEngine.compare` (Table-3 style rows)."""
+    """Outcome of :meth:`~repro.api.MotifEngine.compare` (Table-3 style rows).
+
+    The comparison rows themselves are always computed in-call (they are
+    cheap); ``from_cache`` is true when *both* heavy ingredients — the real
+    counts and the averaged null-model counts — were served from a cache,
+    with ``cache_tier`` naming where the null counts came from.
+    """
 
     dataset: str
     report: RealVsRandomReport
@@ -125,6 +152,8 @@ class CompareResult(EngineResult):
     num_random: int
     null_model: str
     seconds: float
+    from_cache: bool = False
+    cache_tier: Optional[str] = None
 
     @property
     def rows(self):
@@ -139,6 +168,8 @@ class CompareResult(EngineResult):
             "num_random": self.num_random,
             "null_model": self.null_model,
             "seconds": self.seconds,
+            "from_cache": self.from_cache,
+            "cache_tier": self.cache_tier,
             "mean_rank_difference": self.report.mean_rank_difference(),
             "rows": [
                 {

@@ -3,8 +3,9 @@
 Every sub-command is a thin veneer over :class:`repro.api.MotifEngine`: the
 arguments are parsed into one of the typed specs (:class:`repro.api.CountSpec`
 etc.), validated *before* any dataset is loaded, and the engine runs the
-workflow. ``count`` and ``profile`` accept ``--json`` to emit the result
-objects' machine-readable serialization for scripting.
+workflow. ``count``, ``profile``, ``compare`` and ``predict`` accept
+``--json`` to emit the result objects' machine-readable serialization for
+scripting.
 
 Sub-commands
 ------------
@@ -19,18 +20,27 @@ Sub-commands
 ``predict``
     Run the hyperedge-prediction experiment on a synthetic temporal
     co-authorship hypergraph and print the Table-4 style grid.
+``cache``
+    Inspect and manage the persistent artifact store (``ls``/``gc``/``warm``).
 
 Dataset arguments accept either a file path (plain one-hyperedge-per-line, or
 a ``.json`` document) or the name of a registered synthetic dataset (see
 ``repro-mochy generate --help`` for the names).
+
+The analysis commands consult the persistent artifact store when one is
+configured — via ``--store DIR`` or the ``REPRO_STORE_DIR`` environment
+variable — so a second invocation against the same store serves projections,
+counts and profiles from disk instead of recomputing them (``--no-store``
+opts a run out).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.api import (
     PROJECTIONS,
@@ -46,7 +56,24 @@ from repro.generators.corpus import dataset_names, generate_dataset
 from repro.generators.temporal import generate_temporal_coauthorship
 from repro.hypergraph import io as hio
 from repro.motifs.patterns import NUM_MOTIFS, motif_is_open
+from repro.store import ENV_STORE_DIR, ArtifactStore
 from repro.utils.logging import enable_console_logging
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the artifact-store options shared by the analysis commands."""
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent artifact store directory "
+        f"(default: ${ENV_STORE_DIR} when set)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable artifact-store consultation for this run",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -92,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument(
         "--json", action="store_true", help="emit the result as a JSON document"
     )
+    _add_store_arguments(count)
 
     profile = subparsers.add_parser("profile", help="compute the characteristic profile")
     profile.add_argument("path", help="hypergraph file or registered dataset name")
@@ -102,11 +130,16 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--json", action="store_true", help="emit the result as a JSON document"
     )
+    _add_store_arguments(profile)
 
     compare = subparsers.add_parser("compare", help="real vs. random comparison table")
     compare.add_argument("path", help="hypergraph file or registered dataset name")
     compare.add_argument("--random", type=int, default=5, help="number of randomizations")
     compare.add_argument("--seed", type=int, default=0, help="random seed")
+    compare.add_argument(
+        "--json", action="store_true", help="emit the result as a JSON document"
+    )
+    _add_store_arguments(compare)
 
     generate = subparsers.add_parser("generate", help="generate a synthetic dataset")
     generate.add_argument(
@@ -124,6 +157,42 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--seed", type=int, default=0, help="random seed")
     predict.add_argument(
         "--max-positives", type=int, default=120, help="cap on positives per split"
+    )
+    predict.add_argument(
+        "--json", action="store_true", help="emit the result as a JSON document"
+    )
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect and manage the persistent artifact store"
+    )
+    cache.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=f"store directory (default: ${ENV_STORE_DIR})",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("ls", help="list persisted artifacts")
+    cache_sub.add_parser(
+        "gc", help="compact the store: drop stale, corrupted and orphaned entries"
+    )
+    warm = cache_sub.add_parser(
+        "warm", help="pre-populate the store (projection + exact counts)"
+    )
+    warm.add_argument(
+        "datasets",
+        nargs="+",
+        help="hypergraph files or registered dataset names to warm",
+    )
+    warm.add_argument(
+        "--profile",
+        type=int,
+        default=None,
+        metavar="N",
+        help="additionally warm a characteristic profile with N randomizations",
+    )
+    warm.add_argument(
+        "--seed", type=int, default=0, help="random seed for the warmed profile"
     )
     return parser
 
@@ -145,6 +214,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _run_generate(arguments)
         elif arguments.command == "predict":
             _run_predict(arguments)
+        elif arguments.command == "cache":
+            _run_cache(arguments)
         else:  # pragma: no cover - argparse enforces the choices
             raise CLIError(f"unknown command {arguments.command!r}")
     except ReproError as error:
@@ -153,10 +224,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
-def _engine(source: str) -> MotifEngine:
+def _open_store(directory: str) -> ArtifactStore:
+    """Open an explicitly-requested store, failing loudly if it is unusable.
+
+    (The ambient ``$REPRO_STORE_DIR`` default instead degrades to
+    memory-only, so a broken environment never blocks a computation.)
+    """
+    store = ArtifactStore(directory)
+    if store.disk_error is not None:
+        raise CLIError(f"store directory {directory!r} is unusable: {store.disk_error}")
+    return store
+
+
+def _store_argument(arguments) -> Union[ArtifactStore, bool]:
+    """Resolve --store/--no-store into the engine's ``store=`` argument."""
+    if arguments.no_store:
+        if arguments.store:
+            raise CLIError("pass either --store or --no-store, not both")
+        return False
+    if arguments.store:
+        return _open_store(arguments.store)
+    return True  # process default: $REPRO_STORE_DIR when set, else disabled
+
+
+def _engine(source: str, store: Union[ArtifactStore, bool] = True) -> MotifEngine:
     """An engine over a file path or registered dataset name."""
     try:
-        return MotifEngine.load(source)
+        return MotifEngine.load(source, store=store)
     except DatasetError as error:
         raise CLIError(str(error)) from error
 
@@ -178,7 +272,7 @@ def _run_count(arguments) -> None:
         )
     except SpecError as error:
         raise CLIError(str(error)) from error
-    engine = _engine(arguments.path)
+    engine = _engine(arguments.path, store=_store_argument(arguments))
     result = engine.count(spec)
     if arguments.json:
         print(result.to_json(indent=2))
@@ -204,7 +298,7 @@ def _run_profile(arguments) -> None:
         )
     except SpecError as error:
         raise CLIError(str(error)) from error
-    engine = _engine(arguments.path)
+    engine = _engine(arguments.path, store=_store_argument(arguments))
     result = engine.profile(spec)
     if arguments.json:
         print(result.to_json(indent=2))
@@ -225,8 +319,12 @@ def _run_compare(arguments) -> None:
         spec = CompareSpec(num_random=arguments.random, seed=arguments.seed)
     except SpecError as error:
         raise CLIError(str(error)) from error
-    engine = _engine(arguments.path)
-    print(format_report(engine.compare(spec).report))
+    engine = _engine(arguments.path, store=_store_argument(arguments))
+    result = engine.compare(spec)
+    if arguments.json:
+        print(result.to_json(indent=2))
+        return
+    print(format_report(result.report))
 
 
 def _run_generate(arguments) -> None:
@@ -246,9 +344,106 @@ def _run_predict(arguments) -> None:
     result = engine.predict(
         PredictSpec(max_positives=arguments.max_positives, seed=arguments.seed)
     )
+    if arguments.json:
+        print(result.to_json(indent=2))
+        return
     print(f"{'classifier':<22} {'features':<6} {'ACC':>7} {'AUC':>7}")
     for classifier, feature_set, acc, auc in result.as_rows():
         print(f"{classifier:<22} {feature_set:<6} {acc:>7.3f} {auc:>7.3f}")
+
+
+def _cache_store(arguments) -> ArtifactStore:
+    """The store a ``cache`` subcommand operates on (flag or environment)."""
+    directory = arguments.store or os.environ.get(ENV_STORE_DIR)
+    if not directory:
+        raise CLIError(
+            f"no store directory configured: pass --store DIR or set ${ENV_STORE_DIR}"
+        )
+    return _open_store(directory)
+
+
+def _format_bytes(size: int) -> str:
+    value = float(size)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024 or unit == "GB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{int(size)} B"  # pragma: no cover - unreachable
+
+
+def _run_cache(arguments) -> None:
+    store = _cache_store(arguments)
+    if arguments.cache_command == "ls":
+        _run_cache_ls(store)
+    elif arguments.cache_command == "gc":
+        _run_cache_gc(store)
+    elif arguments.cache_command == "warm":
+        _run_cache_warm(store, arguments)
+    else:  # pragma: no cover - argparse enforces the choices
+        raise CLIError(f"unknown cache command {arguments.cache_command!r}")
+
+
+def _run_cache_ls(store: ArtifactStore) -> None:
+    entries = store.entries()
+    print(f"# store: {store.directory}")
+    if store.disk_stale:
+        print("# WARNING: manifest format version mismatch; run `cache gc` to compact")
+    if not entries:
+        print("(no artifacts)")
+        return
+    print(f"{'kind':<12} {'dataset':<24} {'fingerprint':<14} {'size':>10}  params")
+    total = 0
+    for entry in entries:
+        total += entry.payload_bytes
+        params = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(entry.params.items())
+            if value is not None and key != "kind"
+        )
+        print(
+            f"{entry.kind:<12} {(entry.dataset or '-'):<24.24} "
+            f"{entry.fingerprint[:12]:<14} {_format_bytes(entry.payload_bytes):>10}  "
+            f"{params or '-'}"
+        )
+    print(f"total: {len(entries)} artifacts, {_format_bytes(total)}")
+
+
+def _run_cache_gc(store: ArtifactStore) -> None:
+    stats = store.gc()
+    for detail in stats.details:
+        print(f"removed {detail}")
+    print(
+        f"kept {stats.kept_entries} entries; removed {stats.removed_entries} "
+        f"entries ({stats.removed_files} files, "
+        f"{_format_bytes(stats.reclaimed_bytes)} reclaimed)"
+    )
+
+
+def _run_cache_warm(store: ArtifactStore, arguments) -> None:
+    from repro.store.serve import EngineServer, ServeRequest
+
+    specs = [CountSpec()]
+    if arguments.profile is not None:
+        try:
+            specs.append(
+                ProfileSpec(num_random=arguments.profile, seed=arguments.seed)
+            )
+        except SpecError as error:
+            raise CLIError(str(error)) from error
+    server = EngineServer(store=store)
+    for dataset in arguments.datasets:
+        try:
+            results = server.submit(
+                [ServeRequest(dataset, spec) for spec in specs]
+            )
+        except DatasetError as error:
+            raise CLIError(str(error)) from error
+        status = ", ".join(
+            f"{kind} {'hit' if result.from_cache else 'computed'}"
+            for kind, result in zip(("count", "profile"), results)
+        )
+        print(f"{dataset}: {status}")
+    print(f"store: {len(store.entries())} artifacts in {store.directory}")
 
 
 if __name__ == "__main__":  # pragma: no cover

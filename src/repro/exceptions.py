@@ -72,6 +72,10 @@ class CLIError(ReproError):
     """Raised for user-facing command line errors."""
 
 
+class StoreError(ReproError):
+    """Raised when the artifact store (:mod:`repro.store`) is misconfigured."""
+
+
 class SpecError(ReproError):
     """Raised when a :mod:`repro.api` spec is constructed with invalid options."""
 

@@ -76,6 +76,7 @@ class Hypergraph:
         "_name",
         "_node_ids",
         "_csr",
+        "_fingerprint",
     )
 
     def __init__(
@@ -106,6 +107,7 @@ class Hypergraph:
             node: position for position, node in enumerate(self._nodes)
         }
         self._csr: Optional["HypergraphCSR"] = None
+        self._fingerprint: Optional[str] = None
         self._name = str(name)
 
     # ------------------------------------------------------------------ basic
@@ -223,6 +225,21 @@ class Hypergraph:
 
             self._csr = build_csr(self._hyperedges, self._node_ids)
         return self._csr
+
+    def fingerprint(self) -> str:
+        """Stable content hash of this hypergraph (cached after first use).
+
+        Computed from the canonical CSR layout, so it identifies the content
+        independently of the dataset name, the load path, or node label
+        values — but *not* of hyperedge order, which indexes every derived
+        artifact. This is the key the persistent artifact store
+        (:mod:`repro.store`) files projections, counts and profiles under.
+        """
+        if self._fingerprint is None:
+            from repro.store.fingerprint import csr_fingerprint
+
+            self._fingerprint = csr_fingerprint(self.csr())
+        return self._fingerprint
 
     # --------------------------------------------------------------- pickling
     def __getstate__(self) -> Tuple[Tuple[Hyperedge, ...], str]:

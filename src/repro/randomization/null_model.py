@@ -15,7 +15,7 @@ from repro.exceptions import RandomizationError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.motifs.counts import MotifCounts
 from repro.randomization.chung_lu import chung_lu_hypergraph, weighted_slot_fill
-from repro.counting.runner import ALGORITHM_EXACT, count_motifs
+from repro.counting.runner import ALGORITHM_EXACT
 from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
 from repro.utils.validation import require_positive_int
 
@@ -80,21 +80,26 @@ def random_motif_counts(
     Parameters
     ----------
     algorithm / sampling_ratio:
-        Passed through to :func:`repro.counting.count_motifs`; the paper uses
-        the same counting algorithm for the real and randomized hypergraphs.
+        Counting configuration applied to every randomized hypergraph; the
+        paper uses the same algorithm for the real and randomized ones.
     """
+    # Imported here: repro.api builds on this module (random_motif_counts).
+    from repro.api.config import CountSpec
+    from repro.api.engine import MotifEngine
+
     require_positive_int(num_random, "num_random")
     rng = ensure_rng(seed)
     randomized = randomize(hypergraph, num_random, null_model, seed=rng)
     per_sample: List[MotifCounts] = []
     for sample in randomized:
-        counts = count_motifs(
-            sample,
-            algorithm=algorithm,
-            sampling_ratio=sampling_ratio,
-            seed=rng,
+        # The randomized hypergraphs are ephemeral by construction, so count
+        # them with store-less engines: persisting their projections/counts
+        # would grow the artifact store with entries whose fingerprints never
+        # recur (the *aggregated* null counts are what the caller persists).
+        spec = CountSpec(
+            algorithm=algorithm, sampling_ratio=sampling_ratio, seed=rng
         )
-        per_sample.append(counts)
+        per_sample.append(MotifEngine(sample, store=False).count(spec).counts)
     return NullModelCounts(
         mean_counts=MotifCounts.mean(per_sample),
         per_sample_counts=per_sample,

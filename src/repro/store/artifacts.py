@@ -1,0 +1,611 @@
+"""The two-tier artifact store: bounded in-memory LRU over a disk tier.
+
+The store keeps computed artifacts — projections, motif counts, null-model
+averages, characteristic profiles — keyed by ``(kind, dataset fingerprint,
+canonical parameters)``. Lookups hit the hot in-memory tier first (a bounded
+LRU shared by every engine holding the store), then the persistent tier,
+which survives the process and makes cold CLI runs warm-start. The tiering
+follows the LSM-store playbook in miniature: a small mutable memory tier in
+front of an append-friendly on-disk tier with an explicit versioned manifest
+and a compaction pass (:meth:`ArtifactStore.gc`) that drops stale or
+corrupted entries.
+
+On-disk layout (under the store directory)::
+
+    manifest.json                       # {"format_version": 1, ...}
+    data/<fingerprint>/<kind>-<digest>.npz    # payload arrays
+    data/<fingerprint>/<kind>-<digest>.json   # entry manifest (sidecar)
+
+Every write is atomic (unique temp file + ``os.replace``), payload before
+sidecar, so concurrent writers of the same artifact cannot clobber each
+other and a sidecar never references a missing payload. Each sidecar records
+the entry's format version, its full parameter mapping and a SHA-256
+checksum of the payload bytes; reads re-verify all three and treat any
+mismatch — truncation, corruption, a digest collision, a layout upgrade —
+as a miss, falling back to recomputation. A store whose top-level manifest
+carries an unknown format version suspends the disk tier entirely (reads
+miss, writes are skipped) until :meth:`~ArtifactStore.gc` compacts it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import StoreError
+from repro.store.fingerprint import params_digest
+
+#: Store layout version; entries and manifests from other versions are
+#: ignored by reads and reaped by :meth:`ArtifactStore.gc`.
+FORMAT_VERSION = 1
+
+#: Environment variable naming the process-wide default store directory.
+ENV_STORE_DIR = "REPRO_STORE_DIR"
+
+#: Cache-tier labels reported back to callers as hit provenance.
+TIER_MEMORY = "memory"
+TIER_DISK = "disk"
+
+#: Default bound on the in-memory tier (number of artifacts, not bytes —
+#: individual artifacts are small: 26-float vectors and CSR adjacency).
+DEFAULT_MEMORY_ITEMS = 128
+
+_MANIFEST_NAME = "manifest.json"
+_DATA_DIR = "data"
+_TMP_MARKER = ".tmp-"
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/write counters of one :class:`ArtifactStore` instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    write_errors: int = 0
+    corrupt_entries: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain mapping of the counters (for logs and the CLI)."""
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "write_errors": self.write_errors,
+            "corrupt_entries": self.corrupt_entries,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One valid persisted artifact, as listed by :meth:`ArtifactStore.entries`."""
+
+    kind: str
+    fingerprint: str
+    dataset: Optional[str]
+    params: Dict[str, Any]
+    created: float
+    payload_bytes: int
+    path: Path
+
+
+@dataclass
+class GCStats:
+    """Outcome of one :meth:`ArtifactStore.gc` compaction pass."""
+
+    kept_entries: int = 0
+    removed_entries: int = 0
+    removed_files: int = 0
+    reclaimed_bytes: int = 0
+    details: List[str] = field(default_factory=list)
+
+
+class ArtifactStore:
+    """Process-shared artifact cache with an optional persistent directory.
+
+    Parameters
+    ----------
+    directory:
+        Root of the persistent tier. ``None`` keeps the store memory-only —
+        still useful for sharing artifacts across engines in one process.
+    memory_items:
+        Bound on the in-memory LRU tier (0 disables it, so every read goes
+        to disk).
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        memory_items: int = DEFAULT_MEMORY_ITEMS,
+    ) -> None:
+        if memory_items < 0:
+            raise StoreError(f"memory_items must be >= 0, got {memory_items}")
+        self._directory = Path(directory).expanduser() if directory else None
+        self._memory_items = int(memory_items)
+        self._memory: "OrderedDict[Tuple[str, str, str], Tuple[Dict[str, np.ndarray], Dict[str, Any]]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.RLock()
+        self._disk_stale = False
+        self._disk_error: Optional[str] = None
+        self.stats = StoreStats()
+        if self._directory is not None:
+            self._init_directory()
+
+    # -------------------------------------------------------------- properties
+    @property
+    def directory(self) -> Optional[Path]:
+        """Root of the persistent tier (``None`` for a memory-only store)."""
+        return self._directory
+
+    @property
+    def persistent(self) -> bool:
+        """Whether this store has an active persistent tier."""
+        return (
+            self._directory is not None
+            and not self._disk_stale
+            and self._disk_error is None
+        )
+
+    @property
+    def disk_error(self) -> Optional[str]:
+        """Why the persistent tier is unavailable (``None`` when it is fine).
+
+        Set when the store directory cannot be created or initialized — the
+        store then degrades to memory-only instead of failing the
+        computations it caches.
+        """
+        return self._disk_error
+
+    @property
+    def disk_stale(self) -> bool:
+        """True when the on-disk manifest has an unknown format version.
+
+        A stale disk tier is suspended — reads miss and writes are skipped —
+        until :meth:`gc` compacts the directory and rewrites the manifest.
+        """
+        return self._disk_stale
+
+    # ------------------------------------------------------------------- reads
+    def get(
+        self, kind: str, fingerprint: str, params: Mapping[str, Any]
+    ) -> Optional[Tuple[Dict[str, np.ndarray], Dict[str, Any], str]]:
+        """Look up one artifact; returns ``(arrays, meta, tier)`` or ``None``.
+
+        The returned arrays are read-only and shared with the memory tier —
+        callers must copy before mutating (the codecs' decoders do).
+        """
+        key = (kind, fingerprint, params_digest(params))
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                arrays, meta = cached
+                return arrays, meta, TIER_MEMORY
+        loaded = self._disk_get(kind, fingerprint, params, key[2])
+        if loaded is None:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        arrays, meta = loaded
+        with self._lock:
+            self._memory_put(key, arrays, meta)
+            self.stats.disk_hits += 1
+        return arrays, meta, TIER_DISK
+
+    # ------------------------------------------------------------------ writes
+    def put(
+        self,
+        kind: str,
+        fingerprint: str,
+        params: Mapping[str, Any],
+        arrays: Mapping[str, np.ndarray],
+        meta: Optional[Mapping[str, Any]] = None,
+        dataset: Optional[str] = None,
+    ) -> None:
+        """Store one artifact in both tiers.
+
+        Disk failures (read-only directory, disk full) are absorbed into
+        ``stats.write_errors`` — a broken store must degrade to recompute,
+        never break the computation it was meant to speed up.
+        """
+        frozen: Dict[str, np.ndarray] = {}
+        for name, array in arrays.items():
+            array = np.asarray(array).copy()
+            array.setflags(write=False)
+            frozen[name] = array
+        meta = dict(meta or {})
+        digest = params_digest(params)
+        key = (kind, fingerprint, digest)
+        with self._lock:
+            self._memory_put(key, frozen, meta)
+            self.stats.writes += 1
+        if not self.persistent:
+            return
+        try:
+            self._disk_put(kind, fingerprint, params, digest, frozen, meta, dataset)
+        except OSError:
+            with self._lock:
+                self.stats.write_errors += 1
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (the persistent tier is untouched)."""
+        with self._lock:
+            self._memory.clear()
+
+    # --------------------------------------------------------------- listing
+    def entries(self) -> List[StoreEntry]:
+        """All valid persisted entries (invalid ones are skipped; see :meth:`gc`)."""
+        result: List[StoreEntry] = []
+        if not self.persistent:
+            return result
+        data_root = self._directory / _DATA_DIR
+        if not data_root.is_dir():
+            return result
+        for sidecar in sorted(data_root.glob("*/*.json")):
+            record = self._read_sidecar(sidecar)
+            if record is None:
+                continue
+            payload = sidecar.with_suffix(".npz")
+            try:
+                payload_bytes = payload.stat().st_size
+            except OSError:
+                continue
+            result.append(
+                StoreEntry(
+                    kind=str(record["kind"]),
+                    fingerprint=str(record["fingerprint"]),
+                    dataset=record.get("dataset"),
+                    params=dict(record.get("params", {})),
+                    created=float(record.get("created", 0.0)),
+                    payload_bytes=payload_bytes,
+                    path=sidecar,
+                )
+            )
+        return result
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    # -------------------------------------------------------------- compaction
+    def gc(self, verify_checksums: bool = True) -> GCStats:
+        """Compact the persistent tier.
+
+        Removes leftover temp files, sidecars with unparseable JSON or a
+        stale format version, entries whose payload is missing or (when
+        *verify_checksums*) fails its checksum, and payloads with no sidecar.
+        A store whose top-level manifest was stale is wiped entirely and its
+        manifest rewritten at the current version, re-enabling the disk tier.
+        """
+        stats = GCStats()
+        if self._directory is None:
+            return stats
+        with self._lock:
+            if self._disk_error is not None:
+                # Re-probe: the path may have become usable since __init__.
+                self._disk_error = None
+                self._init_directory()
+                if self._disk_error is not None:
+                    stats.details.append(
+                        f"store directory unavailable: {self._disk_error}"
+                    )
+                    return stats
+            try:
+                if self._disk_stale:
+                    self._wipe_data(stats)
+                    self._write_manifest()
+                    self._disk_stale = False
+                    return stats
+            except OSError as error:
+                self._disk_error = str(error)
+                stats.details.append(f"store directory unavailable: {error}")
+                return stats
+            data_root = self._directory / _DATA_DIR
+            if not data_root.is_dir():
+                return stats
+            for path in sorted(data_root.glob("*/*")):
+                if _TMP_MARKER in path.name:
+                    self._remove(path, stats, "leftover temp file")
+            for sidecar in sorted(data_root.glob("*/*.json")):
+                record = self._read_sidecar(sidecar, verify_checksum=verify_checksums)
+                payload = sidecar.with_suffix(".npz")
+                if record is None:
+                    self._remove(sidecar, stats, "invalid or stale entry")
+                    if payload.exists():
+                        self._remove(payload, stats, "payload of invalid entry")
+                    stats.removed_entries += 1
+                else:
+                    stats.kept_entries += 1
+            for payload in sorted(data_root.glob("*/*.npz")):
+                if not payload.with_suffix(".json").exists():
+                    self._remove(payload, stats, "orphaned payload")
+                    stats.removed_entries += 1
+            for bucket in sorted(data_root.iterdir()):
+                try:
+                    if bucket.is_dir() and not any(bucket.iterdir()):
+                        bucket.rmdir()
+                except OSError:  # racing writer repopulated the bucket
+                    continue
+            try:
+                self._write_manifest()
+            except OSError:
+                self.stats.write_errors += 1
+        return stats
+
+    # ----------------------------------------------------------------- dunder
+    def __repr__(self) -> str:
+        location = str(self._directory) if self._directory else "memory-only"
+        return (
+            f"ArtifactStore({location!r}, memory={len(self._memory)}/"
+            f"{self._memory_items})"
+        )
+
+    # --------------------------------------------------------------- internal
+    def _memory_put(
+        self,
+        key: Tuple[str, str, str],
+        arrays: Dict[str, np.ndarray],
+        meta: Dict[str, Any],
+    ) -> None:
+        if self._memory_items == 0:
+            return
+        self._memory[key] = (arrays, meta)
+        self._memory.move_to_end(key)
+        while len(self._memory) > self._memory_items:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _init_directory(self) -> None:
+        directory = self._directory
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            manifest_path = directory / _MANIFEST_NAME
+            if not manifest_path.is_file():
+                self._write_manifest()
+                return
+        except OSError as error:
+            # An unusable directory (path component is a file, permission
+            # denied, ...) must not break the computation the store caches:
+            # degrade to memory-only and record why.
+            self._disk_error = str(error)
+            self.stats.write_errors += 1
+            return
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            version = manifest["format_version"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self._disk_stale = True
+            return
+        if version != FORMAT_VERSION:
+            self._disk_stale = True
+
+    def _write_manifest(self) -> None:
+        payload = json.dumps(
+            {
+                "format_version": FORMAT_VERSION,
+                "store": "repro.store",
+                "created": time.time(),
+            },
+            indent=2,
+        )
+        _atomic_write_bytes(
+            self._directory / _MANIFEST_NAME, (payload + "\n").encode("utf-8")
+        )
+
+    def _entry_paths(
+        self, kind: str, fingerprint: str, digest: str
+    ) -> Tuple[Path, Path]:
+        bucket = self._directory / _DATA_DIR / fingerprint
+        stem = f"{kind}-{digest}"
+        return bucket / f"{stem}.npz", bucket / f"{stem}.json"
+
+    def _disk_get(
+        self,
+        kind: str,
+        fingerprint: str,
+        params: Mapping[str, Any],
+        digest: str,
+    ) -> Optional[Tuple[Dict[str, np.ndarray], Dict[str, Any]]]:
+        if not self.persistent:
+            return None
+        payload_path, sidecar_path = self._entry_paths(kind, fingerprint, digest)
+        record = self._read_sidecar(sidecar_path)
+        if record is None:
+            return None
+        # Guard against digest collisions and half-written sidecars: the
+        # stored identity must match the requested one exactly.
+        if (
+            record.get("kind") != kind
+            or record.get("fingerprint") != fingerprint
+            or record.get("params") != _jsonify_params(params)
+        ):
+            self._mark_corrupt()
+            return None
+        try:
+            data = payload_path.read_bytes()
+        except OSError:
+            return None
+        if hashlib.sha256(data).hexdigest() != record.get("checksum"):
+            self._mark_corrupt()
+            return None
+        try:
+            with np.load(io.BytesIO(data), allow_pickle=False) as bundle:
+                arrays = {name: bundle[name] for name in bundle.files}
+        except (OSError, ValueError):
+            self._mark_corrupt()
+            return None
+        for array in arrays.values():
+            array.setflags(write=False)
+        return arrays, dict(record.get("meta", {}))
+
+    def _disk_put(
+        self,
+        kind: str,
+        fingerprint: str,
+        params: Mapping[str, Any],
+        digest: str,
+        arrays: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+        dataset: Optional[str],
+    ) -> None:
+        payload_path, sidecar_path = self._entry_paths(kind, fingerprint, digest)
+        payload_path.parent.mkdir(parents=True, exist_ok=True)
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **dict(arrays))
+        data = buffer.getvalue()
+        record = {
+            "format_version": FORMAT_VERSION,
+            "kind": kind,
+            "fingerprint": fingerprint,
+            "params": _jsonify_params(params),
+            "meta": dict(meta),
+            "dataset": dataset,
+            "checksum": hashlib.sha256(data).hexdigest(),
+            "payload": payload_path.name,
+            "created": time.time(),
+        }
+        # Payload first, sidecar second: a sidecar on disk always points at a
+        # complete payload; the reverse order could publish a dangling entry.
+        _atomic_write_bytes(payload_path, data)
+        _atomic_write_bytes(
+            sidecar_path, (json.dumps(record, indent=2) + "\n").encode("utf-8")
+        )
+
+    def _read_sidecar(
+        self, path: Path, verify_checksum: bool = False
+    ) -> Optional[Dict[str, Any]]:
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("format_version") != FORMAT_VERSION:
+            return None
+        if not all(key in record for key in ("kind", "fingerprint", "checksum")):
+            return None
+        payload = path.with_suffix(".npz")
+        if not payload.is_file():
+            return None
+        if verify_checksum:
+            try:
+                data = payload.read_bytes()
+            except OSError:
+                return None
+            if hashlib.sha256(data).hexdigest() != record["checksum"]:
+                return None
+        return record
+
+    def _mark_corrupt(self) -> None:
+        with self._lock:
+            self.stats.corrupt_entries += 1
+
+    def _wipe_data(self, stats: GCStats) -> None:
+        data_root = self._directory / _DATA_DIR
+        if not data_root.is_dir():
+            return
+        for path in sorted(data_root.glob("*/*")):
+            if path.suffix == ".json":
+                stats.removed_entries += 1
+            self._remove(path, stats, "stale-format store entry")
+        for bucket in sorted(data_root.iterdir()):
+            if bucket.is_dir() and not any(bucket.iterdir()):
+                bucket.rmdir()
+
+    @staticmethod
+    def _remove(path: Path, stats: GCStats, reason: str) -> None:
+        try:
+            size = path.stat().st_size
+            path.unlink()
+        except OSError:
+            return
+        stats.removed_files += 1
+        stats.reclaimed_bytes += size
+        stats.details.append(f"{reason}: {path.name}")
+
+
+def _jsonify_params(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Round-trip params through JSON so stored and requested forms compare equal."""
+    return json.loads(json.dumps(dict(params), sort_keys=True))
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write *data* to *path* atomically via a unique temp file + rename."""
+    tmp = path.with_name(f"{path.name}{_TMP_MARKER}{os.getpid()}-{uuid.uuid4().hex}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+
+
+# ------------------------------------------------------------- default store
+_UNSET = object()
+_default_store: Optional[ArtifactStore] = None
+_default_source: Any = _UNSET
+
+
+def default_store() -> Optional[ArtifactStore]:
+    """The process-wide default store, honoring :data:`ENV_STORE_DIR`.
+
+    Returns a directory-backed store when ``REPRO_STORE_DIR`` is set and
+    ``None`` otherwise — persistence is opt-in, so workflows stay
+    side-effect-free unless the user points them at a store. The instance is
+    cached per environment value, so every default-configured engine in the
+    process shares one memory tier; changing the variable (e.g. in tests)
+    transparently rebuilds it.
+    """
+    global _default_store, _default_source
+    directory = os.environ.get(ENV_STORE_DIR) or None
+    if directory != _default_source:
+        _default_store = ArtifactStore(directory) if directory else None
+        _default_source = directory
+    return _default_store
+
+
+def reset_default_store() -> None:
+    """Forget the cached default store (test isolation hook)."""
+    global _default_store, _default_source
+    _default_store = None
+    _default_source = _UNSET
+
+
+def resolve_store(
+    store: Union["ArtifactStore", bool, None]
+) -> Optional[ArtifactStore]:
+    """Normalize the ``store=`` argument every entrypoint accepts.
+
+    ``True`` means the process default (:func:`default_store`), ``None`` or
+    ``False`` disables caching, and an :class:`ArtifactStore` is used as-is.
+    """
+    if store is True:
+        return default_store()
+    if store is None or store is False:
+        return None
+    if isinstance(store, ArtifactStore):
+        return store
+    raise StoreError(
+        f"store must be an ArtifactStore, True (process default) or "
+        f"None/False (disabled), got {type(store).__name__}"
+    )

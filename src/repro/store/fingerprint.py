@@ -1,0 +1,69 @@
+"""Dataset fingerprinting: stable content hashes over the CSR arrays.
+
+Artifacts in the :class:`~repro.store.ArtifactStore` are keyed by *what the
+data is*, not *where it came from*: two hypergraphs loaded from different
+paths (or built with different node labels) share one fingerprint as long as
+their canonical CSR layouts agree. The CSR view is the right basis because
+the owning :class:`~repro.hypergraph.Hypergraph` already canonicalizes it —
+dense node ids follow the deterministic node ordering and each hyperedge row
+is sorted ascending — so the fingerprint is independent of node label values
+and of the order nodes were listed inside a hyperedge.
+
+Hyperedge *order* is part of the identity on purpose: projections, hyperwedge
+lists and seeded sampling draws are all indexed by hyperedge position, so two
+hypergraphs whose edges are permuted must not share artifacts.
+
+The companion :func:`params_digest` canonicalizes an artifact's parameter
+mapping (a spec rendered as plain JSON types) into the short hash used in
+on-disk entry names.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.fastcore.csr import HypergraphCSR
+    from repro.hypergraph.hypergraph import Hypergraph
+
+#: Salt versioning the fingerprint itself; bump to invalidate every stored
+#: artifact if the canonical CSR layout ever changes meaning.
+_FINGERPRINT_SALT = b"repro.store/fingerprint/v1"
+
+#: Hex digits of the params digest kept in on-disk entry names.
+PARAMS_DIGEST_LENGTH = 16
+
+
+def csr_fingerprint(csr: "HypergraphCSR") -> str:
+    """Stable content hash of a hypergraph's canonical CSR layout.
+
+    Hashes the shape plus the hyperedge-side rows (``edge_ptr``/``edge_nodes``);
+    the transposed node side is fully derived from them. Arrays are rendered
+    little-endian before hashing so the digest is platform-stable.
+    """
+    digest = hashlib.sha256(_FINGERPRINT_SALT)
+    digest.update(
+        np.array([csr.num_edges, csr.num_nodes], dtype="<i8").tobytes()
+    )
+    digest.update(np.ascontiguousarray(csr.edge_ptr, dtype="<i8").tobytes())
+    digest.update(np.ascontiguousarray(csr.edge_nodes, dtype="<i8").tobytes())
+    return digest.hexdigest()
+
+
+def hypergraph_fingerprint(hypergraph: "Hypergraph") -> str:
+    """Fingerprint of a hypergraph (cached on the instance)."""
+    return hypergraph.fingerprint()
+
+
+def params_digest(params: Mapping[str, Any]) -> str:
+    """Short stable digest of an artifact's canonical parameter mapping.
+
+    *params* must contain plain JSON types only (the codecs guarantee this);
+    key order is irrelevant.
+    """
+    canonical = json.dumps(dict(params), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:PARAMS_DIGEST_LENGTH]

@@ -1,0 +1,244 @@
+"""Batched serving driver: many specs over many datasets, one shared store.
+
+:class:`EngineServer` is the warm-start serving path on top of the engine
+and the artifact store. It keeps a bounded pool of :class:`MotifEngine`
+workers (one per dataset, LRU-evicted) that all share a single
+:class:`~repro.store.ArtifactStore`, so an evicted engine's work survives in
+the store and the next engine for that dataset warm-starts. A batch
+submitted through :meth:`EngineServer.submit` is deduplicated — identical
+``(dataset, spec)`` pairs are computed once and fanned out to every
+requesting slot — and executed in request order, returning the same typed
+results (:class:`CountResult` etc.) the engine does, one per request.
+
+>>> from repro.api import CountSpec, ProfileSpec
+>>> from repro.store import ArtifactStore
+>>> from repro.store.serve import EngineServer, ServeRequest
+>>> server = EngineServer(store=ArtifactStore("/tmp/repro-store"))
+>>> results = server.submit([
+...     ServeRequest("email-enron-like", CountSpec()),
+...     ServeRequest("email-enron-like", CountSpec()),          # deduplicated
+...     ServeRequest("contact-primary-like", ProfileSpec(num_random=3, seed=0)),
+... ])
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.real_vs_random import RealVsRandomReport
+from repro.api.config import CompareSpec, CountSpec, ProfileSpec
+from repro.api.engine import MotifEngine
+from repro.api.registry import DEFAULT_REGISTRY, DatasetRegistry
+from repro.api.results import CompareResult, CountResult, EngineResult, ProfileResult
+from repro.exceptions import SpecError
+from repro.hypergraph.builders import TemporalHypergraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.motifs.counts import MotifCounts
+from repro.store.artifacts import ArtifactStore, resolve_store
+
+#: Specs the server knows how to dispatch (predict needs temporal data and a
+#: classifier grid — it stays an engine-level workflow for now).
+ServeSpec = Union[CountSpec, ProfileSpec, CompareSpec]
+ServeSource = Union[str, Path, Hypergraph, TemporalHypergraph]
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One unit of serving work: a dataset source plus a typed spec."""
+
+    source: ServeSource
+    spec: ServeSpec
+
+
+@dataclass
+class ServeStats:
+    """Counters over the lifetime of one :class:`EngineServer`."""
+
+    requests: int = 0
+    unique: int = 0
+    deduplicated: int = 0
+    engines_built: int = 0
+    engines_evicted: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "unique": self.unique,
+            "deduplicated": self.deduplicated,
+            "engines_built": self.engines_built,
+            "engines_evicted": self.engines_evicted,
+        }
+
+
+class EngineServer:
+    """Shared-store engine pool serving batched count/profile/compare work.
+
+    Parameters
+    ----------
+    store:
+        The artifact cache shared by every worker engine: ``True`` (default)
+        uses the process-wide default store, ``None``/``False`` disables
+        store consultation, an :class:`~repro.store.ArtifactStore` is used
+        as given.
+    registry:
+        Dataset registry resolving string/path sources (default: the
+        process registry).
+    max_engines:
+        Bound on the worker-engine pool; least-recently-used engines are
+        evicted, their computed artifacts surviving in the shared store.
+    """
+
+    def __init__(
+        self,
+        store: Union[ArtifactStore, bool, None] = True,
+        registry: Optional[DatasetRegistry] = None,
+        max_engines: int = 8,
+    ) -> None:
+        if max_engines <= 0:
+            raise SpecError(f"max_engines must be positive, got {max_engines}")
+        self._store = resolve_store(store)
+        self._registry = DEFAULT_REGISTRY if registry is None else registry
+        self._max_engines = int(max_engines)
+        self._engines: "OrderedDict[object, MotifEngine]" = OrderedDict()
+        self.stats = ServeStats()
+
+    # -------------------------------------------------------------- properties
+    @property
+    def store(self) -> Optional[ArtifactStore]:
+        """The shared artifact store (``None`` when disabled)."""
+        return self._store
+
+    @property
+    def num_engines(self) -> int:
+        """Worker engines currently resident in the pool."""
+        return len(self._engines)
+
+    # ----------------------------------------------------------------- serving
+    def submit(
+        self,
+        requests: Iterable[Union[ServeRequest, Tuple[ServeSource, ServeSpec]]],
+    ) -> List[EngineResult]:
+        """Serve a batch, one typed result per request, in request order.
+
+        Identical ``(dataset, spec)`` pairs are computed once per batch;
+        duplicate slots receive a defensive copy of the first result. Plain
+        ``(source, spec)`` tuples are accepted alongside
+        :class:`ServeRequest` objects.
+        """
+        computed: Dict[Tuple[object, ServeSpec], EngineResult] = {}
+        results: List[EngineResult] = []
+        for request in requests:
+            if isinstance(request, tuple):
+                request = ServeRequest(*request)
+            key = (self._source_key(request.source), request.spec)
+            self.stats.requests += 1
+            if key in computed:
+                self.stats.deduplicated += 1
+            else:
+                computed[key] = self._execute(request)
+                self.stats.unique += 1
+            results.append(_fan_out(computed[key]))
+        return results
+
+    def count(
+        self, sources: Sequence[ServeSource], spec: Optional[CountSpec] = None
+    ) -> List[CountResult]:
+        """Convenience: one count per source with a shared spec."""
+        spec = CountSpec() if spec is None else spec
+        return self.submit([ServeRequest(source, spec) for source in sources])
+
+    def warm(
+        self,
+        sources: Sequence[ServeSource],
+        specs: Optional[Sequence[ServeSpec]] = None,
+    ) -> List[EngineResult]:
+        """Pre-populate the shared store (projection + exact counts by default)."""
+        specs = [CountSpec()] if specs is None else list(specs)
+        return self.submit(
+            [ServeRequest(source, spec) for source in sources for spec in specs]
+        )
+
+    # ------------------------------------------------------------------ engines
+    def engine_for(self, source: ServeSource) -> MotifEngine:
+        """The pooled worker engine for *source*, created on first use."""
+        key = self._source_key(source)
+        engine = self._engines.get(key)
+        if engine is not None:
+            self._engines.move_to_end(key)
+            return engine
+        store_arg = self._store if self._store is not None else False
+        if isinstance(source, (Hypergraph, TemporalHypergraph)):
+            engine = MotifEngine(source, store=store_arg)
+        else:
+            engine = MotifEngine.load(source, registry=self._registry, store=store_arg)
+        self._engines[key] = engine
+        self.stats.engines_built += 1
+        while len(self._engines) > self._max_engines:
+            self._engines.popitem(last=False)
+            self.stats.engines_evicted += 1
+        return engine
+
+    # ----------------------------------------------------------------- internal
+    def _execute(self, request: ServeRequest) -> EngineResult:
+        engine = self.engine_for(request.source)
+        spec = request.spec
+        if isinstance(spec, CountSpec):
+            return engine.count(spec)
+        if isinstance(spec, ProfileSpec):
+            return engine.profile(spec)
+        if isinstance(spec, CompareSpec):
+            return engine.compare(spec)
+        raise SpecError(
+            f"EngineServer serves CountSpec, ProfileSpec and CompareSpec, "
+            f"got {type(spec).__name__}"
+        )
+
+    @staticmethod
+    def _source_key(source: ServeSource) -> object:
+        if isinstance(source, Hypergraph):
+            # Hypergraphs hash/compare by content, so two equal objects
+            # share an engine (and therefore its caches).
+            return ("hypergraph", source)
+        if isinstance(source, TemporalHypergraph):
+            return ("temporal", id(source))
+        return ("source", str(source))
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineServer(engines={len(self._engines)}/{self._max_engines}, "
+            f"store={'on' if self._store is not None else 'off'}, "
+            f"requests={self.stats.requests})"
+        )
+
+
+def _fan_out(result: EngineResult) -> EngineResult:
+    """Defensively copy a result's mutable payload before sharing it.
+
+    Every slot of a deduplicated batch gets its own count vectors / row
+    list, so one caller mutating a returned result cannot leak into another
+    caller's copy.
+    """
+    if isinstance(result, CountResult):
+        return replace(result, counts=MotifCounts(result.counts.to_array()))
+    if isinstance(result, ProfileResult):
+        profile = result.profile
+        return replace(
+            result,
+            profile=type(profile)(
+                name=profile.name,
+                values=profile.values.copy(),
+                significances=profile.significances.copy(),
+                real_counts=MotifCounts(profile.real_counts.to_array()),
+                random_counts=MotifCounts(profile.random_counts.to_array()),
+            ),
+        )
+    if isinstance(result, CompareResult):
+        report = result.report
+        return replace(
+            result,
+            report=RealVsRandomReport(dataset=report.dataset, rows=list(report.rows)),
+        )
+    return result

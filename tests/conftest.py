@@ -11,6 +11,22 @@ from repro.hypergraph import Hypergraph
 from repro.generators import generate_uniform_random
 from repro.motifs import MotifCounts, classify_instance
 from repro.projection import project
+from repro.store import ENV_STORE_DIR, reset_default_store
+
+
+@pytest.fixture(autouse=True)
+def _isolated_default_store(monkeypatch):
+    """Keep tests away from any developer-configured persistent store.
+
+    Clears ``REPRO_STORE_DIR`` and the cached process default, so engines
+    built with the default ``store=True`` run store-less unless a test opts
+    in (by setting the variable itself — :func:`repro.store.default_store`
+    detects the change — or passing an explicit ``ArtifactStore``).
+    """
+    monkeypatch.delenv(ENV_STORE_DIR, raising=False)
+    reset_default_store()
+    yield
+    reset_default_store()
 
 
 @pytest.fixture

@@ -125,3 +125,138 @@ class TestCommands:
     def test_count_registered_dataset_name(self, capsys):
         assert main(["count", "contact-primary-like"]) == 0
         assert "contact-primary-like" in capsys.readouterr().out
+
+    def test_unknown_dataset_suggests_nearest_match(self, capsys):
+        assert main(["count", "contact-primary-lik"]) == 1
+        error = capsys.readouterr().err
+        assert "did you mean 'contact-primary-like'?" in error
+        assert "registered datasets:" in error
+
+    def test_compare_json_output(self, hypergraph_file, capsys):
+        code = main(
+            ["compare", str(hypergraph_file), "--random", "2", "--seed", "0", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "compare"
+        assert len(payload["rows"]) == 26
+
+    def test_predict_json_output(self, capsys):
+        code = main(
+            ["predict", "--years", "3", "--max-positives", "20", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "predict"
+        assert payload["scores"]
+
+
+class TestStoreCommands:
+    def test_second_invocation_warm_starts_from_store(
+        self, hypergraph_file, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store")
+        assert main(["count", str(hypergraph_file), "--store", store, "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        # A fresh invocation builds a fresh engine and a fresh ArtifactStore
+        # instance, so the hit must come from the persistent tier.
+        assert main(["count", str(hypergraph_file), "--store", store, "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert not cold["from_cache"]
+        assert warm["from_cache"] and warm["cache_tier"] == "disk"
+        assert warm["counts"] == cold["counts"]
+
+    def test_store_and_no_store_conflict(self, hypergraph_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(
+            ["count", str(hypergraph_file), "--store", store, "--no-store", "--json"]
+        ) == 1
+        assert "either --store or --no-store" in capsys.readouterr().err
+
+    def test_no_store_skips_persistence(
+        self, hypergraph_file, tmp_path, monkeypatch, capsys
+    ):
+        store_dir = tmp_path / "store"
+        monkeypatch.setenv("REPRO_STORE_DIR", str(store_dir))
+        # The opted-out run must neither read nor write artifacts.
+        assert main(["count", str(hypergraph_file), "--no-store", "--json"]) == 0
+        assert not json.loads(capsys.readouterr().out)["from_cache"]
+        assert not list(store_dir.glob("data/*/*"))
+        # A warmed store is then ignored by a --no-store run.
+        assert main(["count", str(hypergraph_file), "--json"]) == 0
+        capsys.readouterr()
+        assert main(["count", str(hypergraph_file), "--no-store", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert not payload["from_cache"]
+
+    def test_unusable_explicit_store_fails_loudly(self, tmp_path, hypergraph_file, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory", encoding="utf-8")
+        bad = str(blocker / "store")
+        assert main(["count", str(hypergraph_file), "--store", bad, "--json"]) == 1
+        assert "unusable" in capsys.readouterr().err
+        assert main(["cache", "--store", bad, "ls"]) == 1
+        assert "unusable" in capsys.readouterr().err
+
+    def test_unusable_env_store_degrades_silently(
+        self, tmp_path, hypergraph_file, monkeypatch, capsys
+    ):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory", encoding="utf-8")
+        monkeypatch.setenv("REPRO_STORE_DIR", str(blocker / "store"))
+        assert main(["count", str(hypergraph_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert not payload["from_cache"]
+
+    def test_env_store_warms_cli(self, hypergraph_file, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        assert main(["count", str(hypergraph_file), "--json"]) == 0
+        capsys.readouterr()
+        assert main(["count", str(hypergraph_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["from_cache"]
+
+    def test_cache_requires_a_store_directory(self, capsys):
+        assert main(["cache", "ls"]) == 1
+        assert "REPRO_STORE_DIR" in capsys.readouterr().err
+
+    def test_cache_warm_then_ls(self, hypergraph_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        code = main(
+            ["cache", "--store", store, "warm", str(hypergraph_file), "--profile", "2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "count computed" in output
+        assert "profile computed" in output
+        assert main(["cache", "--store", store, "ls"]) == 0
+        listing = capsys.readouterr().out
+        for kind in ("projection", "count", "null-counts", "profile"):
+            assert kind in listing
+        assert "total:" in listing
+
+    def test_cache_warm_hit_on_second_run(self, hypergraph_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["cache", "--store", store, "warm", str(hypergraph_file)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--store", store, "warm", str(hypergraph_file)]) == 0
+        assert "count hit" in capsys.readouterr().out
+
+    def test_cache_warm_unknown_dataset(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["cache", "--store", store, "warm", "no-such-dataset"]) == 1
+        assert "no-such-dataset" in capsys.readouterr().err
+
+    def test_cache_ls_empty_store(self, tmp_path, capsys):
+        assert main(["cache", "--store", str(tmp_path / "store"), "ls"]) == 0
+        assert "(no artifacts)" in capsys.readouterr().out
+
+    def test_cache_gc(self, hypergraph_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["count", str(hypergraph_file), "--store", store]) == 0
+        orphan = next((tmp_path / "store" / "data").glob("*/*.json"))
+        orphan.unlink()
+        capsys.readouterr()
+        assert main(["cache", "--store", store, "gc"]) == 0
+        output = capsys.readouterr().out
+        assert "removed" in output and "kept" in output
