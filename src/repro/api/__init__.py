@@ -19,10 +19,13 @@ from repro.api.config import (
     PROJECTION_FULL,
     PROJECTION_LAZY,
     PROJECTIONS,
+    SPEC_TYPES,
     CompareSpec,
     CountSpec,
     PredictSpec,
     ProfileSpec,
+    spec_from_dict,
+    spec_to_dict,
 )
 from repro.api.engine import MotifEngine
 from repro.api.registry import (
@@ -49,6 +52,9 @@ __all__ = [
     "PROJECTION_FULL",
     "PROJECTION_LAZY",
     "PROJECTIONS",
+    "SPEC_TYPES",
+    "spec_to_dict",
+    "spec_from_dict",
     "EngineResult",
     "CountResult",
     "ProfileResult",

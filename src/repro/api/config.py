@@ -18,8 +18,8 @@ for the engine's result memoization.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional
 
 from repro.counting.runner import ALGORITHM_EXACT, resolve_algorithm
 from repro.exceptions import CountSpecError, SpecError
@@ -267,3 +267,67 @@ class PredictSpec:
     def has_explicit_windows(self) -> bool:
         """Whether both windows were given (vs. derived from the timestamps)."""
         return self.context_start is not None and self.test_start is not None
+
+
+# ---------------------------------------------------------- spec serialization
+#: Registry of spec classes by their wire-format ``type`` tag. This is what
+#: lets specs travel as plain dicts — to process workers of the parallel
+#: serving executor and through the ``serve-batch`` CLI's JSONL request files.
+SPEC_TYPES: Dict[str, type] = {
+    "count": CountSpec,
+    "profile": ProfileSpec,
+    "compare": CompareSpec,
+    "predict": PredictSpec,
+}
+
+_SPEC_TYPE_NAMES = {cls: name for name, cls in SPEC_TYPES.items()}
+
+
+def spec_to_dict(spec) -> Dict[str, Any]:
+    """Render a spec as a plain mapping: ``{"type": ..., <field>: ...}``.
+
+    The inverse of :func:`spec_from_dict`. Field values are kept as-is (they
+    are JSON types for every replayable spec; a non-replayable ``Generator``
+    seed survives pickling to process workers but not JSON).
+    """
+    cls = type(spec)
+    try:
+        name = _SPEC_TYPE_NAMES[cls]
+    except KeyError:
+        raise SpecError(
+            f"cannot serialize {cls.__name__}; known specs: "
+            f"{sorted(SPEC_TYPES)}"
+        ) from None
+    payload: Dict[str, Any] = {"type": name}
+    for field in fields(spec):
+        payload[field.name] = getattr(spec, field.name)
+    return payload
+
+
+def spec_from_dict(mapping: Mapping[str, Any]):
+    """Rebuild a spec from its :func:`spec_to_dict` form (validating eagerly).
+
+    ``type`` defaults to ``"count"`` so terse JSONL request files can omit
+    it; unknown types and unknown fields raise :class:`SpecError` before any
+    dataset is touched, mirroring the specs' own eager validation.
+    """
+    if not isinstance(mapping, Mapping):
+        raise SpecError(
+            f"a spec mapping must be a JSON object, got {type(mapping).__name__}"
+        )
+    payload = dict(mapping)
+    name = payload.pop("type", "count")
+    try:
+        cls = SPEC_TYPES[name]
+    except (KeyError, TypeError):
+        raise SpecError(
+            f"unknown spec type {name!r}; choose from {sorted(SPEC_TYPES)}"
+        ) from None
+    known = {field.name for field in fields(cls)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise SpecError(
+            f"unknown field(s) {unknown} for spec type {name!r}; "
+            f"known fields: {sorted(known)}"
+        )
+    return cls(**payload)

@@ -22,6 +22,11 @@ Sub-commands
     co-authorship hypergraph and print the Table-4 style grid.
 ``cache``
     Inspect and manage the persistent artifact store (``ls``/``gc``/``warm``).
+``serve-batch``
+    Serve a JSONL file of requests (one ``{"source": ..., "spec": {...}}``
+    object per line) through the batched :class:`repro.store.EngineServer`,
+    optionally fanned out across thread or process workers
+    (``--workers N --backend thread|process``).
 
 Dataset arguments accept either a file path (plain one-hyperedge-per-line, or
 a ``.json`` document) or the name of a registered synthetic dataset (see
@@ -37,6 +42,7 @@ opts a run out).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
@@ -49,6 +55,7 @@ from repro.api import (
     ProfileSpec,
     CompareSpec,
     PredictSpec,
+    spec_from_dict,
 )
 from repro.counting.runner import ALGORITHMS
 from repro.exceptions import CLIError, DatasetError, ReproError, SpecError
@@ -58,6 +65,26 @@ from repro.hypergraph import io as hio
 from repro.motifs.patterns import NUM_MOTIFS, motif_is_open
 from repro.store import ENV_STORE_DIR, ArtifactStore
 from repro.utils.logging import enable_console_logging
+
+
+def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the serving-executor options (--workers/--backend)."""
+    from repro.store.executors import SERVE_BACKENDS
+
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="how many requests of the batch may run concurrently",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=SERVE_BACKENDS,
+        default=None,
+        help="serving executor: 'serial', 'thread' (default with --workers > 1) "
+        "or 'process' (real CPU parallelism; workers share the store directory)",
+    )
 
 
 def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
@@ -194,6 +221,25 @@ def build_parser() -> argparse.ArgumentParser:
     warm.add_argument(
         "--seed", type=int, default=0, help="random seed for the warmed profile"
     )
+    _add_executor_arguments(warm)
+
+    serve_batch = subparsers.add_parser(
+        "serve-batch",
+        help="serve a JSONL file of requests through the batched engine server",
+    )
+    serve_batch.add_argument(
+        "requests",
+        help="JSONL request file ('-' for stdin): one "
+        '{"source": ..., "spec": {"type": "count", ...}} object per line; '
+        "spec fields may also be inlined next to \"source\"",
+    )
+    serve_batch.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON result document per request line",
+    )
+    _add_executor_arguments(serve_batch)
+    _add_store_arguments(serve_batch)
     return parser
 
 
@@ -216,6 +262,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _run_predict(arguments)
         elif arguments.command == "cache":
             _run_cache(arguments)
+        elif arguments.command == "serve-batch":
+            _run_serve_batch(arguments)
         else:  # pragma: no cover - argparse enforces the choices
             raise CLIError(f"unknown command {arguments.command!r}")
     except ReproError as error:
@@ -410,8 +458,10 @@ def _run_cache_ls(store: ArtifactStore) -> None:
 
 def _run_cache_gc(store: ArtifactStore) -> None:
     stats = store.gc()
+    # Details cover both removals ("<reason>: <file>") and notices (lock
+    # contention, unusable directory), so they carry their own verbs.
     for detail in stats.details:
-        print(f"removed {detail}")
+        print(f"gc: {detail}")
     print(
         f"kept {stats.kept_entries} entries; removed {stats.removed_entries} "
         f"entries ({stats.removed_files} files, "
@@ -431,19 +481,114 @@ def _run_cache_warm(store: ArtifactStore, arguments) -> None:
         except SpecError as error:
             raise CLIError(str(error)) from error
     server = EngineServer(store=store)
-    for dataset in arguments.datasets:
-        try:
-            results = server.submit(
-                [ServeRequest(dataset, spec) for spec in specs]
-            )
-        except DatasetError as error:
-            raise CLIError(str(error)) from error
+    requests = [
+        ServeRequest(dataset, spec)
+        for dataset in arguments.datasets
+        for spec in specs
+    ]
+    try:
+        # One batch over all datasets, so --workers overlaps whole datasets
+        # (the unit of cold work) rather than specs within one.
+        results = server.submit(
+            requests, workers=arguments.workers, backend=arguments.backend
+        )
+    except (DatasetError, SpecError) as error:
+        raise CLIError(str(error)) from error
+    for index, dataset in enumerate(arguments.datasets):
+        slice_ = results[index * len(specs) : (index + 1) * len(specs)]
         status = ", ".join(
             f"{kind} {'hit' if result.from_cache else 'computed'}"
-            for kind, result in zip(("count", "profile"), results)
+            for kind, result in zip(("count", "profile"), slice_)
         )
         print(f"{dataset}: {status}")
     print(f"store: {len(store.entries())} artifacts in {store.directory}")
+
+
+def _read_serve_requests(source: str):
+    """Parse a JSONL request file into ``ServeRequest`` objects, eagerly.
+
+    Each line is one JSON object with a ``source`` (dataset name or file
+    path) and either a nested ``spec`` object or the spec's fields inlined
+    beside ``source``. Validation happens here — before any dataset is
+    loaded — with line numbers in every error.
+    """
+    from repro.store.serve import ServeRequest
+
+    if source == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        path = Path(source)
+        if not path.is_file():
+            raise CLIError(f"request file not found: {source}")
+        lines = path.read_text(encoding="utf-8").splitlines()
+    requests = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as error:
+            raise CLIError(f"line {number}: invalid JSON ({error})") from error
+        if not isinstance(record, dict):
+            raise CLIError(f"line {number}: expected a JSON object, got {record!r}")
+        dataset = record.pop("source", None)
+        if not isinstance(dataset, str) or not dataset:
+            raise CLIError(f'line {number}: missing or invalid "source"')
+        spec_mapping = record.pop("spec", None)
+        if spec_mapping is None:
+            spec_mapping = record  # terse form: spec fields beside "source"
+        elif record:
+            raise CLIError(
+                f'line {number}: unexpected keys {sorted(record)} next to "spec"'
+            )
+        try:
+            spec = spec_from_dict(spec_mapping)
+        except SpecError as error:
+            raise CLIError(f"line {number}: {error}") from error
+        if isinstance(spec, PredictSpec):
+            raise CLIError(
+                f"line {number}: spec type 'predict' is not servable in a batch"
+            )
+        requests.append(ServeRequest(dataset, spec))
+    if not requests:
+        raise CLIError(f"no requests found in {source!r}")
+    return requests
+
+
+def _run_serve_batch(arguments) -> None:
+    from repro.store.serve import EngineServer
+
+    requests = _read_serve_requests(arguments.requests)
+    server = EngineServer(store=_store_argument(arguments))
+    try:
+        results = server.submit(
+            requests, workers=arguments.workers, backend=arguments.backend
+        )
+    except DatasetError as error:
+        raise CLIError(str(error)) from error
+    if arguments.json:
+        for result in results:
+            print(result.to_json())
+        return
+    print(
+        f"{'#':>4} {'kind':<8} {'dataset':<24} {'seconds':>9} {'cache':<8}"
+    )
+    for index, result in enumerate(results):
+        kind = result.to_dict()["kind"]
+        seconds = getattr(result, "seconds", None)
+        if seconds is None:
+            seconds = result.total_seconds
+        provenance = result.cache_tier if result.from_cache else "computed"
+        print(
+            f"{index:>4} {kind:<8} {result.dataset:<24.24} {seconds:>9.3f} "
+            f"{provenance:<8}"
+        )
+    stats = server.stats
+    print(
+        f"served {stats.requests} requests ({stats.unique} unique, "
+        f"{stats.deduplicated} deduplicated) over {stats.engines_built} engines"
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -52,7 +52,13 @@ def _check_backend(backend: str) -> None:
         raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
 
 
-def _make_executor(backend: str, num_workers: int) -> Executor:
+def make_executor(backend: str, num_workers: int) -> Executor:
+    """A ``concurrent.futures`` executor for one of the supported backends.
+
+    Shared by the parallel counters here and the batch-serving executors in
+    :mod:`repro.store.executors`, so every parallel layer spells backend
+    names and pool construction the same way.
+    """
     _check_backend(backend)
     if backend == BACKEND_PROCESS:
         return ProcessPoolExecutor(max_workers=num_workers)
@@ -103,7 +109,7 @@ def _fan_out(
     Both arguments are plain-array containers, so the process backend ships
     NumPy buffers only; the thread backend shares them directly.
     """
-    with _make_executor(backend, num_workers) as executor:
+    with make_executor(backend, num_workers) as executor:
         futures = [
             executor.submit(worker, csr, adjacency, chunk) for chunk in chunks
         ]
@@ -144,7 +150,7 @@ def count_exact_parallel(
         # Threads can share a budgeted provider (e.g. LazyProjection) without
         # materializing the full projection — preserve its memory bound by
         # running the provider-agnostic counter per chunk.
-        with _make_executor(backend, num_workers) as executor:
+        with make_executor(backend, num_workers) as executor:
             futures = [
                 executor.submit(count_exact, hypergraph, projection, chunk)
                 for chunk in chunks

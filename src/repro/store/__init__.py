@@ -41,14 +41,18 @@ from repro.store.fingerprint import (
     hypergraph_fingerprint,
     params_digest,
 )
+from repro.store.locks import FileLock
 
 __all__ = [
     "ArtifactStore",
     "StoreEntry",
     "StoreStats",
     "GCStats",
+    "FileLock",
     "EngineServer",
     "ServeRequest",
+    "BatchFuture",
+    "SERVE_BACKENDS",
     "default_store",
     "reset_default_store",
     "resolve_store",
@@ -66,8 +70,12 @@ def __getattr__(name: str):
     # The serving driver builds on repro.api, which itself imports
     # repro.store.artifacts — resolving it lazily keeps the import DAG acyclic
     # while preserving `from repro.store import EngineServer`.
-    if name in ("EngineServer", "ServeRequest", "ServeStats"):
+    if name in ("EngineServer", "ServeRequest", "ServeStats", "BatchFuture"):
         from repro.store import serve
 
         return getattr(serve, name)
+    if name == "SERVE_BACKENDS":
+        from repro.store.executors import SERVE_BACKENDS
+
+        return SERVE_BACKENDS
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -25,6 +25,17 @@ mismatch — truncation, corruption, a digest collision, a layout upgrade —
 as a miss, falling back to recomputation. A store whose top-level manifest
 carries an unknown format version suspends the disk tier entirely (reads
 miss, writes are skipped) until :meth:`~ArtifactStore.gc` compacts it.
+
+The store is safe under **concurrent same-directory writers** — parallel
+serving workers (threads or processes) persisting overlapping fingerprints.
+Multi-file critical sections (an entry's payload + sidecar pair, the
+manifest, and the whole :meth:`~ArtifactStore.gc` walk) serialize on an
+advisory interprocess :class:`~repro.store.locks.FileLock`; reconciliation
+is last-writer-wins, so racing writers of one entry leave whichever complete
+payload/sidecar pair was published last. Lock contention past the bounded
+timeout never blocks or corrupts anything: the write **degrades to the
+memory tier** (counted in ``stats.lock_contention``) and the artifact is
+simply recomputed by the next cold reader.
 """
 
 from __future__ import annotations
@@ -45,6 +56,7 @@ import numpy as np
 
 from repro.exceptions import StoreError
 from repro.store.fingerprint import params_digest
+from repro.store.locks import FileLock
 
 #: Store layout version; entries and manifests from other versions are
 #: ignored by reads and reaped by :meth:`ArtifactStore.gc`.
@@ -61,9 +73,14 @@ TIER_DISK = "disk"
 #: individual artifacts are small: 26-float vectors and CSR adjacency).
 DEFAULT_MEMORY_ITEMS = 128
 
+#: Default bound on waiting for the interprocess write lock before a write
+#: degrades to the memory tier.
+DEFAULT_LOCK_TIMEOUT = 5.0
+
 _MANIFEST_NAME = "manifest.json"
 _DATA_DIR = "data"
 _TMP_MARKER = ".tmp-"
+_LOCK_NAME = ".store.lock"
 
 
 @dataclass
@@ -77,6 +94,7 @@ class StoreStats:
     write_errors: int = 0
     corrupt_entries: int = 0
     evictions: int = 0
+    lock_contention: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain mapping of the counters (for logs and the CLI)."""
@@ -88,6 +106,7 @@ class StoreStats:
             "write_errors": self.write_errors,
             "corrupt_entries": self.corrupt_entries,
             "evictions": self.evictions,
+            "lock_contention": self.lock_contention,
         }
 
 
@@ -126,17 +145,32 @@ class ArtifactStore:
     memory_items:
         Bound on the in-memory LRU tier (0 disables it, so every read goes
         to disk).
+    lock_timeout:
+        Seconds to wait for the interprocess write lock before a disk write
+        degrades to the memory tier (``stats.lock_contention`` counts these).
     """
 
     def __init__(
         self,
         directory: Optional[Union[str, Path]] = None,
         memory_items: int = DEFAULT_MEMORY_ITEMS,
+        lock_timeout: float = DEFAULT_LOCK_TIMEOUT,
     ) -> None:
         if memory_items < 0:
             raise StoreError(f"memory_items must be >= 0, got {memory_items}")
+        if lock_timeout < 0:
+            raise StoreError(f"lock_timeout must be >= 0, got {lock_timeout}")
         self._directory = Path(directory).expanduser() if directory else None
         self._memory_items = int(memory_items)
+        self._lock_timeout = float(lock_timeout)
+        # Created eagerly (construction never touches the filesystem): a
+        # lazily-raced assignment could replace a FileLock another thread
+        # holds, leaking its lock fd and wedging every future disk write.
+        self._write_lock: Optional[FileLock] = (
+            FileLock(self._directory / _LOCK_NAME)
+            if self._directory is not None
+            else None
+        )
         self._memory: "OrderedDict[Tuple[str, str, str], Tuple[Dict[str, np.ndarray], Dict[str, Any]]]" = (
             OrderedDict()
         )
@@ -292,60 +326,85 @@ class ArtifactStore:
         *verify_checksums*) fails its checksum, and payloads with no sidecar.
         A store whose top-level manifest was stale is wiped entirely and its
         manifest rewritten at the current version, re-enabling the disk tier.
+
+        The whole pass runs under the interprocess write lock, so compaction
+        never deletes the payload half of an entry a racing writer is mid-way
+        through publishing; if the lock cannot be acquired the pass is skipped
+        (reported in ``details``) rather than risking exactly that race.
         """
         stats = GCStats()
         if self._directory is None:
             return stats
-        with self._lock:
+        if self._disk_error is not None:
+            # Re-probe: the path may have become usable since __init__. Runs
+            # outside the instance lock (it may wait on the file lock when
+            # writing the manifest); the state fields it touches are simple
+            # assignments, and a racing get/put at worst misses or skips disk
+            # during the probe.
+            self._disk_error = None
+            self._init_directory()
             if self._disk_error is not None:
-                # Re-probe: the path may have become usable since __init__.
-                self._disk_error = None
-                self._init_directory()
-                if self._disk_error is not None:
-                    stats.details.append(
-                        f"store directory unavailable: {self._disk_error}"
-                    )
-                    return stats
-            try:
-                if self._disk_stale:
-                    self._wipe_data(stats)
-                    self._write_manifest()
-                    self._disk_stale = False
-                    return stats
-            except OSError as error:
-                self._disk_error = str(error)
-                stats.details.append(f"store directory unavailable: {error}")
+                stats.details.append(
+                    f"store directory unavailable: {self._disk_error}"
+                )
                 return stats
-            data_root = self._directory / _DATA_DIR
-            if not data_root.is_dir():
-                return stats
-            for path in sorted(data_root.glob("*/*")):
-                if _TMP_MARKER in path.name:
-                    self._remove(path, stats, "leftover temp file")
-            for sidecar in sorted(data_root.glob("*/*.json")):
-                record = self._read_sidecar(sidecar, verify_checksum=verify_checksums)
-                payload = sidecar.with_suffix(".npz")
-                if record is None:
-                    self._remove(sidecar, stats, "invalid or stale entry")
-                    if payload.exists():
-                        self._remove(payload, stats, "payload of invalid entry")
-                    stats.removed_entries += 1
-                else:
-                    stats.kept_entries += 1
-            for payload in sorted(data_root.glob("*/*.npz")):
-                if not payload.with_suffix(".json").exists():
-                    self._remove(payload, stats, "orphaned payload")
-                    stats.removed_entries += 1
-            for bucket in sorted(data_root.iterdir()):
-                try:
-                    if bucket.is_dir() and not any(bucket.iterdir()):
-                        bucket.rmdir()
-                except OSError:  # racing writer repopulated the bucket
-                    continue
-            try:
+        # Wait for the interprocess lock *before* taking the instance lock:
+        # a contended wait here must not stall concurrent memory-tier
+        # get/put, which never touch the files gc compacts.
+        if not self._acquire_write_lock():
+            stats.details.append(
+                "write-lock contention: compaction skipped (another "
+                "process holds the store lock)"
+            )
+            return stats
+        try:
+            with self._lock:
+                return self._gc_locked(stats, verify_checksums)
+        finally:
+            self._release_write_lock()
+
+    def _gc_locked(self, stats: GCStats, verify_checksums: bool) -> GCStats:
+        """The compaction body; caller holds both the instance and file locks."""
+        try:
+            if self._disk_stale:
+                self._wipe_data(stats)
                 self._write_manifest()
-            except OSError:
-                self.stats.write_errors += 1
+                self._disk_stale = False
+                return stats
+        except OSError as error:
+            self._disk_error = str(error)
+            stats.details.append(f"store directory unavailable: {error}")
+            return stats
+        data_root = self._directory / _DATA_DIR
+        if not data_root.is_dir():
+            return stats
+        for path in sorted(data_root.glob("*/*")):
+            if _TMP_MARKER in path.name:
+                self._remove(path, stats, "leftover temp file")
+        for sidecar in sorted(data_root.glob("*/*.json")):
+            record = self._read_sidecar(sidecar, verify_checksum=verify_checksums)
+            payload = sidecar.with_suffix(".npz")
+            if record is None:
+                self._remove(sidecar, stats, "invalid or stale entry")
+                if payload.exists():
+                    self._remove(payload, stats, "payload of invalid entry")
+                stats.removed_entries += 1
+            else:
+                stats.kept_entries += 1
+        for payload in sorted(data_root.glob("*/*.npz")):
+            if not payload.with_suffix(".json").exists():
+                self._remove(payload, stats, "orphaned payload")
+                stats.removed_entries += 1
+        for bucket in sorted(data_root.iterdir()):
+            try:
+                if bucket.is_dir() and not any(bucket.iterdir()):
+                    bucket.rmdir()
+            except OSError:  # racing writer repopulated the bucket
+                continue
+        try:
+            self._write_manifest()
+        except OSError:
+            self.stats.write_errors += 1
         return stats
 
     # ----------------------------------------------------------------- dunder
@@ -370,6 +429,25 @@ class ArtifactStore:
         while len(self._memory) > self._memory_items:
             self._memory.popitem(last=False)
             self.stats.evictions += 1
+
+    def _acquire_write_lock(self) -> bool:
+        """Take the interprocess write lock; ``False`` means degrade.
+
+        Memory-only stores have nothing to serialize. Contention past the
+        bounded timeout is counted and reported, never raised — the caller
+        skips its disk write and the memory tier carries the artifact.
+        """
+        if self._write_lock is None:
+            return True
+        if self._write_lock.acquire(timeout=self._lock_timeout):
+            return True
+        with self._lock:
+            self.stats.lock_contention += 1
+        return False
+
+    def _release_write_lock(self) -> None:
+        if self._write_lock is not None and self._write_lock.held:
+            self._write_lock.release()
 
     def _init_directory(self) -> None:
         directory = self._directory
@@ -404,9 +482,16 @@ class ArtifactStore:
             },
             indent=2,
         )
-        _atomic_write_bytes(
-            self._directory / _MANIFEST_NAME, (payload + "\n").encode("utf-8")
-        )
+        if not self._acquire_write_lock():
+            # The lock holder is writing the manifest or compacting; this
+            # rewrite is redundant — degrade by skipping it.
+            return
+        try:
+            _atomic_write_bytes(
+                self._directory / _MANIFEST_NAME, (payload + "\n").encode("utf-8")
+            )
+        finally:
+            self._release_write_lock()
 
     def _entry_paths(
         self, kind: str, fingerprint: str, digest: str
@@ -480,12 +565,22 @@ class ArtifactStore:
             "payload": payload_path.name,
             "created": time.time(),
         }
-        # Payload first, sidecar second: a sidecar on disk always points at a
-        # complete payload; the reverse order could publish a dangling entry.
-        _atomic_write_bytes(payload_path, data)
-        _atomic_write_bytes(
-            sidecar_path, (json.dumps(record, indent=2) + "\n").encode("utf-8")
-        )
+        # The payload/sidecar pair is one critical section: racing writers of
+        # the same entry serialize here, so the published pair always comes
+        # from a single writer (last writer wins). On contention the write
+        # degrades to the memory tier — already populated by the caller.
+        if not self._acquire_write_lock():
+            return
+        try:
+            # Payload first, sidecar second: a sidecar on disk always points
+            # at a complete payload; the reverse order could publish a
+            # dangling entry.
+            _atomic_write_bytes(payload_path, data)
+            _atomic_write_bytes(
+                sidecar_path, (json.dumps(record, indent=2) + "\n").encode("utf-8")
+            )
+        finally:
+            self._release_write_lock()
 
     def _read_sidecar(
         self, path: Path, verify_checksum: bool = False

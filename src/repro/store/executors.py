@@ -1,0 +1,278 @@
+"""Execution backends for the batch-serving driver (:mod:`repro.store.serve`).
+
+A deduplicated batch is a list of independent *units* — one ``(dataset,
+spec)`` computation each — and an executor decides how they run:
+
+* :class:`SerialExecutor` — in the calling thread, one after another; the
+  reference semantics every other backend must reproduce **bit-identically**
+  (for exact and integer-seeded specs).
+* :class:`ThreadExecutor` — a thread pool over the server's own engine pool.
+  Units on *different* datasets overlap (NumPy kernels release the GIL);
+  units on the same dataset serialize on that engine's lock, so engines
+  never race on their internal caches.
+* :class:`ProcessExecutor` — real CPU parallelism. Following the pattern of
+  :mod:`repro.counting.parallel`, workers are shipped **CSR arrays and spec
+  dicts, never pickled engines**: the parent resolves each dataset once,
+  hands over the hyperedge rows of its canonical CSR view plus the spec's
+  plain-dict form, and the worker rebuilds the hypergraph, runs a private
+  engine and returns the typed result.
+
+Why the CSR rebuild is safe: every counting path runs on the CSR view, whose
+dense node ids come from the hypergraph's deterministic node ordering, and
+null-model draws index nodes by sorted position — none of it depends on node
+*label values* (which is also why :func:`~repro.store.fingerprint.csr_fingerprint`
+ignores them). Rebuilding with dense integer labels therefore reproduces
+every exact and integer-seeded result bit-for-bit, and the rebuilt
+hypergraph's fingerprint equals the original's — so worker processes persist
+artifacts under the *same* store keys. Workers given a persistent store
+directory open their own :class:`~repro.store.ArtifactStore` over it; the
+store's interprocess write locking makes those concurrent same-directory
+writers safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.counting.parallel import (
+    BACKEND_PROCESS,
+    BACKEND_THREAD,
+    make_executor,
+)
+from repro.exceptions import SpecError
+from repro.hypergraph.hypergraph import Hypergraph
+
+#: Serving backends accepted by ``EngineServer.submit(backend=...)``.
+SERVE_BACKEND_SERIAL = "serial"
+SERVE_BACKEND_THREAD = BACKEND_THREAD
+SERVE_BACKEND_PROCESS = BACKEND_PROCESS
+SERVE_BACKENDS = (SERVE_BACKEND_SERIAL, SERVE_BACKEND_THREAD, SERVE_BACKEND_PROCESS)
+
+
+@dataclass(frozen=True)
+class WorkerPayload:
+    """Process-shippable form of one serving unit: plain arrays and dicts.
+
+    ``edge_ptr``/``edge_nodes`` are the hyperedge rows of the dataset's
+    canonical CSR view (sorted dense node ids — see
+    :class:`repro.fastcore.csr.HypergraphCSR`); ``spec`` is the
+    :func:`repro.api.spec_to_dict` rendering of the request's spec;
+    ``store_dir`` points the worker at the shared persistent store (``None``
+    runs the worker store-less, e.g. when the parent store is memory-only
+    and therefore unreachable from another process).
+    """
+
+    edge_ptr: np.ndarray
+    edge_nodes: np.ndarray
+    dataset: str
+    spec: Dict[str, Any]
+    store_dir: Optional[str]
+
+
+@dataclass(frozen=True)
+class ServeUnit:
+    """One unique computation of a batch, in both executable forms.
+
+    ``run_local`` executes through the server's own engine pool (serial and
+    thread backends); ``make_payload`` renders the process-shippable form
+    lazily, so the serial/thread paths never pay for it.
+    """
+
+    run_local: Callable[[], Any]
+    make_payload: Callable[[], WorkerPayload]
+    label: str = field(default="")
+
+
+def hypergraph_from_csr_rows(
+    edge_ptr: np.ndarray, edge_nodes: np.ndarray, name: str
+) -> Hypergraph:
+    """Rebuild a hypergraph from CSR hyperedge rows, canonically labeled.
+
+    The result is content-equivalent to the hypergraph the rows came from:
+    same hyperedge order and the **same canonical CSR layout** — hence the
+    same fingerprint (so worker processes hit and populate the same store
+    entries) and bit-identical counting/profiling results.
+
+    Labels are fixed-width decimal strings of the dense ids (``"007"``),
+    not bare ints: ``Hypergraph`` orders nodes by ``(type, repr)``, and only
+    the fixed width makes that lexicographic order coincide with the numeric
+    order of the shipped ids, keeping the dense-id mapping the identity.
+    (Bare ints would sort ``"10" < "2"`` and permute the CSR.)
+    """
+    edge_ptr = np.asarray(edge_ptr)
+    edge_nodes = np.asarray(edge_nodes)
+    width = len(str(int(edge_nodes.max()))) if len(edge_nodes) else 1
+    edges = [
+        [f"{node:0{width}d}" for node in edge_nodes[edge_ptr[i] : edge_ptr[i + 1]]]
+        for i in range(len(edge_ptr) - 1)
+    ]
+    return Hypergraph(edges, name=name)
+
+
+def ensure_servable_spec(spec) -> None:
+    """Reject spec types the serving layer cannot dispatch, eagerly."""
+    from repro.api.config import CompareSpec, CountSpec, ProfileSpec
+
+    if not isinstance(spec, (CountSpec, ProfileSpec, CompareSpec)):
+        raise SpecError(
+            f"the serving layer dispatches CountSpec, ProfileSpec and "
+            f"CompareSpec, got {type(spec).__name__}"
+        )
+
+
+def dispatch_spec(engine, spec):
+    """Run one servable spec on *engine*, returning the typed result.
+
+    The single dispatch point shared by every execution path — the server's
+    local (serial/thread) execution and the process workers — so backends
+    cannot drift in what they serve.
+    """
+    from repro.api.config import CountSpec, ProfileSpec
+
+    ensure_servable_spec(spec)
+    if isinstance(spec, CountSpec):
+        return engine.count(spec)
+    if isinstance(spec, ProfileSpec):
+        return engine.profile(spec)
+    return engine.compare(spec)
+
+
+def execute_payload(payload: WorkerPayload):
+    """Run one serving unit from its shipped form (the process-worker entry).
+
+    Module-level so it pickles by reference. Builds a private engine over the
+    rebuilt hypergraph — consulting and populating the shared persistent
+    store when one is configured — and returns the typed result.
+    """
+    # Imported here (not at module top) to keep this module importable from
+    # repro.store without dragging the API layer into every store user; the
+    # worker process pays the import once.
+    from repro.api.config import spec_from_dict
+    from repro.api.engine import MotifEngine
+    from repro.store.artifacts import ArtifactStore
+
+    hypergraph = hypergraph_from_csr_rows(
+        payload.edge_ptr, payload.edge_nodes, payload.dataset
+    )
+    store = ArtifactStore(payload.store_dir) if payload.store_dir else False
+    engine = MotifEngine(hypergraph, store=store)
+    return dispatch_spec(engine, spec_from_dict(payload.spec))
+
+
+class ServeExecutor:
+    """How a deduplicated batch of :class:`ServeUnit` runs; see the backends."""
+
+    name: str
+
+    def map(self, units: Sequence[ServeUnit]) -> List[Any]:
+        """Execute every unit, returning results in unit order."""
+        raise NotImplementedError
+
+
+class SerialExecutor(ServeExecutor):
+    """Reference backend: units run in the calling thread, in order."""
+
+    name = SERVE_BACKEND_SERIAL
+
+    def map(self, units: Sequence[ServeUnit]) -> List[Any]:
+        return [unit.run_local() for unit in units]
+
+
+class _PoolExecutor(ServeExecutor):
+    """Shared fan-out/collect loop of the thread and process backends.
+
+    Subclasses provide ``_prepare`` (turn units into the items the backend
+    executes — identity for threads, payload materialization for processes)
+    plus the per-item inline/submitted execution.
+    """
+
+    def __init__(self, num_workers: int) -> None:
+        self._num_workers = int(num_workers)
+
+    def _prepare(self, units: Sequence[ServeUnit]) -> Sequence[Any]:
+        return units
+
+    def _run_inline(self, item):
+        raise NotImplementedError
+
+    def _submit(self, executor, item):
+        raise NotImplementedError
+
+    def map(self, units: Sequence[ServeUnit]) -> List[Any]:
+        if not units:
+            return []
+        items = self._prepare(units)
+        workers = min(self._num_workers, len(items))
+        if workers == 1:
+            return [self._run_inline(item) for item in items]
+        with make_executor(self.name, workers) as executor:
+            futures = [self._submit(executor, item) for item in items]
+            # Collect in submission order: request ordering is part of the
+            # serving contract regardless of which worker finished first.
+            return [future.result() for future in futures]
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread pool over the server's engine pool (shared-memory serving)."""
+
+    name = SERVE_BACKEND_THREAD
+
+    def _run_inline(self, item: ServeUnit):
+        return item.run_local()
+
+    def _submit(self, executor, item: ServeUnit):
+        return executor.submit(item.run_local)
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process pool; workers receive :class:`WorkerPayload`, never engines.
+
+    Uses the platform's default start method (like the parallel counters in
+    :mod:`repro.counting.parallel`): ``fork`` on Linux up to Python 3.13,
+    ``forkserver`` from 3.14. Under ``fork``, prefer submitting
+    process-backend batches from a thread-quiet process — combining them
+    with *overlapping* ``submit_async`` batches forks while dispatcher
+    threads run, which CPython 3.12+ warns about. (``spawn``/``forkserver``
+    are not forced here: they re-import ``__main__`` in every worker, which
+    breaks stdin/REPL-driven parents and pays per-worker import time.)
+    """
+
+    name = SERVE_BACKEND_PROCESS
+
+    def _prepare(self, units: Sequence[ServeUnit]) -> Sequence[WorkerPayload]:
+        # Materialize payloads in the parent *before* opening the pool: this
+        # resolves datasets through the parent's engine pool exactly once
+        # and surfaces load errors eagerly rather than from a worker.
+        return [unit.make_payload() for unit in units]
+
+    def _run_inline(self, item: WorkerPayload):
+        return execute_payload(item)
+
+    def _submit(self, executor, item: WorkerPayload):
+        return executor.submit(execute_payload, item)
+
+
+def resolve_serve_executor(backend: Optional[str], workers: int) -> ServeExecutor:
+    """Normalize ``(backend, workers)`` into an executor instance.
+
+    ``backend=None`` picks ``"serial"`` for one worker and ``"thread"`` for
+    several; unknown backends and non-positive worker counts raise
+    :class:`SpecError` before any work runs.
+    """
+    if isinstance(workers, bool) or not isinstance(workers, int) or workers <= 0:
+        raise SpecError(f"workers must be a positive integer, got {workers!r}")
+    if backend is None:
+        backend = SERVE_BACKEND_SERIAL if workers == 1 else SERVE_BACKEND_THREAD
+    if backend == SERVE_BACKEND_SERIAL:
+        return SerialExecutor()
+    if backend == SERVE_BACKEND_THREAD:
+        return ThreadExecutor(workers)
+    if backend == SERVE_BACKEND_PROCESS:
+        return ProcessExecutor(workers)
+    raise SpecError(
+        f"backend must be one of {SERVE_BACKENDS} (or None to choose "
+        f"automatically), got {backend!r}"
+    )

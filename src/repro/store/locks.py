@@ -1,0 +1,189 @@
+"""Interprocess file locking for the artifact store's write paths.
+
+The store's per-entry writes are already atomic (unique temp file +
+``os.replace``), but atomicity of *single* files is not enough once several
+workers persist into one directory: an entry is a payload/sidecar **pair**
+(the sidecar carries the payload's checksum), and the manifest plus the
+:meth:`~repro.store.ArtifactStore.gc` compaction pass walk and rewrite many
+files. :class:`FileLock` serializes those multi-file critical sections across
+processes so the last writer wins with a *consistent* pair, instead of one
+writer's sidecar referencing another writer's payload.
+
+The lock is advisory and deliberately forgiving: callers ask for it with a
+bounded timeout and **degrade** when they cannot get it (the store falls back
+to its memory tier, never blocking or breaking the computation it caches).
+``fcntl.flock`` is used where available (POSIX); elsewhere an
+``O_CREAT | O_EXCL`` lockfile with stale-age breaking stands in, so the module
+imports everywhere without extra dependencies.
+
+Within one process the lock is reentrant *per instance* and thread-safe: two
+threads sharing one :class:`~repro.store.ArtifactStore` serialize on an
+internal :class:`threading.RLock` before touching the file, while two store
+instances (or two processes) contend on the file itself.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+#: Default time budget for acquiring a lock before the caller degrades.
+DEFAULT_TIMEOUT = 5.0
+
+#: Sleep between non-blocking acquisition attempts.
+_POLL_INTERVAL = 0.005
+
+#: Age (seconds) after which a fallback lockfile is considered abandoned by a
+#: dead process and broken. Only used when ``fcntl`` is unavailable —
+#: ``flock`` locks vanish with their process automatically.
+_STALE_LOCKFILE_AGE = 60.0
+
+
+class FileLock:
+    """Advisory interprocess lock on a single lock file.
+
+    Usage::
+
+        lock = FileLock(directory / ".store.lock")
+        if lock.acquire(timeout=1.0):
+            try:
+                ...  # multi-file critical section
+            finally:
+                lock.release()
+        else:
+            ...  # contention: degrade instead of blocking
+
+    ``acquire``/``release`` nest **per thread**: the thread holding the lock
+    reacquires immediately and only its outermost release drops the file
+    lock. *Other* threads of the same instance serialize on an internal
+    lock exactly like other processes do on the file — their ``acquire``
+    waits out the timeout and returns ``False`` if the holder keeps it.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = Path(path)
+        self._thread_lock = threading.RLock()
+        self._depth = 0
+        self._fd: Optional[int] = None
+
+    @property
+    def path(self) -> Path:
+        """Location of the lock file."""
+        return self._path
+
+    @property
+    def held(self) -> bool:
+        """Whether this instance currently holds the lock."""
+        return self._depth > 0
+
+    def acquire(self, timeout: float = DEFAULT_TIMEOUT) -> bool:
+        """Try to take the lock within *timeout* seconds; ``False`` on failure.
+
+        Never raises for contention or filesystem trouble — an unobtainable
+        lock reports ``False`` so the caller can degrade gracefully.
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        # Serialize threads of this instance first; the remaining budget then
+        # goes to the interprocess attempt.
+        budget = max(0.0, deadline - time.monotonic())
+        if not self._thread_lock.acquire(timeout=budget if budget > 0 else 0.001):
+            return False
+        if self._depth > 0:  # reentrant: already holding the file lock
+            self._depth += 1
+            return True
+        try:
+            while True:
+                if self._try_lock_file():
+                    self._depth = 1
+                    return True
+                if time.monotonic() >= deadline:
+                    self._thread_lock.release()
+                    return False
+                time.sleep(_POLL_INTERVAL)
+        except BaseException:
+            self._thread_lock.release()
+            raise
+
+    def release(self) -> None:
+        """Release one level of the lock (outermost level unlocks the file)."""
+        if self._depth == 0:
+            raise RuntimeError(f"release() of unheld lock {self._path}")
+        self._depth -= 1
+        if self._depth == 0:
+            self._unlock_file()
+        self._thread_lock.release()
+
+    def __enter__(self) -> "FileLock":
+        if not self.acquire():
+            raise TimeoutError(f"could not acquire lock {self._path}")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    # --------------------------------------------------------------- internal
+    def _try_lock_file(self) -> bool:
+        """One non-blocking attempt at the OS-level lock."""
+        if fcntl is not None:
+            try:
+                fd = os.open(self._path, os.O_CREAT | os.O_RDWR, 0o644)
+            except OSError:
+                return False
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                os.close(fd)
+                return False
+            self._fd = fd
+            return True
+        # Fallback: atomic-create lockfile, breaking ones left by dead owners.
+        try:
+            fd = os.open(self._path, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o644)
+        except FileExistsError:
+            self._break_stale_lockfile()
+            return False
+        except OSError:
+            return False
+        try:
+            os.write(fd, str(os.getpid()).encode("ascii"))
+        except OSError:  # pragma: no cover - contents are advisory only
+            pass
+        self._fd = fd
+        return True
+
+    def _unlock_file(self) -> None:
+        fd, self._fd = self._fd, None
+        if fd is None:  # pragma: no cover - defensive
+            return
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover - unlock best-effort
+                pass
+            finally:
+                os.close(fd)
+            return
+        os.close(fd)
+        try:
+            self._path.unlink()
+        except OSError:  # pragma: no cover - already removed
+            pass
+
+    def _break_stale_lockfile(self) -> None:  # pragma: no cover - fallback path
+        try:
+            age = time.time() - self._path.stat().st_mtime
+        except OSError:
+            return
+        if age > _STALE_LOCKFILE_AGE:
+            try:
+                self._path.unlink()
+            except OSError:
+                pass

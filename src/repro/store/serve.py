@@ -7,8 +7,23 @@ workers (one per dataset, LRU-evicted) that all share a single
 the store and the next engine for that dataset warm-starts. A batch
 submitted through :meth:`EngineServer.submit` is deduplicated — identical
 ``(dataset, spec)`` pairs are computed once and fanned out to every
-requesting slot — and executed in request order, returning the same typed
-results (:class:`CountResult` etc.) the engine does, one per request.
+requesting slot — and returns the same typed results
+(:class:`CountResult` etc.) the engine does, one per request, in request
+order.
+
+Execution is pluggable (:mod:`repro.store.executors`): the default
+``serial`` backend runs units in the calling thread; ``thread`` overlaps
+units of a batch on a thread pool over the shared engine pool; ``process``
+ships CSR arrays + spec dicts to worker processes for real CPU parallelism,
+with every worker persisting into the same store directory (made safe by
+the store's interprocess write locking). Parallel result *payloads* —
+counts, profiles, comparison rows — are **bit-identical** to serial ones
+for exact and integer-seeded specs; cache-provenance metadata
+(``from_cache``/``cache_tier``) can differ when units of one batch share
+work, because which unit computes first is scheduling-dependent.
+:meth:`EngineServer.submit_async` is the async front door: it dispatches a
+batch to a background thread and returns a :class:`BatchFuture` that is both
+a concurrent future and awaitable, so independent batches overlap.
 
 >>> from repro.api import CountSpec, ProfileSpec
 >>> from repro.store import ArtifactStore
@@ -18,18 +33,22 @@ results (:class:`CountResult` etc.) the engine does, one per request.
 ...     ServeRequest("email-enron-like", CountSpec()),
 ...     ServeRequest("email-enron-like", CountSpec()),          # deduplicated
 ...     ServeRequest("contact-primary-like", ProfileSpec(num_random=3, seed=0)),
-... ])
+... ], workers=4, backend="process")
+>>> future = server.submit_async([("tags-math-like", CountSpec())])
+>>> future.result()[0].counts.total()  # doctest: +SKIP
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.real_vs_random import RealVsRandomReport
-from repro.api.config import CompareSpec, CountSpec, ProfileSpec
+from repro.api.config import CompareSpec, CountSpec, ProfileSpec, spec_to_dict
 from repro.api.engine import MotifEngine
 from repro.api.registry import DEFAULT_REGISTRY, DatasetRegistry
 from repro.api.results import CompareResult, CountResult, EngineResult, ProfileResult
@@ -38,11 +57,21 @@ from repro.hypergraph.builders import TemporalHypergraph
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.motifs.counts import MotifCounts
 from repro.store.artifacts import ArtifactStore, resolve_store
+from repro.store.executors import (
+    ServeUnit,
+    WorkerPayload,
+    dispatch_spec,
+    ensure_servable_spec,
+    resolve_serve_executor,
+)
 
 #: Specs the server knows how to dispatch (predict needs temporal data and a
 #: classifier grid — it stays an engine-level workflow for now).
 ServeSpec = Union[CountSpec, ProfileSpec, CompareSpec]
 ServeSource = Union[str, Path, Hypergraph, TemporalHypergraph]
+
+#: Bound on concurrently-dispatched async batches per server.
+DEFAULT_ASYNC_BATCHES = 4
 
 
 @dataclass(frozen=True)
@@ -62,6 +91,7 @@ class ServeStats:
     deduplicated: int = 0
     engines_built: int = 0
     engines_evicted: int = 0
+    batches: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -70,7 +100,51 @@ class ServeStats:
             "deduplicated": self.deduplicated,
             "engines_built": self.engines_built,
             "engines_evicted": self.engines_evicted,
+            "batches": self.batches,
         }
+
+
+class BatchFuture:
+    """Handle to one asynchronously-submitted batch.
+
+    Wraps the dispatcher's :class:`concurrent.futures.Future` and is
+    additionally *awaitable*, so the same handle works from plain threads
+    (``future.result()``) and from ``asyncio`` code (``await future``).
+    Resolves to the batch's ``List[EngineResult]`` in request order, or
+    raises whatever the batch raised.
+    """
+
+    def __init__(self, future: "Future[List[EngineResult]]") -> None:
+        self._future = future
+
+    def result(self, timeout: Optional[float] = None) -> List[EngineResult]:
+        """Block until the batch finishes; its results in request order."""
+        return self._future.result(timeout)
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The batch's exception, or ``None`` once it completed cleanly."""
+        return self._future.exception(timeout)
+
+    def done(self) -> bool:
+        """Whether the batch has finished (successfully or not)."""
+        return self._future.done()
+
+    def cancel(self) -> bool:
+        """Try to cancel a batch that has not started executing yet."""
+        return self._future.cancel()
+
+    def add_done_callback(self, callback) -> None:
+        """Invoke *callback* (with this future's inner future) on completion."""
+        self._future.add_done_callback(callback)
+
+    def __await__(self):
+        import asyncio
+
+        return asyncio.wrap_future(self._future).__await__()
+
+    def __repr__(self) -> str:
+        state = "done" if self._future.done() else "pending"
+        return f"BatchFuture({state})"
 
 
 class EngineServer:
@@ -89,6 +163,12 @@ class EngineServer:
     max_engines:
         Bound on the worker-engine pool; least-recently-used engines are
         evicted, their computed artifacts surviving in the shared store.
+    async_batches:
+        Bound on batches dispatched concurrently via :meth:`submit_async`.
+
+    The server is thread-safe: overlapping async batches (and the thread
+    backend's workers) share the engine pool under a lock, and each engine
+    executes one unit at a time so its internal caches never race.
     """
 
     def __init__(
@@ -96,13 +176,20 @@ class EngineServer:
         store: Union[ArtifactStore, bool, None] = True,
         registry: Optional[DatasetRegistry] = None,
         max_engines: int = 8,
+        async_batches: int = DEFAULT_ASYNC_BATCHES,
     ) -> None:
         if max_engines <= 0:
             raise SpecError(f"max_engines must be positive, got {max_engines}")
+        if async_batches <= 0:
+            raise SpecError(f"async_batches must be positive, got {async_batches}")
         self._store = resolve_store(store)
         self._registry = DEFAULT_REGISTRY if registry is None else registry
         self._max_engines = int(max_engines)
+        self._async_batches = int(async_batches)
         self._engines: "OrderedDict[object, MotifEngine]" = OrderedDict()
+        self._engine_locks: Dict[object, threading.Lock] = {}
+        self._pool_lock = threading.RLock()
+        self._dispatcher: Optional[ThreadPoolExecutor] = None
         self.stats = ServeStats()
 
     # -------------------------------------------------------------- properties
@@ -114,12 +201,15 @@ class EngineServer:
     @property
     def num_engines(self) -> int:
         """Worker engines currently resident in the pool."""
-        return len(self._engines)
+        with self._pool_lock:
+            return len(self._engines)
 
     # ----------------------------------------------------------------- serving
     def submit(
         self,
         requests: Iterable[Union[ServeRequest, Tuple[ServeSource, ServeSpec]]],
+        workers: int = 1,
+        backend: Optional[str] = None,
     ) -> List[EngineResult]:
         """Serve a batch, one typed result per request, in request order.
 
@@ -127,74 +217,200 @@ class EngineServer:
         duplicate slots receive a defensive copy of the first result. Plain
         ``(source, spec)`` tuples are accepted alongside
         :class:`ServeRequest` objects.
+
+        Parameters
+        ----------
+        workers:
+            How many units of the deduplicated batch may run concurrently.
+        backend:
+            ``"serial"`` (default for one worker), ``"thread"`` (default for
+            several) or ``"process"`` — see :mod:`repro.store.executors`.
+            Results are bit-identical across backends for exact and
+            integer-seeded specs.
         """
-        computed: Dict[Tuple[object, ServeSpec], EngineResult] = {}
-        results: List[EngineResult] = []
-        for request in requests:
-            if isinstance(request, tuple):
-                request = ServeRequest(*request)
-            key = (self._source_key(request.source), request.spec)
-            self.stats.requests += 1
-            if key in computed:
-                self.stats.deduplicated += 1
-            else:
-                computed[key] = self._execute(request)
-                self.stats.unique += 1
-            results.append(_fan_out(computed[key]))
-        return results
+        executor = resolve_serve_executor(backend, workers)
+        normalized = [
+            ServeRequest(*request) if isinstance(request, tuple) else request
+            for request in requests
+        ]
+        keys = [
+            (self._source_key(request.source), request.spec)
+            for request in normalized
+        ]
+        unique: "OrderedDict[object, ServeRequest]" = OrderedDict()
+        for request, key in zip(normalized, keys):
+            if key not in unique:
+                unique[key] = request
+        with self._pool_lock:
+            self.stats.batches += 1
+            self.stats.requests += len(normalized)
+            self.stats.unique += len(unique)
+            self.stats.deduplicated += len(normalized) - len(unique)
+        units = [self._make_unit(request) for request in unique.values()]
+        outcomes = executor.map(units)
+        computed = dict(zip(unique.keys(), outcomes))
+        return [_fan_out(computed[key]) for key in keys]
+
+    def submit_async(
+        self,
+        requests: Iterable[Union[ServeRequest, Tuple[ServeSource, ServeSpec]]],
+        workers: int = 1,
+        backend: Optional[str] = None,
+    ) -> BatchFuture:
+        """Dispatch a batch without blocking; independent batches overlap.
+
+        The request iterable is snapshotted eagerly (so generators are safe)
+        and the batch runs on a background dispatcher thread with exactly
+        the :meth:`submit` semantics — same dedup, ordering and backends.
+        Returns a :class:`BatchFuture` that is also awaitable from asyncio.
+
+        For *overlapping* async batches prefer the ``thread`` backend: the
+        ``process`` backend forks from this (now multi-threaded) process,
+        which is safe only up to the usual fork-with-threads caveats on
+        Linux Pythons before 3.14 (see
+        :class:`~repro.store.executors.ProcessExecutor`).
+        """
+        snapshot = [
+            ServeRequest(*request) if isinstance(request, tuple) else request
+            for request in requests
+        ]
+        # Validate executor parameters in the caller, not the dispatcher
+        # thread, so bad arguments raise here and now.
+        resolve_serve_executor(backend, workers)
+        with self._pool_lock:
+            if self._dispatcher is None:
+                self._dispatcher = ThreadPoolExecutor(
+                    max_workers=self._async_batches,
+                    thread_name_prefix="repro-serve",
+                )
+            future = self._dispatcher.submit(
+                self.submit, snapshot, workers=workers, backend=backend
+            )
+        return BatchFuture(future)
 
     def count(
-        self, sources: Sequence[ServeSource], spec: Optional[CountSpec] = None
+        self,
+        sources: Sequence[ServeSource],
+        spec: Optional[CountSpec] = None,
+        workers: int = 1,
+        backend: Optional[str] = None,
     ) -> List[CountResult]:
         """Convenience: one count per source with a shared spec."""
         spec = CountSpec() if spec is None else spec
-        return self.submit([ServeRequest(source, spec) for source in sources])
+        return self.submit(
+            [ServeRequest(source, spec) for source in sources],
+            workers=workers,
+            backend=backend,
+        )
 
     def warm(
         self,
         sources: Sequence[ServeSource],
         specs: Optional[Sequence[ServeSpec]] = None,
+        workers: int = 1,
+        backend: Optional[str] = None,
     ) -> List[EngineResult]:
         """Pre-populate the shared store (projection + exact counts by default)."""
         specs = [CountSpec()] if specs is None else list(specs)
         return self.submit(
-            [ServeRequest(source, spec) for source in sources for spec in specs]
+            [ServeRequest(source, spec) for source in sources for spec in specs],
+            workers=workers,
+            backend=backend,
         )
+
+    # ---------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down the async dispatcher, waiting for in-flight batches."""
+        with self._pool_lock:
+            dispatcher, self._dispatcher = self._dispatcher, None
+        if dispatcher is not None:
+            dispatcher.shutdown(wait=True)
+
+    def __enter__(self) -> "EngineServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ engines
     def engine_for(self, source: ServeSource) -> MotifEngine:
         """The pooled worker engine for *source*, created on first use."""
         key = self._source_key(source)
-        engine = self._engines.get(key)
-        if engine is not None:
-            self._engines.move_to_end(key)
-            return engine
+        with self._pool_lock:
+            engine = self._engines.get(key)
+            if engine is not None:
+                self._engines.move_to_end(key)
+                return engine
+        # Build outside the pool lock: dataset loading can be slow and must
+        # not stall unrelated requests. A racing builder for the same key is
+        # tolerated; the first insert wins and the loser is discarded.
         store_arg = self._store if self._store is not None else False
         if isinstance(source, (Hypergraph, TemporalHypergraph)):
             engine = MotifEngine(source, store=store_arg)
         else:
             engine = MotifEngine.load(source, registry=self._registry, store=store_arg)
-        self._engines[key] = engine
-        self.stats.engines_built += 1
-        while len(self._engines) > self._max_engines:
-            self._engines.popitem(last=False)
-            self.stats.engines_evicted += 1
+        with self._pool_lock:
+            existing = self._engines.get(key)
+            if existing is not None:
+                self._engines.move_to_end(key)
+                return existing
+            self._engines[key] = engine
+            self.stats.engines_built += 1
+            while len(self._engines) > self._max_engines:
+                # The evicted engine's lock entry is kept on purpose: a
+                # thread may still be executing on the evicted engine, and a
+                # rebuilt engine for the same key must serialize against it
+                # under the *same* lock. Lock objects are tiny (one per
+                # distinct source ever seen), so the map stays bounded by
+                # the workload's dataset universe.
+                self._engines.popitem(last=False)
+                self.stats.engines_evicted += 1
         return engine
 
     # ----------------------------------------------------------------- internal
-    def _execute(self, request: ServeRequest) -> EngineResult:
-        engine = self.engine_for(request.source)
-        spec = request.spec
-        if isinstance(spec, CountSpec):
-            return engine.count(spec)
-        if isinstance(spec, ProfileSpec):
-            return engine.profile(spec)
-        if isinstance(spec, CompareSpec):
-            return engine.compare(spec)
-        raise SpecError(
-            f"EngineServer serves CountSpec, ProfileSpec and CompareSpec, "
-            f"got {type(spec).__name__}"
+    def _make_unit(self, request: ServeRequest) -> ServeUnit:
+        label = (
+            request.source
+            if isinstance(request.source, (str, Path))
+            else getattr(request.source, "name", "hypergraph")
         )
+        return ServeUnit(
+            run_local=lambda: self._execute(request),
+            make_payload=lambda: self._payload_for(request),
+            label=f"{label}:{type(request.spec).__name__}",
+        )
+
+    def _execute(self, request: ServeRequest) -> EngineResult:
+        ensure_servable_spec(request.spec)
+        key = self._source_key(request.source)
+        engine = self.engine_for(request.source)
+        # One unit at a time per engine: MotifEngine's internal memo/caches
+        # are not thread-safe, and units on *different* engines still overlap.
+        with self._engine_lock(key):
+            return dispatch_spec(engine, request.spec)
+
+    def _payload_for(self, request: ServeRequest) -> WorkerPayload:
+        ensure_servable_spec(request.spec)
+        engine = self.engine_for(request.source)
+        hypergraph = engine.hypergraph
+        csr = hypergraph.csr()
+        store_dir: Optional[str] = None
+        if self._store is not None and self._store.persistent:
+            store_dir = str(self._store.directory)
+        return WorkerPayload(
+            edge_ptr=csr.edge_ptr,
+            edge_nodes=csr.edge_nodes,
+            dataset=hypergraph.name,
+            spec=spec_to_dict(request.spec),
+            store_dir=store_dir,
+        )
+
+    def _engine_lock(self, key: object) -> threading.Lock:
+        with self._pool_lock:
+            lock = self._engine_locks.get(key)
+            if lock is None:
+                lock = self._engine_locks[key] = threading.Lock()
+            return lock
 
     @staticmethod
     def _source_key(source: ServeSource) -> object:
@@ -208,7 +424,7 @@ class EngineServer:
 
     def __repr__(self) -> str:
         return (
-            f"EngineServer(engines={len(self._engines)}/{self._max_engines}, "
+            f"EngineServer(engines={self.num_engines}/{self._max_engines}, "
             f"store={'on' if self._store is not None else 'off'}, "
             f"requests={self.stats.requests})"
         )

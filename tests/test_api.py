@@ -515,3 +515,50 @@ class TestLegacyShims:
             CompareSpec(num_random=2, seed=0)
         ).report
         assert legacy.rows == direct.rows
+
+
+class TestSpecSerialization:
+    """spec_to_dict/spec_from_dict — the wire format of the serving layer."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            CountSpec(),
+            CountSpec(algorithm="mochy-a+", num_samples=40, seed=7),
+            CountSpec(projection="lazy", budget=10, policy="lru"),
+            ProfileSpec(num_random=3, seed=0),
+            CompareSpec(num_random=2, seed=1, null_model="slot-fill"),
+            PredictSpec(max_positives=5, seed=2),
+        ],
+    )
+    def test_round_trip_is_identity(self, spec):
+        from repro.api import spec_from_dict, spec_to_dict
+
+        payload = spec_to_dict(spec)
+        assert spec_from_dict(payload) == spec
+        # The payload of a replayable spec is JSON-serializable end to end.
+        assert spec_from_dict(json.loads(json.dumps(payload))) == spec
+
+    def test_type_defaults_to_count(self):
+        from repro.api import spec_from_dict
+
+        assert spec_from_dict({}) == CountSpec()
+        assert spec_from_dict({"algorithm": "mochy-a", "num_samples": 5}) == CountSpec(
+            algorithm="mochy-a", num_samples=5
+        )
+
+    def test_unknown_type_and_fields_are_rejected(self):
+        from repro.api import spec_from_dict
+
+        with pytest.raises(SpecError):
+            spec_from_dict({"type": "tally"})
+        with pytest.raises(SpecError):
+            spec_from_dict({"type": "count", "bogus_field": 1})
+        with pytest.raises(SpecError):
+            spec_from_dict(["not", "a", "mapping"])
+
+    def test_field_validation_still_applies(self):
+        from repro.api import spec_from_dict
+
+        with pytest.raises(SpecError):
+            spec_from_dict({"type": "profile", "num_random": 0})

@@ -260,3 +260,179 @@ class TestStoreCommands:
         assert main(["cache", "--store", store, "gc"]) == 0
         output = capsys.readouterr().out
         assert "removed" in output and "kept" in output
+
+
+class TestServeBatch:
+    @pytest.fixture
+    def request_file(self, hypergraph_file, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    json.dumps({"source": str(hypergraph_file)}),
+                    "# comments and blank lines are skipped",
+                    "",
+                    json.dumps(
+                        {
+                            "source": str(hypergraph_file),
+                            "spec": {"type": "profile", "num_random": 2, "seed": 0},
+                        }
+                    ),
+                    # Terse form: spec fields inlined beside "source".
+                    json.dumps(
+                        {
+                            "source": str(hypergraph_file),
+                            "type": "count",
+                            "algorithm": "mochy-a+",
+                            "num_samples": 25,
+                            "seed": 0,
+                        }
+                    ),
+                    json.dumps({"source": str(hypergraph_file)}),  # dedup slot
+                ]
+            ),
+            encoding="utf-8",
+        )
+        return path
+
+    def test_serve_batch_table_output(self, request_file, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "serve-batch",
+                    str(request_file),
+                    "--store",
+                    str(tmp_path / "store"),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "served 4 requests (3 unique, 1 deduplicated)" in output
+        assert "profile" in output
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_serve_batch_parallel_backends(
+        self, request_file, tmp_path, backend, capsys
+    ):
+        assert (
+            main(
+                [
+                    "serve-batch",
+                    str(request_file),
+                    "--workers",
+                    "2",
+                    "--backend",
+                    backend,
+                    "--store",
+                    str(tmp_path / "store"),
+                ]
+            )
+            == 0
+        )
+        assert "served 4 requests" in capsys.readouterr().out
+
+    def test_serve_batch_parallel_matches_serial_json(
+        self, request_file, tmp_path, capsys
+    ):
+        assert main(["serve-batch", str(request_file), "--json", "--no-store"]) == 0
+        serial = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert (
+            main(
+                [
+                    "serve-batch",
+                    str(request_file),
+                    "--json",
+                    "--no-store",
+                    "--workers",
+                    "2",
+                    "--backend",
+                    "process",
+                ]
+            )
+            == 0
+        )
+        parallel = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert len(serial) == len(parallel) == 4
+        for cold, hot in zip(serial, parallel):
+            assert cold["kind"] == hot["kind"]
+            if "counts" in cold:
+                assert cold["counts"] == hot["counts"]
+            if "values" in cold:
+                assert cold["values"] == hot["values"]
+
+    def test_serve_batch_missing_file(self, capsys):
+        assert main(["serve-batch", "/nonexistent.jsonl", "--no-store"]) == 1
+        assert "request file not found" in capsys.readouterr().err
+
+    def test_serve_batch_invalid_json_line(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json", encoding="utf-8")
+        assert main(["serve-batch", str(path), "--no-store"]) == 1
+        assert "line 1" in capsys.readouterr().err
+
+    def test_serve_batch_missing_source(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"spec": {"type": "count"}}), encoding="utf-8")
+        assert main(["serve-batch", str(path), "--no-store"]) == 1
+        assert 'missing or invalid "source"' in capsys.readouterr().err
+
+    def test_serve_batch_unknown_spec_type(self, hypergraph_file, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"source": str(hypergraph_file), "spec": {"type": "tally"}}),
+            encoding="utf-8",
+        )
+        assert main(["serve-batch", str(path), "--no-store"]) == 1
+        assert "unknown spec type" in capsys.readouterr().err
+
+    def test_serve_batch_rejects_predict_spec(
+        self, hypergraph_file, tmp_path, capsys
+    ):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"source": str(hypergraph_file), "spec": {"type": "predict"}}),
+            encoding="utf-8",
+        )
+        assert main(["serve-batch", str(path), "--no-store"]) == 1
+        assert "not servable" in capsys.readouterr().err
+
+    def test_serve_batch_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n# only a comment\n", encoding="utf-8")
+        assert main(["serve-batch", str(path), "--no-store"]) == 1
+        assert "no requests" in capsys.readouterr().err
+
+
+class TestParallelWarm:
+    def test_cache_warm_with_process_workers_then_serial_hit(
+        self, hypergraph_file, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store")
+        assert (
+            main(
+                [
+                    "cache",
+                    "--store",
+                    store,
+                    "warm",
+                    str(hypergraph_file),
+                    "--profile",
+                    "2",
+                    "--workers",
+                    "2",
+                    "--backend",
+                    "process",
+                ]
+            )
+            == 0
+        )
+        assert "count computed, profile computed" in capsys.readouterr().out
+        # The worker-written artifacts serve a fresh serial invocation.
+        assert (
+            main(
+                ["cache", "--store", store, "warm", str(hypergraph_file), "--profile", "2"]
+            )
+            == 0
+        )
+        assert "count hit, profile hit" in capsys.readouterr().out

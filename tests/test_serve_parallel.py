@@ -1,0 +1,326 @@
+"""Parity and behavior tests for the parallel + async serving executor.
+
+The headline guarantee of the serving layer: ``submit()`` with the thread or
+process backend returns **bit-identical** results — counts, profiles,
+comparison rows — and identical ordering vs. the serial backend, for exact
+and integer-seeded specs. The suite also pins the async front door
+(:meth:`EngineServer.submit_async`), executor validation, the LRU engine
+pool's evict-then-rebuild-from-disk path, and per-batch dedup accounting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.api import CompareSpec, CountSpec, PredictSpec, ProfileSpec
+from repro.api.results import CompareResult, CountResult, ProfileResult
+from repro.exceptions import SpecError
+from repro.generators import generate_uniform_random
+from repro.store import ArtifactStore
+from repro.store.executors import (
+    SERVE_BACKENDS,
+    hypergraph_from_csr_rows,
+    resolve_serve_executor,
+)
+from repro.store.serve import BatchFuture, EngineServer, ServeRequest
+
+PARALLEL_BACKENDS = ("thread", "process")
+
+
+def _make_hypergraph(seed: int = 0, num_hyperedges: int = 40):
+    return generate_uniform_random(
+        num_nodes=24, num_hyperedges=num_hyperedges, seed=seed
+    )
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return [_make_hypergraph(seed) for seed in range(3)]
+
+
+@pytest.fixture(scope="module")
+def mixed_requests(datasets):
+    """Exact + seeded sampling counts, a seeded profile and compare, + dupes."""
+    specs = [
+        CountSpec(),
+        CountSpec(algorithm="mochy-a+", num_samples=40, seed=0),
+        CountSpec(algorithm="mochy-a", num_samples=30, seed=5),
+        ProfileSpec(num_random=2, seed=0),
+        CompareSpec(num_random=2, seed=1),
+    ]
+    requests = [
+        ServeRequest(dataset, spec) for dataset in datasets for spec in specs
+    ]
+    # Duplicates exercise dedup fan-out alongside the parallel execution.
+    requests.append(ServeRequest(datasets[0], CountSpec()))
+    requests.append(ServeRequest(datasets[1], ProfileSpec(num_random=2, seed=0)))
+    return requests
+
+
+def _assert_results_bit_identical(reference, candidate):
+    assert len(reference) == len(candidate)
+    for expected, actual in zip(reference, candidate):
+        assert type(actual) is type(expected)
+        assert actual.dataset == expected.dataset
+        if isinstance(expected, CountResult):
+            assert np.array_equal(
+                actual.counts.to_array(), expected.counts.to_array()
+            )
+            assert actual.num_samples == expected.num_samples
+            assert actual.algorithm == expected.algorithm
+        elif isinstance(expected, ProfileResult):
+            assert np.array_equal(actual.profile.values, expected.profile.values)
+            assert np.array_equal(
+                actual.profile.significances, expected.profile.significances
+            )
+            assert np.array_equal(
+                actual.profile.real_counts.to_array(),
+                expected.profile.real_counts.to_array(),
+            )
+        elif isinstance(expected, CompareResult):
+            assert actual.report.rows == expected.report.rows
+        else:  # pragma: no cover - the suite only serves the three kinds
+            raise AssertionError(f"unexpected result type {type(expected)}")
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_parallel_matches_serial_bit_identically(
+        self, tmp_path, mixed_requests, backend
+    ):
+        serial = EngineServer(store=ArtifactStore(tmp_path / "serial")).submit(
+            mixed_requests
+        )
+        parallel = EngineServer(store=ArtifactStore(tmp_path / backend)).submit(
+            mixed_requests, workers=4, backend=backend
+        )
+        _assert_results_bit_identical(serial, parallel)
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_cold_provenance_matches_serial(self, tmp_path, datasets, backend):
+        """Cold-batch cache provenance agrees modulo tier (all computed).
+
+        Uses units with no batch-internal sharing: when one unit's work
+        feeds another's (a profile's internal count serving a CountSpec
+        slot), *which* unit computes first is scheduling-dependent and only
+        the payloads — not the provenance flags — are deterministic.
+        """
+        requests = [
+            ServeRequest(dataset, spec)
+            for dataset in datasets
+            for spec in (
+                CountSpec(),
+                CountSpec(algorithm="mochy-a+", num_samples=40, seed=0),
+            )
+        ]
+        serial = EngineServer(store=ArtifactStore(tmp_path / "serial")).submit(
+            requests
+        )
+        parallel = EngineServer(store=ArtifactStore(tmp_path / backend)).submit(
+            requests, workers=4, backend=backend
+        )
+        for expected, actual in zip(serial, parallel):
+            assert not expected.from_cache
+            assert actual.from_cache == expected.from_cache
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_storeless_server_parity(self, mixed_requests, backend):
+        serial = EngineServer(store=False).submit(mixed_requests)
+        parallel = EngineServer(store=False).submit(
+            mixed_requests, workers=3, backend=backend
+        )
+        _assert_results_bit_identical(serial, parallel)
+
+    def test_process_workers_populate_the_shared_store(self, tmp_path, datasets):
+        """Worker processes persist under the parent's fingerprints."""
+        store = ArtifactStore(tmp_path / "store")
+        requests = [
+            ServeRequest(dataset, ProfileSpec(num_random=2, seed=0))
+            for dataset in datasets
+        ]
+        cold = EngineServer(store=store).submit(
+            requests, workers=3, backend="process"
+        )
+        assert all(not result.from_cache for result in cold)
+        kinds = {entry.kind for entry in store.entries()}
+        assert kinds == {"projection", "count", "null-counts", "profile"}
+        # A fresh serial server over the same directory warm-starts from the
+        # worker-written artifacts, bit-identically.
+        warm = EngineServer(store=ArtifactStore(tmp_path / "store")).submit(requests)
+        assert all(result.from_cache for result in warm)
+        assert all(result.cache_tier == "disk" for result in warm)
+        _assert_results_bit_identical(cold, warm)
+
+    def test_rebuilt_hypergraph_shares_fingerprint_and_results(self):
+        """The process-worker reconstruction invariant, pinned directly."""
+        hypergraph = _make_hypergraph(seed=9)
+        csr = hypergraph.csr()
+        rebuilt = hypergraph_from_csr_rows(
+            csr.edge_ptr, csr.edge_nodes, hypergraph.name
+        )
+        assert rebuilt.fingerprint() == hypergraph.fingerprint()
+        assert np.array_equal(rebuilt.csr().edge_nodes, csr.edge_nodes)
+        assert np.array_equal(rebuilt.csr().edge_ptr, csr.edge_ptr)
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_dedup_accounting_is_backend_independent(
+        self, mixed_requests, backend
+    ):
+        serial = EngineServer(store=False)
+        serial.submit(mixed_requests)
+        parallel = EngineServer(store=False)
+        parallel.submit(mixed_requests, workers=4, backend=backend)
+        assert parallel.stats.requests == serial.stats.requests
+        assert parallel.stats.unique == serial.stats.unique
+        assert parallel.stats.deduplicated == serial.stats.deduplicated
+
+
+class TestExecutorValidation:
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(SpecError):
+            EngineServer(store=False).submit([], backend="gpu")
+
+    @pytest.mark.parametrize("workers", [0, -1, 1.5, True])
+    def test_invalid_workers_are_rejected(self, workers):
+        with pytest.raises(SpecError):
+            EngineServer(store=False).submit([], workers=workers)
+
+    def test_backend_defaults(self):
+        assert resolve_serve_executor(None, 1).name == "serial"
+        assert resolve_serve_executor(None, 4).name == "thread"
+        for backend in SERVE_BACKENDS:
+            assert resolve_serve_executor(backend, 2).name == backend
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_predict_spec_is_rejected_before_workers_run(self, backend):
+        server = EngineServer(store=False)
+        with pytest.raises(SpecError):
+            server.submit(
+                [ServeRequest(_make_hypergraph(), PredictSpec())],
+                workers=2,
+                backend=backend,
+            )
+
+    def test_empty_batch(self):
+        assert EngineServer(store=False).submit([], workers=4, backend="thread") == []
+
+
+class TestAsyncServing:
+    def test_submit_async_matches_sync(self, datasets):
+        with EngineServer(store=False) as server:
+            requests = [ServeRequest(datasets[0], CountSpec())]
+            future = server.submit_async(requests)
+            assert isinstance(future, BatchFuture)
+            expected = EngineServer(store=False).submit(requests)
+            _assert_results_bit_identical(expected, future.result(timeout=60))
+            assert future.done()
+            assert future.exception() is None
+
+    def test_overlapping_batches(self, tmp_path, datasets):
+        with EngineServer(store=ArtifactStore(tmp_path / "s")) as server:
+            futures = [
+                server.submit_async(
+                    [ServeRequest(dataset, CountSpec())], workers=2, backend="thread"
+                )
+                for dataset in datasets
+            ]
+            results = [future.result(timeout=60) for future in futures]
+        for dataset, (result,) in zip(datasets, results):
+            assert result.dataset == dataset.name
+
+    def test_future_is_awaitable(self, datasets):
+        async def go(server):
+            return await server.submit_async(
+                [ServeRequest(datasets[0], CountSpec())]
+            )
+
+        with EngineServer(store=False) as server:
+            results = asyncio.run(go(server))
+        expected = EngineServer(store=False).submit(
+            [ServeRequest(datasets[0], CountSpec())]
+        )
+        _assert_results_bit_identical(expected, results)
+
+    def test_async_batch_failures_surface_in_the_future(self):
+        with EngineServer(store=False) as server:
+            future = server.submit_async(
+                [ServeRequest(_make_hypergraph(), PredictSpec())]
+            )
+            assert isinstance(future.exception(timeout=60), SpecError)
+            with pytest.raises(SpecError):
+                future.result(timeout=60)
+
+    def test_invalid_executor_arguments_raise_in_the_caller(self):
+        with EngineServer(store=False) as server:
+            with pytest.raises(SpecError):
+                server.submit_async([], backend="gpu")
+
+    def test_close_is_idempotent(self):
+        server = EngineServer(store=False)
+        server.submit_async([])
+        server.close()
+        server.close()
+
+    def test_generator_requests_are_snapshotted(self, datasets):
+        with EngineServer(store=False) as server:
+            future = server.submit_async(
+                ServeRequest(dataset, CountSpec()) for dataset in datasets
+            )
+            assert len(future.result(timeout=60)) == len(datasets)
+
+
+class TestEnginePool:
+    def test_evicted_engine_rebuilds_from_the_disk_tier(self, tmp_path):
+        """The LRU satellite: eviction loses nothing that hit the store."""
+        store = ArtifactStore(tmp_path / "s")
+        server = EngineServer(store=store, max_engines=1)
+        first, second = _make_hypergraph(1), _make_hypergraph(2)
+        cold = server.count([first])[0]
+        server.count([second])  # evicts the engine for `first`
+        assert server.stats.engines_evicted == 1
+        # Drop the shared memory tier too, so the rebuilt engine can only be
+        # served by the persistent tier.
+        store.clear_memory()
+        warm = server.count([_make_hypergraph(1)])[0]
+        assert server.stats.engines_built == 3
+        assert warm.from_cache and warm.cache_tier == "disk"
+        assert np.array_equal(warm.counts.to_array(), cold.counts.to_array())
+
+    @pytest.mark.parametrize("backend", ("serial",) + PARALLEL_BACKENDS)
+    def test_dedup_executes_shared_work_once_per_batch(self, tmp_path, backend):
+        """The dedup satellite: duplicate slots never recompute or re-project."""
+        server = EngineServer(store=ArtifactStore(tmp_path / backend))
+        hypergraph = _make_hypergraph(3)
+        batch = [ServeRequest(hypergraph, CountSpec())] * 4 + [
+            ServeRequest(hypergraph, ProfileSpec(num_random=2, seed=0))
+        ]
+        results = server.submit(batch, workers=2, backend=backend)
+        assert server.stats.requests == 5
+        assert server.stats.unique == 2
+        assert server.stats.deduplicated == 3
+        if backend != "process":
+            # Local backends run on the pooled engine: the projection was
+            # built exactly once for the whole batch.
+            engine = server.engine_for(hypergraph)
+            assert engine.num_projection_builds <= 1
+        for result in results[:4]:
+            assert np.array_equal(
+                result.counts.to_array(), results[0].counts.to_array()
+            )
+
+    def test_duplicate_slots_get_defensive_copies_under_parallel_backends(
+        self, datasets
+    ):
+        server = EngineServer(store=False)
+        hypergraph = datasets[0]
+        first, second = server.submit(
+            [ServeRequest(hypergraph, CountSpec())] * 2,
+            workers=2,
+            backend="thread",
+        )
+        expected = second.counts.to_array().copy()
+        first.counts.increment(1, 1000.0)
+        assert np.array_equal(second.counts.to_array(), expected)

@@ -1,0 +1,281 @@
+"""Stress tests: concurrent writers and readers on one store directory.
+
+The scenarios mirror the parallel serving path: N threads sharing one
+:class:`ArtifactStore` instance, N threads on *separate* instances (so they
+contend on the interprocess file lock, not the instance lock), and N worker
+processes each opening its own store over the same directory — all with
+overlapping fingerprints, exactly what deduplicated-but-racing batches
+produce. Afterwards the invariants must hold: the manifest parses at the
+current format version, every entry decodes and passes its checksum, and
+``gc()`` finds nothing to reap (no orphans, no corrupt entries).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.store import ArtifactStore, FileLock
+from repro.store.artifacts import FORMAT_VERSION
+
+#: Overlapping key space shared by every worker: a handful of fingerprints
+#: and params, so concurrent writers keep colliding on the same entries.
+FINGERPRINTS = ("fp-a", "fp-b", "fp-c")
+KINDS = ("count", "projection")
+NUM_PARAMS = 4
+
+
+def _key_for(op: int):
+    """Deterministic (kind, fingerprint, params) cycling through collisions."""
+    return (
+        KINDS[op % len(KINDS)],
+        FINGERPRINTS[op % len(FINGERPRINTS)],
+        {"p": op % NUM_PARAMS},
+    )
+
+
+def _expected_arrays(kind: str, fingerprint: str, params) -> dict:
+    """Content derived from the key alone — what every writer of it stores.
+
+    Mirrors the real system, where artifacts are deterministic functions of
+    their key, so racing writers of one entry write identical bytes.
+    """
+    # zlib.crc32, not hash(): string hashing is salted per process, and the
+    # expected content must agree across parent and worker processes.
+    seed = zlib.crc32(f"{kind}/{fingerprint}/{params['p']}".encode("utf-8"))
+    rng = np.random.default_rng(seed)
+    return {"values": rng.random(64), "ids": rng.integers(0, 100, size=16)}
+
+
+def _hammer(directory: str, worker_id: int, num_ops: int = 40) -> int:
+    """One worker: interleaved puts and gets over the overlapping key space.
+
+    Module-level so process pools can pickle it by reference. Returns the
+    number of distinct keys touched (a cheap liveness signal).
+    """
+    store = ArtifactStore(directory, lock_timeout=30.0)
+    touched = set()
+    for op in range(num_ops):
+        kind, fingerprint, params = _key_for(op + worker_id)
+        touched.add((kind, fingerprint, params["p"]))
+        store.put(kind, fingerprint, params, _expected_arrays(kind, fingerprint, params))
+        hit = store.get(kind, fingerprint, params)
+        assert hit is not None, "a just-written artifact must be readable"
+        arrays, _, _ = hit
+        assert np.array_equal(
+            arrays["values"], _expected_arrays(kind, fingerprint, params)["values"]
+        )
+    return len(touched)
+
+
+def _assert_store_clean(directory: Path, expect_entries: bool = True) -> None:
+    """The post-stress invariants: clean manifest, verifying entries, no-op gc."""
+    manifest = json.loads((directory / "manifest.json").read_text(encoding="utf-8"))
+    assert manifest["format_version"] == FORMAT_VERSION
+
+    fresh = ArtifactStore(directory)
+    assert not fresh.disk_stale
+    assert fresh.disk_error is None
+    entries = fresh.entries()
+    if expect_entries:
+        assert entries, "stress run should have persisted artifacts"
+    for entry in entries:
+        hit = fresh.get(entry.kind, entry.fingerprint, entry.params)
+        assert hit is not None, f"entry {entry.path.name} failed to decode"
+        arrays, _, _ = hit
+        assert np.array_equal(
+            arrays["values"],
+            _expected_arrays(entry.kind, entry.fingerprint, entry.params)["values"],
+        )
+    stats = fresh.gc(verify_checksums=True)
+    assert stats.removed_entries == 0, stats.details
+    assert stats.removed_files == 0, stats.details
+    assert stats.kept_entries == len(entries)
+    assert fresh.stats.corrupt_entries == 0
+
+
+class TestThreadStress:
+    def test_threads_sharing_one_instance(self, tmp_path):
+        directory = tmp_path / "store"
+        store = ArtifactStore(directory)
+        errors = []
+
+        def run(worker_id: int) -> None:
+            try:
+                for op in range(40):
+                    kind, fingerprint, params = _key_for(op + worker_id)
+                    store.put(
+                        kind,
+                        fingerprint,
+                        params,
+                        _expected_arrays(kind, fingerprint, params),
+                    )
+                    assert store.get(kind, fingerprint, params) is not None
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        _assert_store_clean(directory)
+
+    def test_threads_on_separate_instances(self, tmp_path):
+        """Separate instances contend on the *file* lock, not the instance lock."""
+        directory = tmp_path / "store"
+        errors = []
+
+        def run(worker_id: int) -> None:
+            try:
+                _hammer(str(directory), worker_id, num_ops=25)
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        _assert_store_clean(directory)
+
+    def test_concurrent_gc_and_writers(self, tmp_path):
+        """Compaction racing writers never produces orphans or lost manifests."""
+        directory = tmp_path / "store"
+        store = ArtifactStore(directory)
+        stop = threading.Event()
+        errors = []
+
+        def write_loop() -> None:
+            try:
+                op = 0
+                while not stop.is_set():
+                    kind, fingerprint, params = _key_for(op)
+                    store.put(
+                        kind,
+                        fingerprint,
+                        params,
+                        _expected_arrays(kind, fingerprint, params),
+                    )
+                    op += 1
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        def gc_loop() -> None:
+            try:
+                for _ in range(10):
+                    ArtifactStore(directory).gc()
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        writers = [threading.Thread(target=write_loop) for _ in range(3)]
+        collector = threading.Thread(target=gc_loop)
+        for thread in writers:
+            thread.start()
+        collector.start()
+        collector.join()
+        stop.set()
+        for thread in writers:
+            thread.join()
+        assert not errors
+        _assert_store_clean(directory)
+
+
+class TestProcessStress:
+    def test_processes_hammering_one_directory(self, tmp_path):
+        directory = tmp_path / "store"
+        num_workers = 4
+        with ProcessPoolExecutor(max_workers=num_workers) as executor:
+            futures = [
+                executor.submit(_hammer, str(directory), worker_id, 30)
+                for worker_id in range(num_workers)
+            ]
+            results = [future.result(timeout=120) for future in futures]
+        assert all(result > 0 for result in results)
+        _assert_store_clean(directory)
+
+
+class TestLockContention:
+    def test_put_degrades_to_memory_under_contention(self, tmp_path):
+        directory = tmp_path / "store"
+        store = ArtifactStore(directory, lock_timeout=0.05)
+        blocker = FileLock(directory / ".store.lock")
+        assert blocker.acquire(timeout=1.0)
+        try:
+            store.put("count", "fp", {"p": 1}, {"values": np.ones(4)})
+            # Never raised; the artifact lives in the memory tier only.
+            assert store.stats.lock_contention >= 1
+            hit = store.get("count", "fp", {"p": 1})
+            assert hit is not None and hit[2] == "memory"
+            cold = ArtifactStore(directory)
+            assert cold.get("count", "fp", {"p": 1}) is None
+        finally:
+            blocker.release()
+
+    def test_gc_skipped_under_contention(self, tmp_path):
+        directory = tmp_path / "store"
+        store = ArtifactStore(directory, lock_timeout=0.05)
+        store.put("count", "fp", {"p": 1}, {"values": np.ones(4)})
+        blocker = FileLock(directory / ".store.lock")
+        assert blocker.acquire(timeout=1.0)
+        try:
+            stats = store.gc()
+            assert stats.kept_entries == 0 and stats.removed_files == 0
+            assert any("contention" in detail for detail in stats.details)
+        finally:
+            blocker.release()
+        # With the lock free again, compaction proceeds normally.
+        stats = store.gc()
+        assert stats.kept_entries == 1
+
+    def test_writes_resume_after_contention_clears(self, tmp_path):
+        directory = tmp_path / "store"
+        store = ArtifactStore(directory, lock_timeout=0.05)
+        blocker = FileLock(directory / ".store.lock")
+        assert blocker.acquire(timeout=1.0)
+        store.put("count", "fp", {"p": 1}, {"values": np.ones(4)})
+        blocker.release()
+        store.put("count", "fp", {"p": 2}, {"values": np.ones(4)})
+        cold = ArtifactStore(directory)
+        assert cold.get("count", "fp", {"p": 2}) is not None
+
+
+class TestFileLock:
+    def test_reentrant_within_one_instance(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        assert lock.acquire(timeout=1.0)
+        assert lock.acquire(timeout=1.0)
+        assert lock.held
+        lock.release()
+        assert lock.held
+        lock.release()
+        assert not lock.held
+
+    def test_instances_exclude_each_other(self, tmp_path):
+        first = FileLock(tmp_path / "x.lock")
+        second = FileLock(tmp_path / "x.lock")
+        assert first.acquire(timeout=1.0)
+        try:
+            assert not second.acquire(timeout=0.05)
+        finally:
+            first.release()
+        assert second.acquire(timeout=1.0)
+        second.release()
+
+    def test_release_of_unheld_lock_raises(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            FileLock(tmp_path / "x.lock").release()
+
+    def test_context_manager(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        with lock:
+            assert lock.held
+        assert not lock.held
