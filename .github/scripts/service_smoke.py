@@ -1,0 +1,125 @@
+"""CI service-smoke driver: assert streaming, parity and warm-start over HTTP.
+
+Run against an already-started ``repro-mochy serve`` instance:
+
+    python .github/scripts/service_smoke.py --port 8731 \
+        --requests requests.jsonl --serial serial.jsonl --phase cold
+
+``--phase cold`` (first server instance, empty store) asserts that
+
+* results arrive **incrementally** in completion order — the batch leads
+  with a deliberately slow profile, so the fast counts' records must arrive
+  first, before the stream is complete;
+* one ``ok`` record arrives per request plus a ``done`` summary;
+* result payloads are **bit-identical** to the ``serve-batch`` serial
+  reference in ``--serial`` (volatile timing/provenance fields excluded).
+
+``--phase warm`` (second server instance over the same store directory)
+additionally asserts every result reports ``from_cache`` with
+``cache_tier == "disk"`` — the persistent tier survived the restart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.store.client import ServiceClient
+
+VOLATILE_KEYS = frozenset(
+    {
+        "projection_seconds",
+        "counting_seconds",
+        "seconds",
+        "projection_cached",
+        "from_cache",
+        "cache_tier",
+    }
+)
+
+
+def stable(result: dict) -> dict:
+    return {key: value for key, value in result.items() if key not in VOLATILE_KEYS}
+
+
+def read_jsonl(path: Path) -> list:
+    return [
+        json.loads(line)
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if line.strip() and not line.startswith("#")
+    ]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--requests", type=Path, required=True)
+    parser.add_argument("--serial", type=Path, required=True)
+    parser.add_argument("--phase", choices=("cold", "warm"), required=True)
+    arguments = parser.parse_args()
+
+    requests = read_jsonl(arguments.requests)
+    serial = read_jsonl(arguments.serial)
+    assert len(serial) == len(requests), "serial reference is incomplete"
+
+    client = ServiceClient(port=arguments.port, timeout=600.0)
+    health = client.wait_until_healthy(timeout=60.0)
+    print(f"[{arguments.phase}] service healthy: version {health['version']}")
+
+    records = list(client.batch_stream(requests))
+
+    failures = [record for record in records if record.get("status") == "error"]
+    assert not failures, f"stream contained error records: {failures}"
+    okay = [record for record in records if record.get("status") == "ok"]
+    done = [record for record in records if record.get("status") == "done"]
+    assert len(done) == 1 and records[-1] is done[0], "missing/misplaced done record"
+    assert sorted(record["index"] for record in okay) == list(range(len(requests)))
+    assert done[0]["ok"] == len(requests) and done[0]["errors"] == 0
+
+    if arguments.phase == "cold":
+        # Incremental, completion-ordered streaming: request 0 is the slow
+        # profile (it takes orders of magnitude longer than the counts on a
+        # cold store), so with overlapping workers a fast count record must
+        # arrive before it. On the warm pass every unit is a near-instant
+        # disk hit, so arrival order is not meaningful there.
+        assert okay[0]["index"] != 0, (
+            "the slow profile's record arrived first; streaming does not "
+            "follow completion order"
+        )
+
+    # Bit-identical to the serve-batch serial reference.
+    by_index = {record["index"]: record["result"] for record in okay}
+    for index, reference in enumerate(serial):
+        if stable(by_index[index]) != stable(reference):
+            raise AssertionError(
+                f"request {index} diverged from the serial reference:\n"
+                f"  http:   {stable(by_index[index])}\n"
+                f"  serial: {stable(reference)}"
+            )
+    print(f"[{arguments.phase}] {len(okay)} streamed results match serve-batch")
+
+    if arguments.phase == "warm":
+        for index, result in sorted(by_index.items()):
+            assert result["from_cache"], f"warm request {index} was recomputed"
+            assert result["cache_tier"] == "disk", (
+                f"warm request {index} served from {result['cache_tier']!r}, "
+                f"expected the disk tier"
+            )
+        print(f"[warm] all {len(by_index)} results served from the disk tier")
+
+    stats = client.stats()
+    assert stats["serve"]["in_flight"] == 0, "batches left in flight"
+    assert stats["service"]["batches_completed"] >= 1
+    print(
+        f"[{arguments.phase}] stats consistent: "
+        f"store hits memory={stats['store']['stats']['memory_hits']} "
+        f"disk={stats['store']['stats']['disk_hits']}, "
+        f"pool={stats['pool']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

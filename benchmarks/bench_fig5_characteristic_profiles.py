@@ -9,7 +9,6 @@ precomputed counts.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis import leave_one_out_domain_accuracy
 from repro.motifs.patterns import NUM_MOTIFS

@@ -15,7 +15,7 @@ from repro.baselines import (
     graph_similarity_matrix,
     network_motif_profile,
 )
-from repro.profile import domain_separation, similarity_matrix
+from repro.profile import similarity_matrix
 
 from benchmarks.conftest import NUM_RANDOM, write_report
 

@@ -9,10 +9,9 @@ synthetic temporal co-authorship hypergraph.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.generators import generate_temporal_coauthorship
-from repro.ml import LogisticRegression, RandomForestClassifier
+from repro.ml import LogisticRegression
 from repro.prediction import FEATURE_SETS, build_prediction_dataset, run_prediction_experiment
 
 from benchmarks.conftest import write_report

@@ -9,7 +9,7 @@ rank by count in each, the rank difference (RD) and the relative count
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.counting.runner import ALGORITHM_EXACT
 from repro.hypergraph.hypergraph import Hypergraph

@@ -28,7 +28,14 @@ CACHE_TIER_DISK = "disk"
 
 
 class EngineResult:
-    """Base class for engine results: dict/JSON serialization."""
+    """Base class for engine results: dict/JSON serialization.
+
+    ``kind`` is the result's wire-format tag — the ``"kind"`` field of
+    :meth:`to_dict` — so dispatching on a result's type never requires
+    serializing it first.
+    """
+
+    kind: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready mapping of the result."""
@@ -53,6 +60,8 @@ class CountResult(EngineResult):
     (the artifact store's tiers).
     """
 
+    kind = "count"
+
     dataset: str
     algorithm: str
     counts: MotifCounts
@@ -71,7 +80,7 @@ class CountResult(EngineResult):
 
     def to_dict(self) -> Dict[str, Any]:
         return {
-            "kind": "count",
+            "kind": self.kind,
             "dataset": self.dataset,
             "algorithm": self.algorithm,
             "num_samples": self.num_samples,
@@ -96,6 +105,8 @@ class ProfileResult(EngineResult):
     computation still ran.
     """
 
+    kind = "profile"
+
     dataset: str
     profile: CharacteristicProfile
     algorithm: str
@@ -117,7 +128,7 @@ class ProfileResult(EngineResult):
 
     def to_dict(self) -> Dict[str, Any]:
         return {
-            "kind": "profile",
+            "kind": self.kind,
             "dataset": self.dataset,
             "algorithm": self.algorithm,
             "num_random": self.num_random,
@@ -146,6 +157,8 @@ class CompareResult(EngineResult):
     with ``cache_tier`` naming where the null counts came from.
     """
 
+    kind = "compare"
+
     dataset: str
     report: RealVsRandomReport
     algorithm: str
@@ -162,7 +175,7 @@ class CompareResult(EngineResult):
 
     def to_dict(self) -> Dict[str, Any]:
         return {
-            "kind": "compare",
+            "kind": self.kind,
             "dataset": self.dataset,
             "algorithm": self.algorithm,
             "num_random": self.num_random,
@@ -190,6 +203,8 @@ class CompareResult(EngineResult):
 class PredictResult(EngineResult):
     """Outcome of :meth:`~repro.api.MotifEngine.predict` (Table-4 style grid)."""
 
+    kind = "predict"
+
     dataset: str
     result: PredictionExperimentResult
     context_window: Tuple[int, int]
@@ -206,7 +221,7 @@ class PredictResult(EngineResult):
 
     def to_dict(self) -> Dict[str, Any]:
         return {
-            "kind": "predict",
+            "kind": self.kind,
             "dataset": self.dataset,
             "context_window": list(self.context_window),
             "test_window": list(self.test_window),

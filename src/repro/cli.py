@@ -27,6 +27,11 @@ Sub-commands
     object per line) through the batched :class:`repro.store.EngineServer`,
     optionally fanned out across thread or process workers
     (``--workers N --backend thread|process``).
+``serve``
+    Run the HTTP motif service (:mod:`repro.store.server`): a long-lived
+    engine server with a persistent worker pool behind ``POST /v1/batch``
+    (NDJSON streaming of the same request wire format), ``GET /v1/health``
+    and ``GET /v1/stats``; drains gracefully on SIGTERM/SIGINT.
 
 Dataset arguments accept either a file path (plain one-hyperedge-per-line, or
 a ``.json`` document) or the name of a registered synthetic dataset (see
@@ -55,7 +60,6 @@ from repro.api import (
     ProfileSpec,
     CompareSpec,
     PredictSpec,
-    spec_from_dict,
 )
 from repro.counting.runner import ALGORITHMS
 from repro.exceptions import CLIError, DatasetError, ReproError, SpecError
@@ -223,6 +227,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_arguments(warm)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the HTTP motif service (streaming batches over the engine server)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="port to listen on (default: 8723; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--max-engines",
+        type=int,
+        default=8,
+        metavar="N",
+        help="bound on the resident per-dataset engine pool (LRU-evicted)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="largest accepted batch; bigger POSTs get HTTP 413 (default: 256)",
+    )
+    serve.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="how long a SIGTERM waits for in-flight batches (default: 30)",
+    )
+    _add_executor_arguments(serve)
+    _add_store_arguments(serve)
+
     serve_batch = subparsers.add_parser(
         "serve-batch",
         help="serve a JSONL file of requests through the batched engine server",
@@ -262,6 +303,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _run_predict(arguments)
         elif arguments.command == "cache":
             _run_cache(arguments)
+        elif arguments.command == "serve":
+            _run_serve(arguments)
         elif arguments.command == "serve-batch":
             _run_serve_batch(arguments)
         else:  # pragma: no cover - argparse enforces the choices
@@ -504,15 +547,43 @@ def _run_cache_warm(store: ArtifactStore, arguments) -> None:
     print(f"store: {len(store.entries())} artifacts in {store.directory}")
 
 
+def _run_serve(arguments) -> None:
+    from repro.store import server as http_server
+
+    port = http_server.DEFAULT_PORT if arguments.port is None else arguments.port
+    try:
+        server = http_server.build_server(
+            host=arguments.host,
+            port=port,
+            store=_store_argument(arguments),
+            workers=arguments.workers,
+            backend=arguments.backend,
+            max_engines=arguments.max_engines,
+            max_batch=(
+                http_server.DEFAULT_MAX_BATCH
+                if arguments.max_batch is None
+                else arguments.max_batch
+            ),
+        )
+    except OSError as error:
+        raise CLIError(f"cannot bind {arguments.host}:{port}: {error}") from error
+    drain = (
+        http_server.DEFAULT_DRAIN_SECONDS
+        if arguments.drain_seconds is None
+        else arguments.drain_seconds
+    )
+    http_server.run(server, drain_seconds=drain)
+
+
 def _read_serve_requests(source: str):
     """Parse a JSONL request file into ``ServeRequest`` objects, eagerly.
 
-    Each line is one JSON object with a ``source`` (dataset name or file
-    path) and either a nested ``spec`` object or the spec's fields inlined
-    beside ``source``. Validation happens here — before any dataset is
+    Each line is one JSON object in the shared request wire format
+    (:func:`repro.store.serve.request_from_dict` — the same records the
+    HTTP service accepts). Validation happens here — before any dataset is
     loaded — with line numbers in every error.
     """
-    from repro.store.serve import ServeRequest
+    from repro.store.serve import request_from_dict
 
     if source == "-":
         lines = sys.stdin.read().splitlines()
@@ -532,25 +603,10 @@ def _read_serve_requests(source: str):
             raise CLIError(f"line {number}: invalid JSON ({error})") from error
         if not isinstance(record, dict):
             raise CLIError(f"line {number}: expected a JSON object, got {record!r}")
-        dataset = record.pop("source", None)
-        if not isinstance(dataset, str) or not dataset:
-            raise CLIError(f'line {number}: missing or invalid "source"')
-        spec_mapping = record.pop("spec", None)
-        if spec_mapping is None:
-            spec_mapping = record  # terse form: spec fields beside "source"
-        elif record:
-            raise CLIError(
-                f'line {number}: unexpected keys {sorted(record)} next to "spec"'
-            )
         try:
-            spec = spec_from_dict(spec_mapping)
+            requests.append(request_from_dict(record))
         except SpecError as error:
             raise CLIError(f"line {number}: {error}") from error
-        if isinstance(spec, PredictSpec):
-            raise CLIError(
-                f"line {number}: spec type 'predict' is not servable in a batch"
-            )
-        requests.append(ServeRequest(dataset, spec))
     if not requests:
         raise CLIError(f"no requests found in {source!r}")
     return requests
@@ -575,7 +631,7 @@ def _run_serve_batch(arguments) -> None:
         f"{'#':>4} {'kind':<8} {'dataset':<24} {'seconds':>9} {'cache':<8}"
     )
     for index, result in enumerate(results):
-        kind = result.to_dict()["kind"]
+        kind = result.kind
         seconds = getattr(result, "seconds", None)
         if seconds is None:
             seconds = result.total_seconds

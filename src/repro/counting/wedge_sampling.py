@@ -20,7 +20,7 @@ point of Section 3.4) use the per-triple fallback.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple
 
 from repro.counting.classification import (
     NeighborhoodProvider,

@@ -14,8 +14,6 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.utils.rng import ensure_rng
-
 
 def zipf_weights(count: int, exponent: float = 1.0) -> np.ndarray:
     """Normalized Zipf-like popularity weights ``(1/rank)^exponent``.

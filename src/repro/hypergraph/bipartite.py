@@ -12,7 +12,7 @@ back and forth between the hypergraph and bipartite views.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 from repro.exceptions import HypergraphError
 from repro.hypergraph.hypergraph import Hypergraph, Node

@@ -10,7 +10,7 @@ contiguous integers, and slicing temporal data into yearly snapshots
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.exceptions import DatasetError
 from repro.hypergraph.hypergraph import Hypergraph, Node

@@ -29,7 +29,7 @@ from repro.prediction.features import (
     hm26_features,
     select_high_variance_features,
 )
-from repro.prediction.metrics import accuracy, roc_auc
+from repro.prediction.metrics import accuracy
 from repro.prediction.negatives import generate_fake_hyperedges
 from repro.projection.builder import project
 from repro.utils.rng import SeedLike, ensure_rng

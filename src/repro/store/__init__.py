@@ -52,6 +52,11 @@ __all__ = [
     "EngineServer",
     "ServeRequest",
     "BatchFuture",
+    "WorkerPool",
+    "UnitFailure",
+    "MotifHTTPServer",
+    "ServiceClient",
+    "build_server",
     "SERVE_BACKENDS",
     "default_store",
     "reset_default_store",
@@ -70,12 +75,26 @@ def __getattr__(name: str):
     # The serving driver builds on repro.api, which itself imports
     # repro.store.artifacts — resolving it lazily keeps the import DAG acyclic
     # while preserving `from repro.store import EngineServer`.
-    if name in ("EngineServer", "ServeRequest", "ServeStats", "BatchFuture"):
+    if name in (
+        "EngineServer",
+        "ServeRequest",
+        "ServeStats",
+        "BatchFuture",
+        "request_from_dict",
+    ):
         from repro.store import serve
 
         return getattr(serve, name)
-    if name == "SERVE_BACKENDS":
-        from repro.store.executors import SERVE_BACKENDS
+    if name in ("SERVE_BACKENDS", "WorkerPool", "UnitFailure"):
+        from repro.store import executors
 
-        return SERVE_BACKENDS
+        return getattr(executors, name)
+    if name in ("MotifHTTPServer", "MotifService", "build_server", "run"):
+        from repro.store import server
+
+        return getattr(server, name)
+    if name in ("ServiceClient", "ServiceError"):
+        from repro.store import client
+
+        return getattr(client, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

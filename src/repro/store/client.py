@@ -1,0 +1,230 @@
+"""Minimal stdlib client for the motif service (:mod:`repro.store.server`).
+
+Used by the tests, the CI service-smoke job and the examples; scripting
+against the service from Python should not require a third-party HTTP
+library any more than serving does. One :class:`ServiceClient` opens a
+fresh connection per call (the service closes connections after each
+response), parses the NDJSON stream incrementally, and raises
+:class:`ServiceError` — carrying the HTTP status and the structured error
+payload — for every non-2xx response.
+
+>>> from repro.api import CountSpec
+>>> from repro.store.client import ServiceClient
+>>> client = ServiceClient(port=8723)
+>>> client.health()["status"]                               # doctest: +SKIP
+'ok'
+>>> for record in client.batch_stream(
+...     [{"source": "email-enron-like", "spec": {"type": "count"}}]
+... ):                                                      # doctest: +SKIP
+...     print(record["status"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.api.config import spec_to_dict
+from repro.exceptions import ReproError
+from repro.store.serve import ServeRequest
+
+#: Accepted request shapes: a wire record, a ServeRequest, or (source, spec).
+RequestLike = Union[Dict[str, Any], ServeRequest, tuple]
+
+
+class ServiceError(ReproError):
+    """A non-2xx service response (or a streamed per-request error record).
+
+    ``status`` is the HTTP status (``None`` for an in-stream error record,
+    which arrives after the 200 header); ``payload`` is the structured
+    ``{"type": ..., "message": ...}`` error body when the service sent one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+def request_to_dict(request: RequestLike) -> Dict[str, Any]:
+    """Render one request into its wire record.
+
+    Accepts a ready-made record (passed through untouched, so tests can send
+    deliberately-malformed ones), a :class:`ServeRequest`, or a plain
+    ``(source, spec)`` tuple. Sources must be dataset names or file paths —
+    in-memory hypergraphs cannot travel over the wire.
+    """
+    if isinstance(request, dict):
+        return request
+    if isinstance(request, ServeRequest):
+        source, spec = request.source, request.spec
+    elif isinstance(request, tuple) and len(request) == 2:
+        source, spec = request
+    else:
+        raise ReproError(
+            f"cannot serialize request {request!r}; pass a dict record, a "
+            f"ServeRequest or a (source, spec) tuple"
+        )
+    if not isinstance(source, (str, Path)):
+        raise ReproError(
+            f"only named/path sources travel over the wire, got "
+            f"{type(source).__name__}"
+        )
+    return {"source": str(source), "spec": spec_to_dict(spec)}
+
+
+class ServiceClient:
+    """Talks to one motif service instance over HTTP."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8723,
+        timeout: float = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------- plumbing
+    def _connection(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _get_json(self, path: str) -> Dict[str, Any]:
+        connection = self._connection()
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            body = response.read()
+            payload = self._parse_json(body, response.status)
+            if response.status != 200:
+                raise self._error_from(response.status, payload)
+            return payload
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _parse_json(body: bytes, status: int) -> Dict[str, Any]:
+        try:
+            return json.loads(body)
+        except ValueError as error:
+            raise ServiceError(
+                f"service sent invalid JSON (HTTP {status}): {error}", status=status
+            ) from error
+
+    @staticmethod
+    def _error_from(status: int, payload: Dict[str, Any]) -> ServiceError:
+        detail = payload.get("error", {}) if isinstance(payload, dict) else {}
+        message = detail.get("message", f"service returned HTTP {status}")
+        return ServiceError(message, status=status, payload=detail)
+
+    # ------------------------------------------------------------------ endpoints
+    def health(self) -> Dict[str, Any]:
+        """``GET /v1/health``."""
+        return self._get_json("/v1/health")
+
+    def stats(self) -> Dict[str, Any]:
+        """``GET /v1/stats``."""
+        return self._get_json("/v1/stats")
+
+    def wait_until_healthy(
+        self, timeout: float = 10.0, interval: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll ``/v1/health`` until the service answers; raise on timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except (OSError, ServiceError):
+                if time.monotonic() >= deadline:
+                    raise ServiceError(
+                        f"service at {self.host}:{self.port} did not become "
+                        f"healthy within {timeout:.1f}s"
+                    ) from None
+                time.sleep(interval)
+
+    def batch_stream(
+        self, requests: List[RequestLike]
+    ) -> Iterator[Dict[str, Any]]:
+        """``POST /v1/batch``, yielding each NDJSON record as it arrives.
+
+        Records come back in completion order (see the service docs): one
+        ``ok``/``error`` record per request plus the trailing ``done``
+        summary. Non-2xx responses raise :class:`ServiceError` before
+        anything is yielded.
+        """
+        body = json.dumps(
+            {"requests": [request_to_dict(request) for request in requests]}
+        ).encode("utf-8")
+        connection = self._connection()
+        try:
+            connection.request(
+                "POST",
+                "/v1/batch",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            if response.status != 200:
+                payload = self._parse_json(response.read(), response.status)
+                raise self._error_from(response.status, payload)
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                yield json.loads(line)
+        finally:
+            connection.close()
+
+    def batch(self, requests: List[RequestLike]) -> List[Dict[str, Any]]:
+        """``POST /v1/batch``, collecting result dicts in **request order**.
+
+        The streaming inverse of :meth:`batch_stream` for callers that just
+        want the answers: waits for the whole stream, checks the ``done``
+        summary arrived (a missing summary means the stream was truncated),
+        and raises :class:`ServiceError` on the first per-request error
+        record.
+        """
+        results: Dict[int, Dict[str, Any]] = {}
+        done: Optional[Dict[str, Any]] = None
+        for record in self.batch_stream(requests):
+            status = record.get("status")
+            if status == "ok":
+                results[record["index"]] = record["result"]
+            elif status == "error":
+                detail = record.get("error", {})
+                raise ServiceError(
+                    f"request {record.get('index')} failed: "
+                    f"{detail.get('message', 'unknown error')}",
+                    payload=detail,
+                )
+            elif status == "aborted":
+                detail = record.get("error", {})
+                raise ServiceError(
+                    f"batch aborted by the service: "
+                    f"{detail.get('message', 'unknown error')}",
+                    payload=detail,
+                )
+            elif status == "done":
+                done = record
+        if done is None:
+            raise ServiceError("result stream ended without a 'done' summary")
+        if len(results) != len(requests):
+            raise ServiceError(
+                f"stream delivered {len(results)} results for "
+                f"{len(requests)} requests"
+            )
+        return [results[index] for index in range(len(requests))]
+
+    def __repr__(self) -> str:
+        return f"ServiceClient(http://{self.host}:{self.port})"

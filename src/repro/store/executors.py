@@ -28,12 +28,24 @@ artifacts under the *same* store keys. Workers given a persistent store
 directory open their own :class:`~repro.store.ArtifactStore` over it; the
 store's interprocess write locking makes those concurrent same-directory
 writers safe.
+
+Pool lifetime is decoupled from batch dispatch: by default an executor opens
+a fresh worker pool per ``map``/``map_stream`` call (one-shot batches pay
+nothing between calls), while a long-lived front-end — the HTTP service in
+:mod:`repro.store.server` — hands its executors a :class:`WorkerPool`, whose
+workers are reused across batches until the pool is closed. ``map`` collects
+a whole batch in unit order; ``map_stream`` yields ``(unit index, outcome)``
+pairs in *completion* order, which is what lets the service stream results
+over the wire while slower units are still running.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import as_completed
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,6 +65,28 @@ SERVE_BACKENDS = (SERVE_BACKEND_SERIAL, SERVE_BACKEND_THREAD, SERVE_BACKEND_PROC
 
 
 @dataclass(frozen=True)
+class UnitFailure:
+    """Pickle-safe record of one unit's failure, for error-capturing streams.
+
+    When a streaming caller asks for captured errors (the HTTP service must
+    keep a batch's other units flowing after one unit fails), a failed unit
+    resolves to one of these instead of raising: the exception's class name
+    plus its message, both plain strings so the record survives a process
+    worker's pickle boundary and serializes straight onto the wire.
+    """
+
+    error_type: str
+    message: str
+
+    @classmethod
+    def from_exception(cls, error: BaseException) -> "UnitFailure":
+        return cls(error_type=type(error).__name__, message=str(error))
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"type": self.error_type, "message": self.message}
+
+
+@dataclass(frozen=True)
 class WorkerPayload:
     """Process-shippable form of one serving unit: plain arrays and dicts.
 
@@ -62,7 +96,9 @@ class WorkerPayload:
     :func:`repro.api.spec_to_dict` rendering of the request's spec;
     ``store_dir`` points the worker at the shared persistent store (``None``
     runs the worker store-less, e.g. when the parent store is memory-only
-    and therefore unreachable from another process).
+    and therefore unreachable from another process). ``capture`` makes the
+    worker resolve failures to :class:`UnitFailure` records instead of
+    raising, mirroring the local error-capturing execution path.
     """
 
     edge_ptr: np.ndarray
@@ -70,6 +106,27 @@ class WorkerPayload:
     dataset: str
     spec: Dict[str, Any]
     store_dir: Optional[str]
+    capture: bool = False
+    failure: Optional[UnitFailure] = None
+
+    @classmethod
+    def failed(cls, dataset: str, failure: UnitFailure) -> "WorkerPayload":
+        """A payload that resolves to *failure* without running anything.
+
+        Used by error-capturing streams when materializing the real payload
+        (resolving the dataset in the parent) already failed: the failure
+        rides the normal unit pipeline so its slots still get a record.
+        """
+        empty = np.zeros(0, dtype=np.int32)
+        return cls(
+            edge_ptr=empty,
+            edge_nodes=empty,
+            dataset=dataset,
+            spec={},
+            store_dir=None,
+            capture=True,
+            failure=failure,
+        )
 
 
 @dataclass(frozen=True)
@@ -118,8 +175,9 @@ def ensure_servable_spec(spec) -> None:
 
     if not isinstance(spec, (CountSpec, ProfileSpec, CompareSpec)):
         raise SpecError(
+            f"spec type {type(spec).__name__} is not servable in a batch; "
             f"the serving layer dispatches CountSpec, ProfileSpec and "
-            f"CompareSpec, got {type(spec).__name__}"
+            f"CompareSpec"
         )
 
 
@@ -154,12 +212,100 @@ def execute_payload(payload: WorkerPayload):
     from repro.api.engine import MotifEngine
     from repro.store.artifacts import ArtifactStore
 
-    hypergraph = hypergraph_from_csr_rows(
-        payload.edge_ptr, payload.edge_nodes, payload.dataset
-    )
-    store = ArtifactStore(payload.store_dir) if payload.store_dir else False
-    engine = MotifEngine(hypergraph, store=store)
-    return dispatch_spec(engine, spec_from_dict(payload.spec))
+    if payload.failure is not None:
+        return payload.failure
+    try:
+        hypergraph = hypergraph_from_csr_rows(
+            payload.edge_ptr, payload.edge_nodes, payload.dataset
+        )
+        store = ArtifactStore(payload.store_dir) if payload.store_dir else False
+        engine = MotifEngine(hypergraph, store=store)
+        return dispatch_spec(engine, spec_from_dict(payload.spec))
+    except Exception as error:
+        if payload.capture:
+            return UnitFailure.from_exception(error)
+        raise
+
+
+class WorkerPool:
+    """A long-lived worker pool, decoupled from any one batch's dispatch.
+
+    Executors without a pool open a fresh ``concurrent.futures`` pool per
+    batch and tear it down afterwards — correct, but a continuously-serving
+    front-end would pay thread/process startup on every request. A
+    ``WorkerPool`` owns the underlying pool instead: it is opened lazily on
+    first use, **reused across batches**, and shut down once by
+    :meth:`close` (or the context manager). The backend — ``"thread"`` or
+    ``"process"`` — is fixed at construction, which is how the HTTP service
+    chooses its execution mode at startup.
+    """
+
+    def __init__(self, backend: str, workers: int) -> None:
+        if backend not in (SERVE_BACKEND_THREAD, SERVE_BACKEND_PROCESS):
+            raise SpecError(
+                f"a worker pool runs a {SERVE_BACKEND_THREAD!r} or "
+                f"{SERVE_BACKEND_PROCESS!r} backend, got {backend!r} "
+                f"(serial execution needs no pool)"
+            )
+        if isinstance(workers, bool) or not isinstance(workers, int) or workers <= 0:
+            raise SpecError(f"workers must be a positive integer, got {workers!r}")
+        self.backend = backend
+        self.workers = workers
+        self._executor = None
+        self._closed = False
+        self._lock = threading.Lock()
+
+    @property
+    def started(self) -> bool:
+        """Whether the underlying pool has been opened (first use does it)."""
+        return self._executor is not None
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called; a closed pool stays closed."""
+        return self._closed
+
+    def executor(self):
+        """The shared ``concurrent.futures`` executor, opened on first use."""
+        with self._lock:
+            if self._closed:
+                raise SpecError("worker pool is closed")
+            if self._executor is None:
+                self._executor = make_executor(self.backend, self.workers)
+            return self._executor
+
+    def serve_executor(self) -> "ServeExecutor":
+        """A serving executor dispatching batches onto this pool's workers."""
+        if self.backend == SERVE_BACKEND_PROCESS:
+            return ProcessExecutor(self.workers, pool=self)
+        return ThreadExecutor(self.workers, pool=self)
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the workers down; idempotent, and permanent for this pool."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("open" if self.started else "idle")
+        return f"WorkerPool(backend={self.backend!r}, workers={self.workers}, {state})"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain mapping describing the pool (for the service's ``/v1/stats``)."""
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "started": self.started,
+            "closed": self.closed,
+        }
 
 
 class ServeExecutor:
@@ -171,6 +317,14 @@ class ServeExecutor:
         """Execute every unit, returning results in unit order."""
         raise NotImplementedError
 
+    def map_stream(self, units: Sequence[ServeUnit]) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(unit index, outcome)`` pairs as units complete.
+
+        Completion order, not unit order — the streaming front-ends forward
+        each outcome the moment it exists and label it with its index.
+        """
+        raise NotImplementedError
+
 
 class SerialExecutor(ServeExecutor):
     """Reference backend: units run in the calling thread, in order."""
@@ -180,17 +334,25 @@ class SerialExecutor(ServeExecutor):
     def map(self, units: Sequence[ServeUnit]) -> List[Any]:
         return [unit.run_local() for unit in units]
 
+    def map_stream(self, units: Sequence[ServeUnit]) -> Iterator[Tuple[int, Any]]:
+        for index, unit in enumerate(units):
+            yield index, unit.run_local()
+
 
 class _PoolExecutor(ServeExecutor):
     """Shared fan-out/collect loop of the thread and process backends.
 
     Subclasses provide ``_prepare`` (turn units into the items the backend
     executes — identity for threads, payload materialization for processes)
-    plus the per-item inline/submitted execution.
+    plus the per-item inline/submitted execution. With a persistent
+    :class:`WorkerPool` the batch dispatches onto the pool's long-lived
+    workers; without one, a fresh pool is opened per batch (and a
+    single-worker batch simply runs inline).
     """
 
-    def __init__(self, num_workers: int) -> None:
+    def __init__(self, num_workers: int, pool: Optional[WorkerPool] = None) -> None:
         self._num_workers = int(num_workers)
+        self._pool = pool
 
     def _prepare(self, units: Sequence[ServeUnit]) -> Sequence[Any]:
         return units
@@ -201,18 +363,51 @@ class _PoolExecutor(ServeExecutor):
     def _submit(self, executor, item):
         raise NotImplementedError
 
+    @contextmanager
+    def _lease(self, num_items: int):
+        """Yield the executor running this batch (``None`` → run inline).
+
+        A persistent pool is borrowed and *not* shut down afterwards — its
+        lifetime belongs to :class:`WorkerPool`; an ephemeral pool lives
+        exactly as long as the batch.
+        """
+        if self._pool is not None:
+            yield self._pool.executor()
+            return
+        workers = min(self._num_workers, num_items)
+        if workers == 1:
+            yield None
+            return
+        with make_executor(self.name, workers) as executor:
+            yield executor
+
     def map(self, units: Sequence[ServeUnit]) -> List[Any]:
         if not units:
             return []
         items = self._prepare(units)
-        workers = min(self._num_workers, len(items))
-        if workers == 1:
-            return [self._run_inline(item) for item in items]
-        with make_executor(self.name, workers) as executor:
+        with self._lease(len(items)) as executor:
+            if executor is None:
+                return [self._run_inline(item) for item in items]
             futures = [self._submit(executor, item) for item in items]
             # Collect in submission order: request ordering is part of the
             # serving contract regardless of which worker finished first.
             return [future.result() for future in futures]
+
+    def map_stream(self, units: Sequence[ServeUnit]) -> Iterator[Tuple[int, Any]]:
+        if not units:
+            return
+        items = self._prepare(units)
+        with self._lease(len(items)) as executor:
+            if executor is None:
+                for index, item in enumerate(items):
+                    yield index, self._run_inline(item)
+                return
+            futures = {
+                self._submit(executor, item): index
+                for index, item in enumerate(items)
+            }
+            for future in as_completed(futures):
+                yield futures[future], future.result()
 
 
 class ThreadExecutor(_PoolExecutor):
@@ -256,11 +451,13 @@ class ProcessExecutor(_PoolExecutor):
 
 
 def resolve_serve_executor(backend: Optional[str], workers: int) -> ServeExecutor:
-    """Normalize ``(backend, workers)`` into an executor instance.
+    """Normalize ``(backend, workers)`` into an ephemeral executor instance.
 
     ``backend=None`` picks ``"serial"`` for one worker and ``"thread"`` for
     several; unknown backends and non-positive worker counts raise
-    :class:`SpecError` before any work runs.
+    :class:`SpecError` before any work runs. (Persistent-pool execution is
+    resolved through :meth:`WorkerPool.serve_executor` instead, so an
+    explicit ``workers`` count here is always honored exactly.)
     """
     if isinstance(workers, bool) or not isinstance(workers, int) or workers <= 0:
         raise SpecError(f"workers must be a positive integer, got {workers!r}")

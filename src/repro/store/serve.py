@@ -45,10 +45,27 @@ from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.analysis.real_vs_random import RealVsRandomReport
-from repro.api.config import CompareSpec, CountSpec, ProfileSpec, spec_to_dict
+from repro.api.config import (
+    CompareSpec,
+    CountSpec,
+    ProfileSpec,
+    spec_from_dict,
+    spec_to_dict,
+)
 from repro.api.engine import MotifEngine
 from repro.api.registry import DEFAULT_REGISTRY, DatasetRegistry
 from repro.api.results import CompareResult, CountResult, EngineResult, ProfileResult
@@ -59,7 +76,9 @@ from repro.motifs.counts import MotifCounts
 from repro.store.artifacts import ArtifactStore, resolve_store
 from repro.store.executors import (
     ServeUnit,
+    UnitFailure,
     WorkerPayload,
+    WorkerPool,
     dispatch_spec,
     ensure_servable_spec,
     resolve_serve_executor,
@@ -82,9 +101,46 @@ class ServeRequest:
     spec: ServeSpec
 
 
+def request_from_dict(mapping: Mapping[str, Any]) -> ServeRequest:
+    """Build a :class:`ServeRequest` from its wire-format record.
+
+    The record is one JSON object with a ``source`` (dataset name or file
+    path) and either a nested ``spec`` object (:func:`repro.api.spec_from_dict`
+    form) or the spec's fields inlined beside ``source``. This is the single
+    request parser shared by the ``serve-batch`` CLI's JSONL files and the
+    HTTP service's ``POST /v1/batch`` bodies, so the two front doors cannot
+    drift in what they accept. Raises :class:`SpecError` on malformed
+    records, unknown spec types/fields and non-servable specs — all before
+    any dataset is touched.
+    """
+    if not isinstance(mapping, Mapping):
+        raise SpecError(
+            f"a request record must be a JSON object, got "
+            f"{type(mapping).__name__}"
+        )
+    record = dict(mapping)
+    source = record.pop("source", None)
+    if not isinstance(source, str) or not source:
+        raise SpecError('missing or invalid "source"')
+    spec_mapping = record.pop("spec", None)
+    if spec_mapping is None:
+        spec_mapping = record  # terse form: spec fields beside "source"
+    elif record:
+        raise SpecError(f'unexpected keys {sorted(record)} next to "spec"')
+    spec = spec_from_dict(spec_mapping)
+    ensure_servable_spec(spec)
+    return ServeRequest(source, spec)
+
+
 @dataclass
 class ServeStats:
-    """Counters over the lifetime of one :class:`EngineServer`."""
+    """Counters over the lifetime of one :class:`EngineServer`.
+
+    ``in_flight`` is the number of batches currently executing (submitted
+    and not yet fully resolved — streamed batches stay in flight until their
+    last unit is yielded); ``unit_failures`` counts units whose failure was
+    captured for an error-tolerant stream rather than raised.
+    """
 
     requests: int = 0
     unique: int = 0
@@ -92,6 +148,8 @@ class ServeStats:
     engines_built: int = 0
     engines_evicted: int = 0
     batches: int = 0
+    in_flight: int = 0
+    unit_failures: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -101,6 +159,8 @@ class ServeStats:
             "engines_built": self.engines_built,
             "engines_evicted": self.engines_evicted,
             "batches": self.batches,
+            "in_flight": self.in_flight,
+            "unit_failures": self.unit_failures,
         }
 
 
@@ -165,6 +225,12 @@ class EngineServer:
         evicted, their computed artifacts surviving in the shared store.
     async_batches:
         Bound on batches dispatched concurrently via :meth:`submit_async`.
+    pool:
+        An optional persistent :class:`~repro.store.executors.WorkerPool`.
+        When given, batches submitted without explicit ``workers``/``backend``
+        arguments run on the pool's long-lived workers — the reuse a
+        continuously-serving front-end needs — and :meth:`close` shuts the
+        pool down with the server.
 
     The server is thread-safe: overlapping async batches (and the thread
     backend's workers) share the engine pool under a lock, and each engine
@@ -177,15 +243,21 @@ class EngineServer:
         registry: Optional[DatasetRegistry] = None,
         max_engines: int = 8,
         async_batches: int = DEFAULT_ASYNC_BATCHES,
+        pool: Optional[WorkerPool] = None,
     ) -> None:
         if max_engines <= 0:
             raise SpecError(f"max_engines must be positive, got {max_engines}")
         if async_batches <= 0:
             raise SpecError(f"async_batches must be positive, got {async_batches}")
+        if pool is not None and not isinstance(pool, WorkerPool):
+            raise SpecError(
+                f"pool must be a WorkerPool (or None), got {type(pool).__name__}"
+            )
         self._store = resolve_store(store)
         self._registry = DEFAULT_REGISTRY if registry is None else registry
         self._max_engines = int(max_engines)
         self._async_batches = int(async_batches)
+        self._worker_pool = pool
         self._engines: "OrderedDict[object, MotifEngine]" = OrderedDict()
         self._engine_locks: Dict[object, threading.Lock] = {}
         self._pool_lock = threading.RLock()
@@ -204,11 +276,66 @@ class EngineServer:
         with self._pool_lock:
             return len(self._engines)
 
+    @property
+    def worker_pool(self) -> Optional[WorkerPool]:
+        """The persistent worker pool (``None`` without one)."""
+        return self._worker_pool
+
     # ----------------------------------------------------------------- serving
+    def _resolve_executor(self, workers: Optional[int], backend: Optional[str]):
+        """The executor serving one batch.
+
+        ``workers=None`` means "the server's choice": the persistent pool
+        when one is configured (and *backend* is omitted or matches it),
+        serial execution otherwise. An explicit ``workers`` count always
+        runs on a per-batch ephemeral pool of exactly that width — callers
+        capping concurrency must get the cap they asked for, not the
+        persistent pool's.
+        """
+        if workers is None:
+            if self._worker_pool is not None and backend in (
+                None,
+                self._worker_pool.backend,
+            ):
+                return self._worker_pool.serve_executor()
+            workers = 1
+        return resolve_serve_executor(backend, workers)
+
+    def _normalize_batch(
+        self,
+        requests: Iterable[Union[ServeRequest, Tuple[ServeSource, ServeSpec]]],
+    ):
+        """Snapshot a batch; its request keys and deduplicated unique work."""
+        normalized = [
+            ServeRequest(*request) if isinstance(request, tuple) else request
+            for request in requests
+        ]
+        keys = [
+            (self._source_key(request.source), request.spec)
+            for request in normalized
+        ]
+        unique: "OrderedDict[object, ServeRequest]" = OrderedDict()
+        for request, key in zip(normalized, keys):
+            if key not in unique:
+                unique[key] = request
+        return normalized, keys, unique
+
+    def _begin_batch(self, num_requests: int, num_unique: int) -> None:
+        with self._pool_lock:
+            self.stats.batches += 1
+            self.stats.requests += num_requests
+            self.stats.unique += num_unique
+            self.stats.deduplicated += num_requests - num_unique
+            self.stats.in_flight += 1
+
+    def _end_batch(self) -> None:
+        with self._pool_lock:
+            self.stats.in_flight -= 1
+
     def submit(
         self,
         requests: Iterable[Union[ServeRequest, Tuple[ServeSource, ServeSpec]]],
-        workers: int = 1,
+        workers: Optional[int] = None,
         backend: Optional[str] = None,
     ) -> List[EngineResult]:
         """Serve a batch, one typed result per request, in request order.
@@ -222,39 +349,77 @@ class EngineServer:
         ----------
         workers:
             How many units of the deduplicated batch may run concurrently.
+            ``None`` (default) runs on the server's persistent pool when one
+            is configured, serially otherwise; an explicit count runs on an
+            ephemeral per-batch pool of exactly that width.
         backend:
             ``"serial"`` (default for one worker), ``"thread"`` (default for
             several) or ``"process"`` — see :mod:`repro.store.executors`.
             Results are bit-identical across backends for exact and
             integer-seeded specs.
         """
-        executor = resolve_serve_executor(backend, workers)
-        normalized = [
-            ServeRequest(*request) if isinstance(request, tuple) else request
-            for request in requests
-        ]
-        keys = [
-            (self._source_key(request.source), request.spec)
-            for request in normalized
-        ]
-        unique: "OrderedDict[object, ServeRequest]" = OrderedDict()
-        for request, key in zip(normalized, keys):
-            if key not in unique:
-                unique[key] = request
-        with self._pool_lock:
-            self.stats.batches += 1
-            self.stats.requests += len(normalized)
-            self.stats.unique += len(unique)
-            self.stats.deduplicated += len(normalized) - len(unique)
-        units = [self._make_unit(request) for request in unique.values()]
-        outcomes = executor.map(units)
+        executor = self._resolve_executor(workers, backend)
+        normalized, keys, unique = self._normalize_batch(requests)
+        self._begin_batch(len(normalized), len(unique))
+        try:
+            units = [self._make_unit(request) for request in unique.values()]
+            outcomes = executor.map(units)
+        finally:
+            self._end_batch()
         computed = dict(zip(unique.keys(), outcomes))
         return [_fan_out(computed[key]) for key in keys]
+
+    def submit_stream(
+        self,
+        requests: Iterable[Union[ServeRequest, Tuple[ServeSource, ServeSpec]]],
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        capture_errors: bool = False,
+    ) -> Iterator[Tuple[int, Union[EngineResult, UnitFailure]]]:
+        """Serve a batch incrementally: yield ``(request index, outcome)``.
+
+        Outcomes arrive in **completion order** — the moment a unit finishes,
+        its result is yielded for every request slot that deduplicated onto
+        it (each slot getting its own defensive copy) — which is what lets a
+        network front-end stream a batch's fast units while slow ones are
+        still computing. The result *payloads* are bit-identical to
+        :meth:`submit`'s for exact and integer-seeded specs; only arrival
+        order differs.
+
+        With ``capture_errors=True`` a failing unit resolves to a
+        :class:`~repro.store.executors.UnitFailure` for its slots instead of
+        aborting the whole batch — the error-isolation mode the HTTP service
+        runs in. Without it, the first failure raises (matching
+        :meth:`submit`).
+        """
+        executor = self._resolve_executor(workers, backend)
+        normalized, keys, unique = self._normalize_batch(requests)
+        slots: Dict[object, List[int]] = {}
+        for index, key in enumerate(keys):
+            slots.setdefault(key, []).append(index)
+        unit_keys = list(unique.keys())
+        units = [
+            self._make_unit(request, capture=capture_errors)
+            for request in unique.values()
+        ]
+        self._begin_batch(len(normalized), len(unique))
+        try:
+            for unit_index, outcome in executor.map_stream(units):
+                if isinstance(outcome, UnitFailure):
+                    with self._pool_lock:
+                        self.stats.unit_failures += 1
+                    for slot in slots[unit_keys[unit_index]]:
+                        yield slot, outcome
+                else:
+                    for slot in slots[unit_keys[unit_index]]:
+                        yield slot, _fan_out(outcome)
+        finally:
+            self._end_batch()
 
     def submit_async(
         self,
         requests: Iterable[Union[ServeRequest, Tuple[ServeSource, ServeSpec]]],
-        workers: int = 1,
+        workers: Optional[int] = None,
         backend: Optional[str] = None,
     ) -> BatchFuture:
         """Dispatch a batch without blocking; independent batches overlap.
@@ -276,7 +441,7 @@ class EngineServer:
         ]
         # Validate executor parameters in the caller, not the dispatcher
         # thread, so bad arguments raise here and now.
-        resolve_serve_executor(backend, workers)
+        self._resolve_executor(workers, backend)
         with self._pool_lock:
             if self._dispatcher is None:
                 self._dispatcher = ThreadPoolExecutor(
@@ -292,7 +457,7 @@ class EngineServer:
         self,
         sources: Sequence[ServeSource],
         spec: Optional[CountSpec] = None,
-        workers: int = 1,
+        workers: Optional[int] = None,
         backend: Optional[str] = None,
     ) -> List[CountResult]:
         """Convenience: one count per source with a shared spec."""
@@ -307,7 +472,7 @@ class EngineServer:
         self,
         sources: Sequence[ServeSource],
         specs: Optional[Sequence[ServeSpec]] = None,
-        workers: int = 1,
+        workers: Optional[int] = None,
         backend: Optional[str] = None,
     ) -> List[EngineResult]:
         """Pre-populate the shared store (projection + exact counts by default)."""
@@ -320,11 +485,14 @@ class EngineServer:
 
     # ---------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Shut down the async dispatcher, waiting for in-flight batches."""
+        """Shut down the async dispatcher (waiting for in-flight batches)
+        and the persistent worker pool, when either exists."""
         with self._pool_lock:
             dispatcher, self._dispatcher = self._dispatcher, None
         if dispatcher is not None:
             dispatcher.shutdown(wait=True)
+        if self._worker_pool is not None:
+            self._worker_pool.close()
 
     def __enter__(self) -> "EngineServer":
         return self
@@ -367,16 +535,52 @@ class EngineServer:
                 self.stats.engines_evicted += 1
         return engine
 
+    # ------------------------------------------------------------- observation
+    def describe(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot of the server: engines, counters, store, pool.
+
+        This is what the HTTP service's ``GET /v1/stats`` serves — engine
+        pool occupancy, serving counters (including in-flight batches), the
+        shared store's tier hit/miss/contention counters and the persistent
+        worker pool's shape.
+        """
+        with self._pool_lock:
+            engines = {
+                "resident": len(self._engines),
+                "max": self._max_engines,
+                "built": self.stats.engines_built,
+                "evicted": self.stats.engines_evicted,
+            }
+            serve = self.stats.as_dict()
+        if self._store is None:
+            store: Optional[Dict[str, Any]] = None
+        else:
+            store = {
+                "persistent": self._store.persistent,
+                "directory": (
+                    str(self._store.directory) if self._store.persistent else None
+                ),
+                "stats": self._store.stats.as_dict(),
+            }
+        pool = None if self._worker_pool is None else self._worker_pool.as_dict()
+        return {"engines": engines, "serve": serve, "store": store, "pool": pool}
+
     # ----------------------------------------------------------------- internal
-    def _make_unit(self, request: ServeRequest) -> ServeUnit:
+    def _make_unit(self, request: ServeRequest, capture: bool = False) -> ServeUnit:
         label = (
             request.source
             if isinstance(request.source, (str, Path))
             else getattr(request.source, "name", "hypergraph")
         )
+        if capture:
+            run_local = lambda: self._execute_captured(request)  # noqa: E731
+            make_payload = lambda: self._captured_payload(request)  # noqa: E731
+        else:
+            run_local = lambda: self._execute(request)  # noqa: E731
+            make_payload = lambda: self._payload_for(request)  # noqa: E731
         return ServeUnit(
-            run_local=lambda: self._execute(request),
-            make_payload=lambda: self._payload_for(request),
+            run_local=run_local,
+            make_payload=make_payload,
             label=f"{label}:{type(request.spec).__name__}",
         )
 
@@ -389,7 +593,26 @@ class EngineServer:
         with self._engine_lock(key):
             return dispatch_spec(engine, request.spec)
 
-    def _payload_for(self, request: ServeRequest) -> WorkerPayload:
+    def _execute_captured(self, request: ServeRequest):
+        try:
+            return self._execute(request)
+        except Exception as error:
+            return UnitFailure.from_exception(error)
+
+    def _captured_payload(self, request: ServeRequest) -> WorkerPayload:
+        # Payload materialization resolves the dataset in the parent; in
+        # capture mode that failure must reach the unit's slots as a record,
+        # not abort the batch, so it rides a pre-failed payload.
+        try:
+            return self._payload_for(request, capture=True)
+        except Exception as error:
+            return WorkerPayload.failed(
+                dataset=str(request.source), failure=UnitFailure.from_exception(error)
+            )
+
+    def _payload_for(
+        self, request: ServeRequest, capture: bool = False
+    ) -> WorkerPayload:
         ensure_servable_spec(request.spec)
         engine = self.engine_for(request.source)
         hypergraph = engine.hypergraph
@@ -403,6 +626,7 @@ class EngineServer:
             dataset=hypergraph.name,
             spec=spec_to_dict(request.spec),
             store_dir=store_dir,
+            capture=capture,
         )
 
     def _engine_lock(self, key: object) -> threading.Lock:

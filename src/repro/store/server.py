@@ -1,0 +1,562 @@
+"""HTTP serving front door: a streaming motif service over the engine server.
+
+This is the network layer the serving stack was built toward: one long-lived
+:class:`~repro.store.serve.EngineServer` — warm engine pool, shared artifact
+store, persistent :class:`~repro.store.executors.WorkerPool` — wrapped in a
+stdlib-only threaded HTTP server. No framework, no extra dependency: request
+handling is :mod:`http.server`, concurrency is one handler thread per
+connection dispatching onto the engine server's pool.
+
+Endpoints
+---------
+``POST /v1/batch``
+    Accepts the same wire format as the ``serve-batch`` CLI — a JSON object
+    ``{"requests": [...]}``, a bare JSON array, or JSONL (one request record
+    per line), each record ``{"source": ..., "spec": {...}}`` (spec fields
+    may be inlined beside ``source``). The batch is validated **before**
+    dispatch: malformed JSON, unknown spec types/fields, invalid spec
+    parameter combinations and oversized batches all return structured 4xx
+    errors without touching a dataset. Valid batches stream back
+    ``application/x-ndjson``, one record per request **in completion order**
+    as units finish (chunked transfer, flushed per record):
+
+    - ``{"index": i, "status": "ok", "result": {...}}`` — the request's
+      typed result, exactly its ``to_dict()`` form;
+    - ``{"index": i, "status": "error", "error": {"type": ..., "message":
+      ...}}`` — a unit that failed *during execution* (e.g. an unknown
+      dataset file); other units keep streaming;
+    - a final ``{"status": "done", "count": n, "ok": n, "errors": n, ...}``
+      summary record, so clients can tell a complete stream from a
+      truncated one.
+
+``GET /v1/health``
+    Liveness: version, uptime, in-flight batches.
+
+``GET /v1/stats``
+    The engine server's :meth:`~repro.store.serve.EngineServer.describe`
+    snapshot (engine-pool occupancy, serving counters, store tier hits and
+    lock contention, worker-pool shape) plus HTTP-level counters.
+
+Result payloads are **bit-identical** to the ``serve-batch`` CLI's serial
+output for exact and integer-seeded specs — the HTTP layer serializes the
+same typed results the engine produces. Unseeded specs are served too, but
+(by store design) never persisted, so they recompute on every request.
+
+Lifecycle: :func:`build_server` constructs the server (port ``0`` picks a
+free port); :func:`run` serves until SIGTERM/SIGINT and then **drains
+gracefully** — the listener stops accepting, in-flight batches finish
+streaming (bounded by ``drain_seconds``), then the engine server, its pool
+and the store are closed.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import signal
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro import __version__
+from repro.api.registry import DatasetRegistry
+from repro.exceptions import ReproError, SpecError
+from repro.store.artifacts import ArtifactStore
+from repro.store.executors import (
+    SERVE_BACKEND_SERIAL,
+    SERVE_BACKEND_THREAD,
+    SERVE_BACKENDS,
+    UnitFailure,
+    WorkerPool,
+)
+from repro.store.serve import EngineServer, ServeRequest, request_from_dict
+
+LOGGER = logging.getLogger("repro.store.server")
+
+#: Default bind address and port of the service.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8723
+
+#: Hard bound on requests per batch (HTTP 413 beyond it).
+DEFAULT_MAX_BATCH = 256
+
+#: Hard bound on the request body size (HTTP 413 beyond it).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: How long a graceful shutdown waits for in-flight batches to finish.
+DEFAULT_DRAIN_SECONDS = 30.0
+
+
+class RequestRejected(ReproError):
+    """A batch request the service refuses before dispatch (a 4xx).
+
+    Carries the HTTP status and the structured JSON error body, so the
+    handler can serialize it without guessing.
+    """
+
+    def __init__(self, status: int, error_type: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+
+    @property
+    def payload(self) -> Dict[str, Any]:
+        return {"error": {"type": self.error_type, "message": str(self)}}
+
+
+class ServiceStats:
+    """HTTP-level counters of one :class:`MotifService` (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started = time.time()
+        self.batches_accepted = 0
+        self.batches_rejected = 0
+        self.batches_completed = 0
+        self.results_streamed = 0
+        self.errors_streamed = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "uptime_seconds": time.time() - self.started,
+                "batches_accepted": self.batches_accepted,
+                "batches_rejected": self.batches_rejected,
+                "batches_completed": self.batches_completed,
+                "results_streamed": self.results_streamed,
+                "errors_streamed": self.errors_streamed,
+            }
+
+    def count(self, name: str, delta: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + delta)
+
+
+class MotifService:
+    """The service core: request parsing, dispatch, stats — handler-agnostic.
+
+    Owns the :class:`EngineServer` (and therefore the store and worker
+    pool); the HTTP handler is a thin shell over :meth:`parse_batch`,
+    :meth:`stream`, :meth:`health` and :meth:`stats_payload`, which keeps
+    every behavior unit-testable without a socket.
+    """
+
+    def __init__(
+        self,
+        engine_server: EngineServer,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ) -> None:
+        if max_batch <= 0:
+            raise SpecError(f"max_batch must be positive, got {max_batch}")
+        self._server = engine_server
+        self.max_batch = int(max_batch)
+        self.stats = ServiceStats()
+        self._in_flight = 0
+        self._in_flight_lock = threading.Lock()
+
+    @property
+    def engine_server(self) -> EngineServer:
+        return self._server
+
+    @property
+    def in_flight(self) -> int:
+        """HTTP batch requests accepted and not yet fully answered.
+
+        Counted from the moment a ``POST /v1/batch`` connection starts being
+        processed — *before* any unit dispatches — so a graceful drain waits
+        for batches that were accepted but have not begun streaming yet,
+        instead of closing the worker pool underneath them.
+        """
+        with self._in_flight_lock:
+            return self._in_flight
+
+    @contextmanager
+    def track_in_flight(self):
+        """Bracket one batch request's whole lifetime for drain accounting."""
+        with self._in_flight_lock:
+            self._in_flight += 1
+        try:
+            yield
+        finally:
+            with self._in_flight_lock:
+                self._in_flight -= 1
+
+    # ------------------------------------------------------------------ parsing
+    def parse_batch(self, body: bytes) -> List[ServeRequest]:
+        """Validate a ``POST /v1/batch`` body into serve requests.
+
+        Raises :class:`RequestRejected` (a 4xx, never a 500) on malformed
+        JSON, non-object records, unknown spec types/fields, invalid spec
+        parameter combinations, empty and oversized batches. Nothing is
+        dispatched and no dataset is loaded from here.
+        """
+        if len(body) > MAX_BODY_BYTES:
+            raise RequestRejected(
+                413, "BodyTooLarge", f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        try:
+            text = body.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise RequestRejected(
+                400, "MalformedBody", f"request body is not UTF-8: {error}"
+            ) from error
+        records = self._extract_records(text)
+        if not records:
+            raise RequestRejected(400, "EmptyBatch", "the batch contains no requests")
+        if len(records) > self.max_batch:
+            raise RequestRejected(
+                413,
+                "BatchTooLarge",
+                f"batch of {len(records)} requests exceeds the limit of "
+                f"{self.max_batch}",
+            )
+        requests = []
+        for index, record in enumerate(records):
+            try:
+                requests.append(request_from_dict(record))
+            except ReproError as error:
+                raise RequestRejected(
+                    400, type(error).__name__, f"request {index}: {error}"
+                ) from error
+        return requests
+
+    @staticmethod
+    def _extract_records(text: str) -> List[Any]:
+        """The list of request records in a JSON or JSONL body."""
+        try:
+            document = json.loads(text)
+        except ValueError:
+            # Not one JSON document — try JSONL (the serve-batch file format).
+            records = []
+            for number, line in enumerate(text.splitlines(), start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError as error:
+                    raise RequestRejected(
+                        400, "MalformedJSON", f"line {number}: invalid JSON ({error})"
+                    ) from error
+            return records
+        if isinstance(document, list):
+            return document
+        if isinstance(document, dict):
+            if "requests" in document:
+                requests = document["requests"]
+                if not isinstance(requests, list):
+                    raise RequestRejected(
+                        400,
+                        "MalformedBody",
+                        '"requests" must be a JSON array of request records',
+                    )
+                return requests
+            return [document]  # a single bare request record
+        raise RequestRejected(
+            400,
+            "MalformedBody",
+            "the batch body must be a JSON object, array or JSONL lines",
+        )
+
+    # ----------------------------------------------------------------- serving
+    def stream(self, requests: List[ServeRequest]) -> Iterator[Dict[str, Any]]:
+        """Serve a parsed batch, yielding wire records in completion order."""
+        self.stats.count("batches_accepted")
+        started = time.perf_counter()
+        ok = errors = 0
+        for index, outcome in self._server.submit_stream(
+            requests, capture_errors=True
+        ):
+            if isinstance(outcome, UnitFailure):
+                errors += 1
+                self.stats.count("errors_streamed")
+                yield {"index": index, "status": "error", "error": outcome.as_dict()}
+            else:
+                ok += 1
+                self.stats.count("results_streamed")
+                yield {"index": index, "status": "ok", "result": outcome.to_dict()}
+        self.stats.count("batches_completed")
+        yield {
+            "status": "done",
+            "count": len(requests),
+            "ok": ok,
+            "errors": errors,
+            "elapsed_seconds": time.perf_counter() - started,
+        }
+
+    # -------------------------------------------------------------- observation
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_seconds": time.time() - self.stats.started,
+            "in_flight": self.in_flight,
+        }
+
+    def stats_payload(self) -> Dict[str, Any]:
+        payload = self._server.describe()
+        payload["service"] = self.stats.as_dict()
+        payload["max_batch"] = self.max_batch
+        return payload
+
+    # ---------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Close the engine server (dispatcher and worker pool included)."""
+        self._server.close()
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning server's :class:`MotifService`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-mochy/{__version__}"
+
+    # ------------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        service = self.server.service
+        if self.path == "/v1/health":
+            self._send_json(200, service.health())
+        elif self.path == "/v1/stats":
+            self._send_json(200, service.stats_payload())
+        else:
+            self._send_json(
+                404,
+                {"error": {"type": "NotFound", "message": f"no route {self.path!r}"}},
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        service = self.server.service
+        if self.path != "/v1/batch":
+            self._send_json(
+                404,
+                {"error": {"type": "NotFound", "message": f"no route {self.path!r}"}},
+            )
+            return
+        with service.track_in_flight():
+            try:
+                body = self._read_body()
+                requests = service.parse_batch(body)
+            except RequestRejected as error:
+                service.stats.count("batches_rejected")
+                self._send_json(error.status, error.payload)
+                return
+            self._stream_batch(service, requests)
+
+    # ------------------------------------------------------------------ helpers
+    def _read_body(self) -> bytes:
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            raise RequestRejected(
+                411, "LengthRequired", "a Content-Length header is required"
+            )
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise RequestRejected(
+                400, "MalformedBody", f"invalid Content-Length {length_header!r}"
+            ) from None
+        if length < 0:
+            raise RequestRejected(
+                400, "MalformedBody", f"invalid Content-Length {length_header!r}"
+            )
+        if length > MAX_BODY_BYTES:
+            raise RequestRejected(
+                413, "BodyTooLarge", f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        return self.rfile.read(length)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _stream_batch(
+        self, service: MotifService, requests: List[ServeRequest]
+    ) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            for record in service.stream(requests):
+                self._write_chunk(json.dumps(record) + "\n")
+            self._write_last_chunk()
+        except (BrokenPipeError, ConnectionResetError):
+            # The client went away mid-stream; nothing left to tell it.
+            LOGGER.debug("client disconnected mid-stream")
+        except Exception as error:
+            # A failure the capture layer could not isolate (e.g. the worker
+            # pool closed by a drain timeout). Terminate the stream with an
+            # explicit abort record rather than silent truncation.
+            LOGGER.exception("batch stream aborted")
+            try:
+                self._write_chunk(
+                    json.dumps(
+                        {
+                            "status": "aborted",
+                            "error": {
+                                "type": type(error).__name__,
+                                "message": str(error),
+                            },
+                        }
+                    )
+                    + "\n"
+                )
+                self._write_last_chunk()
+            except OSError:
+                pass
+
+    def _write_chunk(self, data: str) -> None:
+        payload = data.encode("utf-8")
+        self.wfile.write(f"{len(payload):X}\r\n".encode("ascii"))
+        self.wfile.write(payload)
+        self.wfile.write(b"\r\n")
+        # Flush per record: incremental arrival is the point of the stream.
+        self.wfile.flush()
+
+    def _write_last_chunk(self) -> None:
+        self.wfile.write(b"0\r\n\r\n")
+        self.wfile.flush()
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        LOGGER.debug("%s - %s", self.address_string(), format % args)
+
+
+class MotifHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`MotifService`.
+
+    Handler threads are daemons so a drain timeout can never wedge process
+    exit; graceful shutdown is explicit (:func:`shutdown_gracefully`).
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address, service: MotifService) -> None:
+        super().__init__(address, _ServiceHandler)
+        self.service = service
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful after binding port 0)."""
+        return self.server_address[1]
+
+
+def build_server(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    *,
+    store: Union[ArtifactStore, bool, None] = True,
+    workers: int = 1,
+    backend: Optional[str] = None,
+    max_engines: int = 8,
+    max_batch: int = DEFAULT_MAX_BATCH,
+    registry: Optional[DatasetRegistry] = None,
+) -> MotifHTTPServer:
+    """Construct the HTTP service over a fresh engine server.
+
+    ``workers``/``backend`` choose the **persistent worker pool** at
+    startup: ``backend=None`` picks ``"thread"`` when ``workers > 1`` and
+    plain serial execution otherwise; ``"serial"`` forces serial execution
+    regardless of ``workers``. Thread and process pools are opened once and
+    reused across every batch the service ever serves. ``port=0`` binds a
+    free port (read it back from ``server.port``).
+    """
+    if backend is not None and backend not in SERVE_BACKENDS:
+        raise SpecError(
+            f"backend must be one of {SERVE_BACKENDS} (or None), got {backend!r}"
+        )
+    if isinstance(workers, bool) or not isinstance(workers, int) or workers <= 0:
+        raise SpecError(f"workers must be a positive integer, got {workers!r}")
+    pool: Optional[WorkerPool] = None
+    if backend is None:
+        backend = SERVE_BACKEND_SERIAL if workers == 1 else SERVE_BACKEND_THREAD
+    if backend != SERVE_BACKEND_SERIAL:
+        pool = WorkerPool(backend, workers)
+    engine_server = EngineServer(
+        store=store, registry=registry, max_engines=max_engines, pool=pool
+    )
+    service = MotifService(engine_server, max_batch=max_batch)
+    return MotifHTTPServer((host, port), service)
+
+
+def shutdown_gracefully(
+    server: MotifHTTPServer, drain_seconds: float = DEFAULT_DRAIN_SECONDS
+) -> bool:
+    """Drain and close the server; ``True`` when no batch was abandoned.
+
+    Stops accepting connections, waits up to *drain_seconds* for in-flight
+    batches to finish streaming, then closes the listening socket and the
+    engine server (worker pool included). Handler threads are daemons, so a
+    batch still running after the timeout cannot block process exit — it is
+    abandoned and the function returns ``False``.
+    """
+    server.shutdown()
+    deadline = time.monotonic() + max(0.0, drain_seconds)
+    drained = True
+    while server.service.in_flight > 0:
+        if time.monotonic() >= deadline:
+            drained = False
+            LOGGER.warning(
+                "drain timeout: abandoning %d in-flight batch(es)",
+                server.service.in_flight,
+            )
+            break
+        time.sleep(0.05)
+    server.server_close()
+    server.service.close()
+    return drained
+
+
+def run(
+    server: MotifHTTPServer,
+    drain_seconds: float = DEFAULT_DRAIN_SECONDS,
+    install_signal_handlers: bool = True,
+    announce=print,
+) -> bool:
+    """Serve until SIGTERM/SIGINT, then drain gracefully; blocks the caller.
+
+    Announces the bound address on stdout (one line, flushed) so wrappers —
+    the CI smoke job, shell scripts — can wait for readiness. Returns
+    :func:`shutdown_gracefully`'s drained flag.
+    """
+    stop = threading.Event()
+
+    def _signal_stop(signum, frame) -> None:
+        LOGGER.info("received signal %d; draining", signum)
+        stop.set()
+
+    previous = {}
+    if install_signal_handlers:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, _signal_stop)
+    loop = threading.Thread(
+        target=server.serve_forever, name="repro-http", daemon=True
+    )
+    loop.start()
+    if announce is not None:
+        announce(
+            f"serving on http://{server.host}:{server.port} "
+            f"(POST /v1/batch, GET /v1/health, GET /v1/stats)"
+        )
+        sys.stdout.flush()
+    try:
+        stop.wait()
+    finally:
+        drained = shutdown_gracefully(server, drain_seconds=drain_seconds)
+        loop.join(timeout=5.0)
+        if install_signal_handlers:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+    return drained

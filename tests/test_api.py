@@ -23,7 +23,7 @@ from repro.exceptions import (
     SamplingError,
     SpecError,
 )
-from repro.generators import generate_temporal_coauthorship, generate_uniform_random
+from repro.generators import generate_temporal_coauthorship
 from repro.hypergraph import Hypergraph
 from repro.hypergraph import io as hio
 from repro.motifs.patterns import NUM_MOTIFS

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import PredictionTaskError
-from repro.generators import generate_temporal_coauthorship, generate_uniform_random
+from repro.generators import generate_temporal_coauthorship
 from repro.hypergraph import Hypergraph
 from repro.prediction import (
     FEATURE_SETS,

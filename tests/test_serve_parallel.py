@@ -11,6 +11,7 @@ pool's evict-then-rebuild-from-disk path, and per-batch dedup accounting.
 from __future__ import annotations
 
 import asyncio
+import threading
 
 import numpy as np
 import pytest
@@ -324,3 +325,173 @@ class TestEnginePool:
         expected = second.counts.to_array().copy()
         first.counts.increment(1, 1000.0)
         assert np.array_equal(second.counts.to_array(), expected)
+
+
+class TestWorkerPool:
+    """Persistent pools: worker reuse across batches, lifecycle, validation."""
+
+    def test_thread_workers_are_reused_across_batches(self):
+        from repro.store.executors import ServeUnit, WorkerPool
+
+        def barrier_batch():
+            # Both workers must participate in the batch (the barrier only
+            # releases once two units run concurrently), so each batch
+            # reports the full worker-thread set.
+            barrier = threading.Barrier(2)
+
+            def run():
+                barrier.wait(timeout=10)
+                return threading.get_ident()
+
+            return [
+                ServeUnit(run_local=run, make_payload=None) for _ in range(2)
+            ]
+
+        with WorkerPool("thread", 2) as pool:
+            executor = pool.serve_executor()
+            first = set(executor.map(barrier_batch()))
+            underlying = pool.executor()
+            second = set(executor.map(barrier_batch()))
+            # Same concurrent.futures pool object, same two worker threads.
+            assert pool.executor() is underlying
+            assert len(first) == 2
+            assert first == second
+        assert pool.closed
+
+    def test_closed_pool_rejects_work(self):
+        from repro.store.executors import WorkerPool
+
+        pool = WorkerPool("thread", 2)
+        pool.close()
+        with pytest.raises(SpecError, match="closed"):
+            pool.executor()
+        pool.close()  # idempotent
+
+    def test_pool_validation(self):
+        from repro.store.executors import WorkerPool
+
+        with pytest.raises(SpecError, match="serial"):
+            WorkerPool("serial", 2)
+        with pytest.raises(SpecError, match="backend"):
+            WorkerPool("fibers", 2)
+        with pytest.raises(SpecError, match="workers"):
+            WorkerPool("thread", 0)
+
+    def test_engine_server_uses_and_closes_its_pool(self, datasets):
+        from repro.store.executors import WorkerPool
+
+        pool = WorkerPool("thread", 2)
+        server = EngineServer(store=False, pool=pool)
+        assert server.worker_pool is pool
+        assert not pool.started
+        requests = [ServeRequest(datasets[0], CountSpec())]
+        serial = EngineServer(store=False).submit(requests)
+        pooled = server.submit(requests)  # workers=None -> the pool
+        _assert_results_bit_identical(serial, pooled)
+        assert pool.started
+        server.close()
+        assert pool.closed
+
+    def test_explicit_workers_bypass_the_pool(self, datasets):
+        # An explicit workers count is a concurrency cap the caller must
+        # actually get, so it runs on an ephemeral pool of that exact width
+        # instead of the persistent pool's.
+        from repro.store.executors import WorkerPool
+
+        with EngineServer(store=False, pool=WorkerPool("thread", 4)) as server:
+            requests = [ServeRequest(datasets[0], CountSpec())]
+            explicit = server.submit(requests, workers=2, backend="thread")
+            assert not server.worker_pool.started
+            pooled = server.submit(requests)
+            assert server.worker_pool.started
+            _assert_results_bit_identical(explicit, pooled)
+
+    def test_process_pool_reuses_worker_processes(self, tmp_path, datasets):
+        from repro.store.executors import WorkerPool
+
+        store = ArtifactStore(tmp_path / "store")
+        with EngineServer(store=store, pool=WorkerPool("process", 2)) as server:
+            requests = [
+                ServeRequest(datasets[0], CountSpec()),
+                ServeRequest(datasets[1], CountSpec()),
+            ]
+            first = server.submit(requests)
+            underlying = server.worker_pool.executor()
+            second = server.submit(requests)
+            assert server.worker_pool.executor() is underlying
+        serial = EngineServer(store=False).submit(requests)
+        _assert_results_bit_identical(serial, first)
+        _assert_results_bit_identical(serial, second)
+
+
+class TestSubmitStream:
+    """Streaming submission: completion-order parity, dedup fan-out, errors."""
+
+    @pytest.mark.parametrize("backend", (None, "thread"))
+    def test_stream_payloads_match_submit(self, datasets, mixed_requests, backend):
+        reference = EngineServer(store=False).submit(mixed_requests)
+        with EngineServer(store=False) as server:
+            workers = None if backend is None else 2
+            streamed = dict(
+                server.submit_stream(mixed_requests, workers=workers, backend=backend)
+            )
+        ordered = [streamed[index] for index in range(len(mixed_requests))]
+        _assert_results_bit_identical(reference, ordered)
+
+    def test_stream_covers_every_duplicate_slot_once(self, datasets):
+        requests = [
+            ServeRequest(datasets[0], CountSpec()),
+            ServeRequest(datasets[0], CountSpec()),
+            ServeRequest(datasets[0], CountSpec()),
+        ]
+        with EngineServer(store=False) as server:
+            pairs = list(server.submit_stream(requests))
+        assert sorted(index for index, _ in pairs) == [0, 1, 2]
+        assert server.stats.unique == 1
+        assert server.stats.deduplicated == 2
+        # Each slot gets a defensive copy, not an alias.
+        outcomes = dict(pairs)
+        outcomes[0].counts.increment(1, 1000.0)
+        assert not np.array_equal(
+            outcomes[0].counts.to_array(), outcomes[1].counts.to_array()
+        )
+
+    def test_stream_raises_without_capture(self, datasets):
+        requests = [ServeRequest("no-such-dataset-xyz", CountSpec())]
+        with EngineServer(store=False) as server:
+            with pytest.raises(Exception, match="no-such-dataset-xyz"):
+                list(server.submit_stream(requests))
+            assert server.stats.in_flight == 0
+
+    @pytest.mark.parametrize("backend", (None, "thread", "process"))
+    def test_capture_errors_isolates_failing_units(self, datasets, backend):
+        from repro.store.executors import UnitFailure
+
+        requests = [
+            ServeRequest("no-such-dataset-xyz", CountSpec()),
+            ServeRequest(datasets[0], CountSpec()),
+        ]
+        with EngineServer(store=False) as server:
+            workers = None if backend is None else 2
+            outcomes = dict(
+                server.submit_stream(
+                    requests, workers=workers, backend=backend, capture_errors=True
+                )
+            )
+        assert isinstance(outcomes[0], UnitFailure)
+        assert outcomes[0].error_type == "DatasetError"
+        assert "no-such-dataset-xyz" in outcomes[0].message
+        assert isinstance(outcomes[1], CountResult)
+        assert server.stats.unit_failures == 1
+        assert server.stats.in_flight == 0
+
+    def test_in_flight_accounting_brackets_the_stream(self, datasets):
+        with EngineServer(store=False) as server:
+            stream = server.submit_stream([ServeRequest(datasets[0], CountSpec())])
+            assert server.stats.in_flight == 0  # generator not started yet
+            first = next(stream)
+            assert first[0] == 0
+            assert server.stats.in_flight == 1
+            with pytest.raises(StopIteration):
+                next(stream)
+            assert server.stats.in_flight == 0
