@@ -1,0 +1,21 @@
+"""Repo-root pytest configuration.
+
+pyproject.toml sets ``timeout``/``timeout_method`` for pytest-timeout — the
+per-test watchdog CI installs (requirements-ci.txt) so no hanging test can
+wedge a run. The plugin is deliberately not a local requirement; when it is
+absent, its config options would be "unknown ini options" warnings, so they
+are registered here as inert placeholders instead.
+"""
+
+from __future__ import annotations
+
+
+def pytest_addoption(parser) -> None:
+    try:
+        import pytest_timeout  # noqa: F401
+    except ImportError:
+        parser.addini("timeout", "per-test timeout (no-op without pytest-timeout)")
+        parser.addini(
+            "timeout_method",
+            "timeout mechanism (no-op without pytest-timeout)",
+        )

@@ -255,6 +255,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="largest accepted batch; bigger POSTs get HTTP 413 (default: 256)",
     )
     serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="concurrently in-flight batch bound; beyond it POSTs get a "
+        "retryable HTTP 429 with a Retry-After hint (default: 16)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget per batch; units unfinished at the deadline "
+        "stream structured retryable UnitTimeout error records "
+        "(default: no deadline)",
+    )
+    serve.add_argument(
         "--drain-seconds",
         type=float,
         default=None,
@@ -564,6 +581,12 @@ def _run_serve(arguments) -> None:
                 if arguments.max_batch is None
                 else arguments.max_batch
             ),
+            max_queue=(
+                http_server.DEFAULT_MAX_QUEUE
+                if arguments.max_queue is None
+                else arguments.max_queue
+            ),
+            request_timeout=arguments.request_timeout,
         )
     except OSError as error:
         raise CLIError(f"cannot bind {arguments.host}:{port}: {error}") from error

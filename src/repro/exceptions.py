@@ -76,6 +76,16 @@ class StoreError(ReproError):
     """Raised when the artifact store (:mod:`repro.store`) is misconfigured."""
 
 
+class ServeError(ReproError):
+    """Raised when the serving layer loses a unit it was not told to capture.
+
+    Streaming callers that opt into error capture receive structured
+    :class:`repro.store.executors.UnitFailure` records instead; everyone
+    else gets this — e.g. a worker process dying mid-batch or a unit
+    exceeding its deadline outside the HTTP service's capture mode.
+    """
+
+
 class SpecError(ReproError):
     """Raised when a :mod:`repro.api` spec is constructed with invalid options."""
 

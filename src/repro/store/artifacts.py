@@ -55,6 +55,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 import numpy as np
 
 from repro.exceptions import StoreError
+from repro.store import faults
 from repro.store.fingerprint import params_digest
 from repro.store.locks import FileLock
 
@@ -549,6 +550,9 @@ class ArtifactStore:
         meta: Mapping[str, Any],
         dataset: Optional[str],
     ) -> None:
+        # Chaos hook: an injected disk failure is an OSError, absorbed by
+        # put() into stats.write_errors exactly like a full disk would be.
+        faults.fire("store.disk_write", key=f"{kind}:{fingerprint}")
         payload_path, sidecar_path = self._entry_paths(kind, fingerprint, digest)
         payload_path.parent.mkdir(parents=True, exist_ok=True)
         buffer = io.BytesIO()

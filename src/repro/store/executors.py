@@ -42,7 +42,8 @@ over the wire while slower units are still running.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import as_completed
+import time
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -54,14 +55,21 @@ from repro.counting.parallel import (
     BACKEND_THREAD,
     make_executor,
 )
-from repro.exceptions import SpecError
+from repro.exceptions import ServeError, SpecError
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.store import faults
 
 #: Serving backends accepted by ``EngineServer.submit(backend=...)``.
 SERVE_BACKEND_SERIAL = "serial"
 SERVE_BACKEND_THREAD = BACKEND_THREAD
 SERVE_BACKEND_PROCESS = BACKEND_PROCESS
 SERVE_BACKENDS = (SERVE_BACKEND_SERIAL, SERVE_BACKEND_THREAD, SERVE_BACKEND_PROCESS)
+
+#: ``UnitFailure.error_type`` of a unit that exceeded its batch deadline.
+FAILURE_TIMEOUT = "UnitTimeout"
+
+#: ``UnitFailure.error_type`` of a unit lost to a dead process worker.
+FAILURE_WORKER_CRASH = "WorkerCrashed"
 
 
 @dataclass(frozen=True)
@@ -73,17 +81,49 @@ class UnitFailure:
     resolves to one of these instead of raising: the exception's class name
     plus its message, both plain strings so the record survives a process
     worker's pickle boundary and serializes straight onto the wire.
+    ``retryable`` tells clients machine-readably whether resubmitting the
+    same unit can succeed — true for deadline timeouts and worker crashes
+    (transient conditions), false for deterministic failures like an unknown
+    dataset, which would fail identically on every retry.
     """
 
     error_type: str
     message: str
+    retryable: bool = False
 
     @classmethod
     def from_exception(cls, error: BaseException) -> "UnitFailure":
         return cls(error_type=type(error).__name__, message=str(error))
 
-    def as_dict(self) -> Dict[str, str]:
-        return {"type": self.error_type, "message": self.message}
+    @classmethod
+    def timeout(cls, label: str, budget: Optional[float] = None) -> "UnitFailure":
+        """The structured record of a unit that exceeded the batch deadline."""
+        detail = f" of {budget:.3f}s" if budget is not None else ""
+        return cls(
+            error_type=FAILURE_TIMEOUT,
+            message=f"unit {label or '?'} exceeded the request deadline{detail}",
+            retryable=True,
+        )
+
+    @classmethod
+    def worker_crash(cls, label: str, error: BaseException) -> "UnitFailure":
+        """The structured record of a unit lost to a dead process worker."""
+        detail = str(error) or type(error).__name__
+        return cls(
+            error_type=FAILURE_WORKER_CRASH,
+            message=(
+                f"worker process died while unit {label or '?'} was in "
+                f"flight ({detail}); the pool respawns for the next batch"
+            ),
+            retryable=True,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.error_type,
+            "message": self.message,
+            "retryable": self.retryable,
+        }
 
 
 @dataclass(frozen=True)
@@ -191,6 +231,12 @@ def dispatch_spec(engine, spec):
     from repro.api.config import CountSpec, ProfileSpec
 
     ensure_servable_spec(spec)
+    # Chaos hook shared by every backend: an armed "serve.unit" fault can
+    # delay (slow unit) or fail this unit, keyed on dataset and spec type.
+    faults.fire(
+        "serve.unit",
+        key=f"{getattr(engine.hypergraph, 'name', '?')}:{type(spec).__name__}",
+    )
     if isinstance(spec, CountSpec):
         return engine.count(spec)
     if isinstance(spec, ProfileSpec):
@@ -214,6 +260,11 @@ def execute_payload(payload: WorkerPayload):
 
     if payload.failure is not None:
         return payload.failure
+    # Chaos hook on the worker side of the pickle boundary: a "crash"-mode
+    # fault here kills this worker process outright (os._exit), which is how
+    # the chaos suite proves a dead worker cannot wedge a stream. Armed via
+    # the REPRO_FAULTS environment variable, which workers inherit.
+    faults.fire("worker.unit", key=payload.dataset)
     try:
         hypergraph = hypergraph_from_csr_rows(
             payload.edge_ptr, payload.edge_nodes, payload.dataset
@@ -253,6 +304,7 @@ class WorkerPool:
         self.workers = workers
         self._executor = None
         self._closed = False
+        self._respawns = 0
         self._lock = threading.Lock()
 
     @property
@@ -264,6 +316,35 @@ class WorkerPool:
     def closed(self) -> bool:
         """Whether :meth:`close` has been called; a closed pool stays closed."""
         return self._closed
+
+    @property
+    def respawns(self) -> int:
+        """How many times a broken pool was discarded and lazily respawned."""
+        return self._respawns
+
+    def reset(self, executor=None) -> bool:
+        """Discard the underlying pool so the next batch respawns workers.
+
+        This is the crash-recovery path: when a process worker dies, the
+        whole ``concurrent.futures`` pool is broken — every pending future
+        fails — and it can never execute again. Callers that observe the
+        breakage hand the broken executor here; it is swapped out (the next
+        :meth:`executor` call lazily opens a fresh pool) and shut down
+        without waiting. Passing the *executor* the caller saw makes the
+        reset idempotent under concurrent batches: only the first reporter
+        swaps, later reports of the same corpse are no-ops, and a fresh pool
+        another batch already opened is never torn down by a stale report.
+        Returns whether this call performed the swap.
+        """
+        with self._lock:
+            if self._closed or self._executor is None:
+                return False
+            if executor is not None and executor is not self._executor:
+                return False
+            broken, self._executor = self._executor, None
+            self._respawns += 1
+        broken.shutdown(wait=False)
+        return True
 
     def executor(self):
         """The shared ``concurrent.futures`` executor, opened on first use."""
@@ -305,6 +386,7 @@ class WorkerPool:
             "workers": self.workers,
             "started": self.started,
             "closed": self.closed,
+            "respawns": self.respawns,
         }
 
 
@@ -317,11 +399,20 @@ class ServeExecutor:
         """Execute every unit, returning results in unit order."""
         raise NotImplementedError
 
-    def map_stream(self, units: Sequence[ServeUnit]) -> Iterator[Tuple[int, Any]]:
+    def map_stream(
+        self, units: Sequence[ServeUnit], deadline: Optional[float] = None
+    ) -> Iterator[Tuple[int, Any]]:
         """Yield ``(unit index, outcome)`` pairs as units complete.
 
         Completion order, not unit order — the streaming front-ends forward
         each outcome the moment it exists and label it with its index.
+
+        *deadline* is an absolute ``time.monotonic()`` instant: once it
+        passes, units that have not finished resolve to structured
+        :meth:`UnitFailure.timeout` records instead of blocking the stream.
+        Units already mid-execution cannot be preempted (threads are not
+        killable); they are abandoned to finish in the background while
+        their slots get the timeout record — the stream itself never hangs.
         """
         raise NotImplementedError
 
@@ -334,9 +425,17 @@ class SerialExecutor(ServeExecutor):
     def map(self, units: Sequence[ServeUnit]) -> List[Any]:
         return [unit.run_local() for unit in units]
 
-    def map_stream(self, units: Sequence[ServeUnit]) -> Iterator[Tuple[int, Any]]:
+    def map_stream(
+        self, units: Sequence[ServeUnit], deadline: Optional[float] = None
+    ) -> Iterator[Tuple[int, Any]]:
+        # Serial execution cannot preempt a running unit; the deadline is
+        # honored between units, so one slow unit cannot drag the whole
+        # remainder of the batch past the budget.
         for index, unit in enumerate(units):
-            yield index, unit.run_local()
+            if deadline is not None and time.monotonic() >= deadline:
+                yield index, UnitFailure.timeout(unit.label)
+            else:
+                yield index, unit.run_local()
 
 
 class _PoolExecutor(ServeExecutor):
@@ -378,8 +477,24 @@ class _PoolExecutor(ServeExecutor):
         if workers == 1:
             yield None
             return
-        with make_executor(self.name, workers) as executor:
+        executor = make_executor(self.name, workers)
+        try:
             yield executor
+        finally:
+            # Non-blocking: a fully-collected batch has nothing left to wait
+            # for, and a deadline-expired one must not block here on workers
+            # still grinding through abandoned units.
+            executor.shutdown(wait=False)
+
+    def _recover(self, executor) -> None:
+        """React to a broken executor: make the persistent pool respawn.
+
+        An ephemeral pool needs nothing — its lease shuts it down — but a
+        persistent :class:`WorkerPool` would stay poisoned forever, failing
+        every future batch, unless the corpse is swapped out here.
+        """
+        if self._pool is not None:
+            self._pool.reset(executor)
 
     def map(self, units: Sequence[ServeUnit]) -> List[Any]:
         if not units:
@@ -388,26 +503,88 @@ class _PoolExecutor(ServeExecutor):
         with self._lease(len(items)) as executor:
             if executor is None:
                 return [self._run_inline(item) for item in items]
-            futures = [self._submit(executor, item) for item in items]
-            # Collect in submission order: request ordering is part of the
-            # serving contract regardless of which worker finished first.
-            return [future.result() for future in futures]
+            try:
+                futures = [self._submit(executor, item) for item in items]
+                # Collect in submission order: request ordering is part of
+                # the serving contract regardless of which worker finished
+                # first.
+                return [future.result() for future in futures]
+            except BrokenExecutor as error:
+                self._recover(executor)
+                raise ServeError(
+                    f"a {self.name} worker died mid-batch "
+                    f"({str(error) or type(error).__name__}); the batch was "
+                    f"lost but the pool respawns for the next one"
+                ) from error
 
-    def map_stream(self, units: Sequence[ServeUnit]) -> Iterator[Tuple[int, Any]]:
+    def map_stream(
+        self, units: Sequence[ServeUnit], deadline: Optional[float] = None
+    ) -> Iterator[Tuple[int, Any]]:
         if not units:
             return
         items = self._prepare(units)
+        labels = [unit.label for unit in units]
         with self._lease(len(items)) as executor:
             if executor is None:
                 for index, item in enumerate(items):
-                    yield index, self._run_inline(item)
+                    if deadline is not None and time.monotonic() >= deadline:
+                        yield index, UnitFailure.timeout(labels[index])
+                    else:
+                        yield index, self._run_inline(item)
                 return
-            futures = {
-                self._submit(executor, item): index
-                for index, item in enumerate(items)
-            }
-            for future in as_completed(futures):
-                yield futures[future], future.result()
+            pending: Dict[Any, int] = {}
+            try:
+                for index, item in enumerate(items):
+                    pending[self._submit(executor, item)] = index
+            except BrokenExecutor as error:
+                # The pool was already broken (a worker died idle, after a
+                # previous batch): the units never submitted become crash
+                # records below, alongside whatever did get submitted.
+                self._recover(executor)
+                for index in range(len(pending), len(items)):
+                    yield index, UnitFailure.worker_crash(labels[index], error)
+            while pending:
+                budget = None if deadline is None else deadline - time.monotonic()
+                if budget is not None and budget <= 0:
+                    done = set()
+                else:
+                    done, _ = wait(
+                        set(pending), timeout=budget, return_when=FIRST_COMPLETED
+                    )
+                if not done:
+                    # Deadline expired: cancel what never started, abandon
+                    # what did (threads cannot be killed), and resolve every
+                    # unfinished slot to a structured timeout record.
+                    for future, index in sorted(
+                        pending.items(), key=lambda entry: entry[1]
+                    ):
+                        future.cancel()
+                        yield index, UnitFailure.timeout(labels[index])
+                    return
+                for future in done:
+                    index = pending.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenExecutor as error:
+                        # A worker died with units in flight. The broken pool
+                        # fails *all* pending futures; convert every lost
+                        # unit to a crash record, respawn the pool for the
+                        # next batch, and keep the stream flowing — a crashed
+                        # worker must never wedge a stream or poison the
+                        # pool.
+                        self._recover(executor)
+                        yield index, UnitFailure.worker_crash(labels[index], error)
+                        for other, other_index in sorted(
+                            pending.items(), key=lambda entry: entry[1]
+                        ):
+                            other.cancel()
+                            yield (
+                                other_index,
+                                UnitFailure.worker_crash(labels[other_index], error),
+                            )
+                        pending.clear()
+                        break
+                    yield index, outcome
 
 
 class ThreadExecutor(_PoolExecutor):

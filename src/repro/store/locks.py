@@ -30,6 +30,8 @@ import time
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.store import faults
+
 try:  # POSIX
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX platforms
@@ -90,6 +92,8 @@ class FileLock:
         Never raises for contention or filesystem trouble — an unobtainable
         lock reports ``False`` so the caller can degrade gracefully.
         """
+        if faults.denied("store.lock_acquire", key=str(self._path)):
+            return False  # injected contention: behave exactly like a timeout
         deadline = time.monotonic() + max(0.0, timeout)
         # Serialize threads of this instance first; the remaining budget then
         # goes to the interprocess attempt.

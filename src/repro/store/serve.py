@@ -41,6 +41,7 @@ a concurrent future and awaitable, so independent batches overlap.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, replace
@@ -69,12 +70,14 @@ from repro.api.config import (
 from repro.api.engine import MotifEngine
 from repro.api.registry import DEFAULT_REGISTRY, DatasetRegistry
 from repro.api.results import CompareResult, CountResult, EngineResult, ProfileResult
-from repro.exceptions import SpecError
+from repro.exceptions import ServeError, SpecError
 from repro.hypergraph.builders import TemporalHypergraph
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.motifs.counts import MotifCounts
 from repro.store.artifacts import ArtifactStore, resolve_store
 from repro.store.executors import (
+    FAILURE_TIMEOUT,
+    FAILURE_WORKER_CRASH,
     ServeUnit,
     UnitFailure,
     WorkerPayload,
@@ -140,6 +143,10 @@ class ServeStats:
     and not yet fully resolved — streamed batches stay in flight until their
     last unit is yielded); ``unit_failures`` counts units whose failure was
     captured for an error-tolerant stream rather than raised.
+    ``unit_timeouts`` and ``worker_crashes`` break two transient failure
+    classes out of that total: units that exceeded their batch deadline and
+    units lost to a dead process worker (both also counted in
+    ``unit_failures``).
     """
 
     requests: int = 0
@@ -150,6 +157,8 @@ class ServeStats:
     batches: int = 0
     in_flight: int = 0
     unit_failures: int = 0
+    unit_timeouts: int = 0
+    worker_crashes: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -161,6 +170,8 @@ class ServeStats:
             "batches": self.batches,
             "in_flight": self.in_flight,
             "unit_failures": self.unit_failures,
+            "unit_timeouts": self.unit_timeouts,
+            "worker_crashes": self.worker_crashes,
         }
 
 
@@ -375,6 +386,7 @@ class EngineServer:
         workers: Optional[int] = None,
         backend: Optional[str] = None,
         capture_errors: bool = False,
+        timeout: Optional[float] = None,
     ) -> Iterator[Tuple[int, Union[EngineResult, UnitFailure]]]:
         """Serve a batch incrementally: yield ``(request index, outcome)``.
 
@@ -391,8 +403,20 @@ class EngineServer:
         aborting the whole batch — the error-isolation mode the HTTP service
         runs in. Without it, the first failure raises (matching
         :meth:`submit`).
+
+        *timeout* bounds the whole batch in seconds: units still unfinished
+        when the budget runs out resolve to structured ``UnitTimeout``
+        failure records while already-finished units stream normally — the
+        batch degrades per-unit instead of hanging. Units lost to a dead
+        process worker likewise resolve to ``WorkerCrashed`` records, and
+        the pool respawns for the next batch. Both record types are
+        transient, so they are marked ``retryable`` for clients; without
+        ``capture_errors`` they raise :class:`~repro.exceptions.ServeError`
+        instead (the stream has no other way to report a unit it lost).
         """
         executor = self._resolve_executor(workers, backend)
+        if timeout is not None and timeout <= 0:
+            raise SpecError(f"timeout must be positive or None, got {timeout!r}")
         normalized, keys, unique = self._normalize_batch(requests)
         slots: Dict[object, List[int]] = {}
         for index, key in enumerate(keys):
@@ -402,12 +426,25 @@ class EngineServer:
             self._make_unit(request, capture=capture_errors)
             for request in unique.values()
         ]
+        deadline = None if timeout is None else time.monotonic() + timeout
         self._begin_batch(len(normalized), len(unique))
         try:
-            for unit_index, outcome in executor.map_stream(units):
+            for unit_index, outcome in executor.map_stream(units, deadline=deadline):
                 if isinstance(outcome, UnitFailure):
                     with self._pool_lock:
                         self.stats.unit_failures += 1
+                        if outcome.error_type == FAILURE_TIMEOUT:
+                            self.stats.unit_timeouts += 1
+                        elif outcome.error_type == FAILURE_WORKER_CRASH:
+                            self.stats.worker_crashes += 1
+                    if not capture_errors:
+                        # Deadline/crash records exist even without capture
+                        # mode (the executor cannot raise them usefully from
+                        # a stream); surface them as the batch's failure.
+                        raise ServeError(
+                            f"unit {units[unit_index].label} was lost: "
+                            f"[{outcome.error_type}] {outcome.message}"
+                        )
                     for slot in slots[unit_keys[unit_index]]:
                         yield slot, outcome
                 else:

@@ -47,6 +47,25 @@ free port); :func:`run` serves until SIGTERM/SIGINT and then **drains
 gracefully** — the listener stops accepting, in-flight batches finish
 streaming (bounded by ``drain_seconds``), then the engine server, its pool
 and the store are closed.
+
+Overload and failure behavior (see README "Operations & failure modes"):
+
+- **Admission control** — at most ``max_queue`` batches are in flight at
+  once; a batch beyond that is refused *before its body is read* with a
+  structured ``429 ServerBusy`` carrying a ``Retry-After`` header and
+  ``"retryable": true``. The service sheds load instead of queueing
+  unboundedly; it never hangs and never turns overload into a 500.
+- **Per-request deadlines** — ``request_timeout`` bounds every batch;
+  units unfinished at the deadline resolve to per-unit ``UnitTimeout``
+  error records (``"retryable": true``) while finished units stream
+  normally.
+- **Worker crashes** — a process worker dying mid-batch converts its
+  in-flight units to ``WorkerCrashed`` records and the pool respawns for
+  the next batch; the service stays healthy throughout.
+- **Keep-alive** — connections are HTTP/1.1 persistent (responses carry
+  ``Content-Length`` or chunked transfer); idle connections are reaped
+  after ``_ServiceHandler.timeout`` seconds. Rejected-before-read
+  responses close the connection (the unread body would desynchronize it).
 """
 
 from __future__ import annotations
@@ -64,6 +83,7 @@ from typing import Any, Dict, Iterator, List, Optional, Union
 from repro import __version__
 from repro.api.registry import DatasetRegistry
 from repro.exceptions import ReproError, SpecError
+from repro.store import faults
 from repro.store.artifacts import ArtifactStore
 from repro.store.executors import (
     SERVE_BACKEND_SERIAL,
@@ -89,22 +109,60 @@ MAX_BODY_BYTES = 32 * 1024 * 1024
 #: How long a graceful shutdown waits for in-flight batches to finish.
 DEFAULT_DRAIN_SECONDS = 30.0
 
+#: Bound on concurrently in-flight batches (HTTP 429 beyond it).
+DEFAULT_MAX_QUEUE = 16
+
+#: ``Retry-After`` hint (seconds) sent with a 429 ``ServerBusy`` rejection.
+DEFAULT_RETRY_AFTER_SECONDS = 1
+
 
 class RequestRejected(ReproError):
     """A batch request the service refuses before dispatch (a 4xx).
 
     Carries the HTTP status and the structured JSON error body, so the
-    handler can serialize it without guessing.
+    handler can serialize it without guessing. ``retryable`` tells clients
+    machine-readably whether resubmitting the identical batch can succeed —
+    true only for transient refusals (``429 ServerBusy``); malformed or
+    oversized batches would be refused identically forever. A retryable
+    rejection carries ``retry_after`` (seconds), serialized both as the
+    ``Retry-After`` response header and in the JSON body.
     """
 
-    def __init__(self, status: int, error_type: str, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        error_type: str,
+        message: str,
+        retryable: bool = False,
+        retry_after: Optional[int] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.error_type = error_type
+        self.retryable = retryable
+        self.retry_after = retry_after
 
     @property
     def payload(self) -> Dict[str, Any]:
-        return {"error": {"type": self.error_type, "message": str(self)}}
+        error: Dict[str, Any] = {
+            "type": self.error_type,
+            "message": str(self),
+            "retryable": self.retryable,
+        }
+        if self.retry_after is not None:
+            error["retry_after"] = self.retry_after
+        return {"error": error}
+
+
+def _not_found(path: str) -> Dict[str, Any]:
+    """The structured 404 body for an unknown route."""
+    return {
+        "error": {
+            "type": "NotFound",
+            "message": f"no route {path!r}",
+            "retryable": False,
+        }
+    }
 
 
 class ServiceStats:
@@ -115,6 +173,7 @@ class ServiceStats:
         self.started = time.time()
         self.batches_accepted = 0
         self.batches_rejected = 0
+        self.batches_rejected_busy = 0
         self.batches_completed = 0
         self.results_streamed = 0
         self.errors_streamed = 0
@@ -125,6 +184,7 @@ class ServiceStats:
                 "uptime_seconds": time.time() - self.started,
                 "batches_accepted": self.batches_accepted,
                 "batches_rejected": self.batches_rejected,
+                "batches_rejected_busy": self.batches_rejected_busy,
                 "batches_completed": self.batches_completed,
                 "results_streamed": self.results_streamed,
                 "errors_streamed": self.errors_streamed,
@@ -148,11 +208,23 @@ class MotifService:
         self,
         engine_server: EngineServer,
         max_batch: int = DEFAULT_MAX_BATCH,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        request_timeout: Optional[float] = None,
     ) -> None:
         if max_batch <= 0:
             raise SpecError(f"max_batch must be positive, got {max_batch}")
+        if max_queue <= 0:
+            raise SpecError(f"max_queue must be positive, got {max_queue}")
+        if request_timeout is not None and request_timeout <= 0:
+            raise SpecError(
+                f"request_timeout must be positive or None, got {request_timeout}"
+            )
         self._server = engine_server
         self.max_batch = int(max_batch)
+        self.max_queue = int(max_queue)
+        self.request_timeout = (
+            None if request_timeout is None else float(request_timeout)
+        )
         self.stats = ServiceStats()
         self._in_flight = 0
         self._in_flight_lock = threading.Lock()
@@ -175,8 +247,27 @@ class MotifService:
 
     @contextmanager
     def track_in_flight(self):
-        """Bracket one batch request's whole lifetime for drain accounting."""
+        """Bracket one admitted batch request's lifetime; reject at capacity.
+
+        This is the admission gate: entering atomically checks the in-flight
+        count against ``max_queue`` and raises a retryable ``429
+        ServerBusy`` :class:`RequestRejected` (with a ``Retry-After`` hint)
+        when the service is at capacity — *before* the request body is even
+        read, so shedding load costs almost nothing. Admitted batches are
+        counted for the whole request lifetime, which is also what a
+        graceful drain waits on.
+        """
         with self._in_flight_lock:
+            if self._in_flight >= self.max_queue:
+                self.stats.count("batches_rejected_busy")
+                raise RequestRejected(
+                    429,
+                    "ServerBusy",
+                    f"{self._in_flight} batches already in flight (limit "
+                    f"{self.max_queue}); retry after a backoff",
+                    retryable=True,
+                    retry_after=DEFAULT_RETRY_AFTER_SECONDS,
+                )
             self._in_flight += 1
         try:
             yield
@@ -263,12 +354,18 @@ class MotifService:
 
     # ----------------------------------------------------------------- serving
     def stream(self, requests: List[ServeRequest]) -> Iterator[Dict[str, Any]]:
-        """Serve a parsed batch, yielding wire records in completion order."""
+        """Serve a parsed batch, yielding wire records in completion order.
+
+        Runs under the service's ``request_timeout`` (when configured):
+        units unfinished at the deadline become per-unit ``UnitTimeout``
+        error records and the stream still terminates with its ``done``
+        summary — a slow unit degrades itself, never the batch protocol.
+        """
         self.stats.count("batches_accepted")
         started = time.perf_counter()
         ok = errors = 0
         for index, outcome in self._server.submit_stream(
-            requests, capture_errors=True
+            requests, capture_errors=True, timeout=self.request_timeout
         ):
             if isinstance(outcome, UnitFailure):
                 errors += 1
@@ -300,6 +397,8 @@ class MotifService:
         payload = self._server.describe()
         payload["service"] = self.stats.as_dict()
         payload["max_batch"] = self.max_batch
+        payload["max_queue"] = self.max_queue
+        payload["request_timeout"] = self.request_timeout
         return payload
 
     # ---------------------------------------------------------------- lifecycle
@@ -309,43 +408,71 @@ class MotifService:
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
-    """Routes HTTP requests onto the owning server's :class:`MotifService`."""
+    """Routes HTTP requests onto the owning server's :class:`MotifService`.
+
+    Connections are HTTP/1.1 **persistent**: every response carries either a
+    ``Content-Length`` or chunked transfer framing, so a client can reuse
+    one connection across many calls (``ServiceClient`` does). ``timeout``
+    bounds how long an idle keep-alive connection may sit between requests
+    before its handler thread reaps it. The exceptions that must close: a
+    429 rejection happens *before* the request body is read, so the
+    connection is desynchronized and is closed explicitly.
+    """
 
     protocol_version = "HTTP/1.1"
     server_version = f"repro-mochy/{__version__}"
 
+    #: Idle keep-alive / read timeout (seconds) per connection.
+    timeout = 60.0
+
     # ------------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self._drop_connection():
+            return
         service = self.server.service
         if self.path == "/v1/health":
             self._send_json(200, service.health())
         elif self.path == "/v1/stats":
             self._send_json(200, service.stats_payload())
         else:
-            self._send_json(
-                404,
-                {"error": {"type": "NotFound", "message": f"no route {self.path!r}"}},
-            )
+            self._send_json(404, _not_found(self.path))
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self._drop_connection():
+            return
         service = self.server.service
         if self.path != "/v1/batch":
-            self._send_json(
-                404,
-                {"error": {"type": "NotFound", "message": f"no route {self.path!r}"}},
-            )
+            self._send_json(404, _not_found(self.path))
             return
-        with service.track_in_flight():
-            try:
-                body = self._read_body()
-                requests = service.parse_batch(body)
-            except RequestRejected as error:
-                service.stats.count("batches_rejected")
-                self._send_json(error.status, error.payload)
-                return
-            self._stream_batch(service, requests)
+        try:
+            with service.track_in_flight():
+                try:
+                    body = self._read_body()
+                    requests = service.parse_batch(body)
+                except RequestRejected as error:
+                    service.stats.count("batches_rejected")
+                    # The body was (at least partly) consumed or found
+                    # malformed; close so a confused client cannot
+                    # desynchronize the connection.
+                    self._send_json(error.status, error.payload, error=error)
+                    return
+                self._stream_batch(service, requests)
+        except RequestRejected as error:
+            # Admission refused the batch before its body was read: answer
+            # 429 + Retry-After and close (the unread body is still on the
+            # wire, so this connection cannot be reused).
+            service.stats.count("batches_rejected")
+            self._send_json(error.status, error.payload, error=error)
 
     # ------------------------------------------------------------------ helpers
+    def _drop_connection(self) -> bool:
+        """Chaos hook: an armed ``server.drop_connection`` fault makes the
+        handler hang up without writing a byte, exercising client retries."""
+        if faults.denied("server.drop_connection", key=self.path):
+            self.close_connection = True
+            return True
+        return False
+
     def _read_body(self) -> bytes:
         length_header = self.headers.get("Content-Length")
         if length_header is None:
@@ -368,12 +495,22 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             )
         return self.rfile.read(length)
 
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        error: Optional[RequestRejected] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
-        self.send_header("Connection", "close")
+        if error is not None:
+            if error.retry_after is not None:
+                self.send_header("Retry-After", str(error.retry_after))
+            # Rejections may leave an unread body on the wire; close rather
+            # than let the next request parse it as garbage.
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
@@ -383,7 +520,6 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")
-        self.send_header("Connection", "close")
         self.end_headers()
         try:
             for record in service.stream(requests):
@@ -405,6 +541,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                             "error": {
                                 "type": type(error).__name__,
                                 "message": str(error),
+                                "retryable": False,
                             },
                         }
                     )
@@ -462,6 +599,8 @@ def build_server(
     backend: Optional[str] = None,
     max_engines: int = 8,
     max_batch: int = DEFAULT_MAX_BATCH,
+    max_queue: int = DEFAULT_MAX_QUEUE,
+    request_timeout: Optional[float] = None,
     registry: Optional[DatasetRegistry] = None,
 ) -> MotifHTTPServer:
     """Construct the HTTP service over a fresh engine server.
@@ -472,6 +611,11 @@ def build_server(
     regardless of ``workers``. Thread and process pools are opened once and
     reused across every batch the service ever serves. ``port=0`` binds a
     free port (read it back from ``server.port``).
+
+    ``max_queue`` bounds concurrently in-flight batches (429 beyond it) and
+    ``request_timeout`` bounds each batch's wall-clock seconds (per-unit
+    ``UnitTimeout`` records beyond it; ``None`` disables the deadline) —
+    see the module docstring's overload and failure behavior.
     """
     if backend is not None and backend not in SERVE_BACKENDS:
         raise SpecError(
@@ -487,7 +631,12 @@ def build_server(
     engine_server = EngineServer(
         store=store, registry=registry, max_engines=max_engines, pool=pool
     )
-    service = MotifService(engine_server, max_batch=max_batch)
+    service = MotifService(
+        engine_server,
+        max_batch=max_batch,
+        max_queue=max_queue,
+        request_timeout=request_timeout,
+    )
     return MotifHTTPServer((host, port), service)
 
 

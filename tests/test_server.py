@@ -33,6 +33,7 @@ from repro.store.client import ServiceClient, ServiceError, request_to_dict
 from repro.store.serve import ServeRequest
 from repro.store.server import (
     DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_QUEUE,
     build_server,
     shutdown_gracefully,
 )
@@ -143,9 +144,13 @@ class TestEndpoints:
                 "workers": 2,
                 "started": False,
                 "closed": False,
+                "respawns": 0,
             }
             assert payload["max_batch"] == DEFAULT_MAX_BATCH
+            assert payload["max_queue"] == DEFAULT_MAX_QUEUE
+            assert payload["request_timeout"] is None
             assert payload["service"]["batches_accepted"] == 0
+            assert payload["service"]["batches_rejected_busy"] == 0
 
     def test_unknown_routes_are_structured_404s(self):
         with running_server() as (server, _):
