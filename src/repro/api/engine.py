@@ -207,7 +207,14 @@ class MotifEngine:
 
     def _hyperwedge_cache(self) -> List[Tuple[int, int]]:
         if self._hyperwedges is None:
-            self._hyperwedges = self.projection.hyperwedge_list()
+            stored = self._stored_hyperwedges()
+            if stored is not None:
+                # Served whole from the store: the projection itself may
+                # never need to be built for a wedge-sampling run.
+                self._hyperwedges = stored
+            else:
+                self._hyperwedges = self.projection.hyperwedge_list()
+                self._persist_hyperwedges(self._hyperwedges)
         return self._hyperwedges
 
     def clear_cache(self) -> None:
@@ -386,6 +393,14 @@ class MotifEngine:
                 "TemporalHypergraph (timestamped hyperedges)"
             )
         context_window, test_window = self._predict_windows(spec)
+        # Only runs with the default classifier bank and a replayable seed
+        # are deterministic end to end — custom classifier templates carry
+        # arbitrary state the store cannot key.
+        storable = classifiers is None and _is_deterministic_seed(spec.seed)
+        if storable:
+            stored = self._stored_predict(spec, context_window, test_window)
+            if stored is not None:
+                return stored
         with Timer() as timer:
             dataset = build_prediction_dataset(
                 self._temporal,
@@ -421,13 +436,16 @@ class MotifEngine:
                             auc=roc_auc(dataset.labels_test, probabilities),
                         )
                     )
-        return PredictResult(
+        predict_result = PredictResult(
             dataset=self._temporal.name,
             result=result,
             context_window=context_window,
             test_window=test_window,
             seconds=timer.elapsed,
         )
+        if storable:
+            self._persist_predict(spec, context_window, test_window, result)
+        return predict_result
 
     # ---------------------------------------------------------------- internal
     def _null_counts(self, spec) -> Tuple[MotifCounts, Optional[str]]:
@@ -569,6 +587,86 @@ class MotifEngine:
             arrays,
             meta,
             dataset=self._static().name,
+        )
+
+    def _stored_hyperwedges(self) -> Optional[List[Tuple[int, int]]]:
+        """The hyperwedge list served from the artifact store, if any."""
+        if self._store is None:
+            return None
+        hit = self._store.get(
+            codecs.KIND_HYPERWEDGES, self.fingerprint, codecs.hyperwedge_params()
+        )
+        if hit is None:
+            return None
+        arrays, _, _ = hit
+        return codecs.decode_hyperwedges(arrays, self._static().num_hyperedges)
+
+    def _persist_hyperwedges(self, wedges: List[Tuple[int, int]]) -> None:
+        if self._store is None:
+            return
+        arrays, meta = codecs.encode_hyperwedges(wedges)
+        self._store.put(
+            codecs.KIND_HYPERWEDGES,
+            self.fingerprint,
+            codecs.hyperwedge_params(),
+            arrays,
+            meta,
+            dataset=self._static().name,
+        )
+
+    def _stored_predict(
+        self,
+        spec: PredictSpec,
+        context_window: Tuple[int, int],
+        test_window: Tuple[int, int],
+    ) -> Optional[PredictResult]:
+        """A whole predict score grid served from the artifact store, if any.
+
+        Keyed by the *temporal* fingerprint — prediction slices by timestamp
+        and keeps duplicates, which the static (windowed, deduplicated)
+        fingerprint cannot distinguish.
+        """
+        if self._store is None:
+            return None
+        with Timer() as timer:
+            hit = self._store.get(
+                codecs.KIND_PREDICT,
+                self._temporal.fingerprint(),
+                codecs.predict_params(spec, context_window, test_window),
+            )
+            if hit is None:
+                return None
+            arrays, meta, tier = hit
+            result = codecs.decode_predict(arrays, meta)
+        if result is None:
+            return None
+        return PredictResult(
+            dataset=self._temporal.name,
+            result=result,
+            context_window=context_window,
+            test_window=test_window,
+            seconds=timer.elapsed,
+            from_cache=True,
+            cache_tier=tier,
+        )
+
+    def _persist_predict(
+        self,
+        spec: PredictSpec,
+        context_window: Tuple[int, int],
+        test_window: Tuple[int, int],
+        result: PredictionExperimentResult,
+    ) -> None:
+        if self._store is None:
+            return
+        arrays, meta = codecs.encode_predict(result)
+        self._store.put(
+            codecs.KIND_PREDICT,
+            self._temporal.fingerprint(),
+            codecs.predict_params(spec, context_window, test_window),
+            arrays,
+            meta,
+            dataset=self._temporal.name,
         )
 
     def _predict_windows(

@@ -201,7 +201,13 @@ class CompareResult(EngineResult):
 
 @dataclass(frozen=True)
 class PredictResult(EngineResult):
-    """Outcome of :meth:`~repro.api.MotifEngine.predict` (Table-4 style grid)."""
+    """Outcome of :meth:`~repro.api.MotifEngine.predict` (Table-4 style grid).
+
+    ``from_cache`` is true when the whole score grid was served from the
+    artifact store — possible only for integer-seeded runs with the default
+    classifier bank, which replay deterministically; ``cache_tier`` then
+    names the tier the hit came from.
+    """
 
     kind = "predict"
 
@@ -210,6 +216,8 @@ class PredictResult(EngineResult):
     context_window: Tuple[int, int]
     test_window: Tuple[int, int]
     seconds: float
+    from_cache: bool = False
+    cache_tier: Optional[str] = None
 
     def as_rows(self) -> List[Tuple[str, str, float, float]]:
         """Rows of (classifier, feature set, accuracy, AUC)."""
@@ -226,6 +234,8 @@ class PredictResult(EngineResult):
             "context_window": list(self.context_window),
             "test_window": list(self.test_window),
             "seconds": self.seconds,
+            "from_cache": self.from_cache,
+            "cache_tier": self.cache_tier,
             "scores": [
                 {
                     "classifier": classifier,

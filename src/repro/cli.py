@@ -50,6 +50,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
@@ -203,9 +204,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"store directory (default: ${ENV_STORE_DIR})",
     )
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
-    cache_sub.add_parser("ls", help="list persisted artifacts")
+    cache_ls = cache_sub.add_parser("ls", help="list persisted artifacts")
+    cache_ls.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable listing (shard, level, size, age, params)",
+    )
     cache_sub.add_parser(
-        "gc", help="compact the store: drop stale, corrupted and orphaned entries"
+        "gc",
+        help="compact the store: fold shard logs, drop stale/corrupt/evicted entries",
     )
     warm = cache_sub.add_parser(
         "warm", help="pre-populate the store (projection + exact counts)"
@@ -482,7 +489,7 @@ def _format_bytes(size: int) -> str:
 def _run_cache(arguments) -> None:
     store = _cache_store(arguments)
     if arguments.cache_command == "ls":
-        _run_cache_ls(store)
+        _run_cache_ls(store, as_json=getattr(arguments, "json", False))
     elif arguments.cache_command == "gc":
         _run_cache_gc(store)
     elif arguments.cache_command == "warm":
@@ -491,15 +498,47 @@ def _run_cache(arguments) -> None:
         raise CLIError(f"unknown cache command {arguments.cache_command!r}")
 
 
-def _run_cache_ls(store: ArtifactStore) -> None:
+def _run_cache_ls(store: ArtifactStore, as_json: bool = False) -> None:
     entries = store.entries()
+    if as_json:
+        now = time.time()
+        print(
+            json.dumps(
+                {
+                    "directory": str(store.directory),
+                    "disk_stale": store.disk_stale,
+                    "total_entries": len(entries),
+                    "total_bytes": sum(e.payload_bytes for e in entries),
+                    "entries": [
+                        {
+                            "kind": entry.kind,
+                            "dataset": entry.dataset,
+                            "fingerprint": entry.fingerprint,
+                            "shard": entry.shard,
+                            "level": entry.level,
+                            "size_bytes": entry.payload_bytes,
+                            "age_seconds": max(0.0, now - entry.created),
+                            "created": entry.created,
+                            "params": entry.params,
+                        }
+                        for entry in entries
+                    ],
+                    "occupancy": store.occupancy(),
+                },
+                indent=2,
+            )
+        )
+        return
     print(f"# store: {store.directory}")
     if store.disk_stale:
         print("# WARNING: manifest format version mismatch; run `cache gc` to compact")
     if not entries:
         print("(no artifacts)")
         return
-    print(f"{'kind':<12} {'dataset':<24} {'fingerprint':<14} {'size':>10}  params")
+    print(
+        f"{'kind':<12} {'dataset':<24} {'fingerprint':<14} {'shard':<6} "
+        f"{'level':<6} {'size':>10}  params"
+    )
     total = 0
     for entry in entries:
         total += entry.payload_bytes
@@ -510,8 +549,8 @@ def _run_cache_ls(store: ArtifactStore) -> None:
         )
         print(
             f"{entry.kind:<12} {(entry.dataset or '-'):<24.24} "
-            f"{entry.fingerprint[:12]:<14} {_format_bytes(entry.payload_bytes):>10}  "
-            f"{params or '-'}"
+            f"{entry.fingerprint[:12]:<14} {entry.shard:<6} {entry.level:<6} "
+            f"{_format_bytes(entry.payload_bytes):>10}  {params or '-'}"
         )
     print(f"total: {len(entries)} artifacts, {_format_bytes(total)}")
 
@@ -522,10 +561,20 @@ def _run_cache_gc(store: ArtifactStore) -> None:
     # contention, unusable directory), so they carry their own verbs.
     for detail in stats.details:
         print(f"gc: {detail}")
+    for shard in sorted(stats.shards):
+        shard_stats = stats.shards[shard]
+        print(
+            f"shard {shard}: kept {shard_stats['kept']}, "
+            f"removed {shard_stats['removed']}, "
+            f"evicted {shard_stats['evicted']}, "
+            f"reclaimed {_format_bytes(shard_stats['reclaimed_bytes'])}"
+        )
     print(
         f"kept {stats.kept_entries} entries; removed {stats.removed_entries} "
         f"entries ({stats.removed_files} files, "
-        f"{_format_bytes(stats.reclaimed_bytes)} reclaimed)"
+        f"{_format_bytes(stats.reclaimed_bytes)} reclaimed); "
+        f"evicted {stats.evicted_entries}; "
+        f"compacted {stats.compacted_shards} shards"
     )
 
 

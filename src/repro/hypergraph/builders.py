@@ -9,8 +9,10 @@ contiguous integers, and slicing temporal data into yearly snapshots
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import defaultdict
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import DatasetError
 from repro.hypergraph.hypergraph import Hypergraph, Node
@@ -132,6 +134,7 @@ class TemporalHypergraph:
             pairs.append((int(timestamp), members))
         self._pairs = sorted(pairs, key=lambda pair: pair[0])
         self.name = str(name)
+        self._fingerprint: Optional[str] = None
 
     @property
     def num_hyperedges(self) -> int:
@@ -141,6 +144,30 @@ class TemporalHypergraph:
     def timestamps(self) -> List[int]:
         """Sorted list of distinct timestamps present in the data."""
         return sorted({timestamp for timestamp, _ in self._pairs})
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the timestamped hyperedge sequence.
+
+        Unlike the static :meth:`Hypergraph.fingerprint` (which hashes the
+        label-free canonical CSR of a window), this keys artifacts of the
+        *temporal* workflows — prediction windows slice by timestamp and
+        keep duplicate hyperedges, so timestamps and per-edge membership are
+        both part of the identity. Node labels participate via their
+        ``repr``; two temporal datasets with relabelled nodes therefore get
+        distinct fingerprints (a missed sharing opportunity, never a wrong
+        hit). Cached on the instance (the pair list is immutable).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256(b"repro.store/temporal-fingerprint/v1")
+            for timestamp, members in self._pairs:
+                canonical = json.dumps(
+                    [int(timestamp), sorted(repr(node) for node in members)],
+                    separators=(",", ":"),
+                )
+                digest.update(canonical.encode("utf-8"))
+                digest.update(b"\x00")
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def snapshot(self, timestamp: int) -> Hypergraph:
         """Hypergraph of hyperedges whose timestamp equals *timestamp*.

@@ -25,10 +25,12 @@ dragging in the API layer).
 
 from repro.store.artifacts import (
     ENV_STORE_DIR,
+    FLAT_FORMAT_VERSION,
     FORMAT_VERSION,
     TIER_DISK,
     TIER_MEMORY,
     ArtifactStore,
+    EvictionPolicy,
     GCStats,
     StoreEntry,
     StoreStats,
@@ -36,6 +38,7 @@ from repro.store.artifacts import (
     reset_default_store,
     resolve_store,
 )
+from repro.store.lsm import LSMDiskTier, shard_of
 from repro.store.fingerprint import (
     csr_fingerprint,
     hypergraph_fingerprint,
@@ -48,6 +51,9 @@ __all__ = [
     "StoreEntry",
     "StoreStats",
     "GCStats",
+    "EvictionPolicy",
+    "LSMDiskTier",
+    "shard_of",
     "FileLock",
     "EngineServer",
     "ServeRequest",
@@ -66,6 +72,7 @@ __all__ = [
     "params_digest",
     "ENV_STORE_DIR",
     "FORMAT_VERSION",
+    "FLAT_FORMAT_VERSION",
     "TIER_MEMORY",
     "TIER_DISK",
 ]

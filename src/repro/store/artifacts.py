@@ -1,67 +1,91 @@
-"""The two-tier artifact store: bounded in-memory LRU over a disk tier.
+"""The two-tier artifact store: bounded in-memory LRU over an LSM disk tier.
 
 The store keeps computed artifacts — projections, motif counts, null-model
-averages, characteristic profiles — keyed by ``(kind, dataset fingerprint,
-canonical parameters)``. Lookups hit the hot in-memory tier first (a bounded
-LRU shared by every engine holding the store), then the persistent tier,
-which survives the process and makes cold CLI runs warm-start. The tiering
-follows the LSM-store playbook in miniature: a small mutable memory tier in
-front of an append-friendly on-disk tier with an explicit versioned manifest
-and a compaction pass (:meth:`ArtifactStore.gc`) that drops stale or
-corrupted entries.
+averages, characteristic profiles, hyperwedge lists, prediction results —
+keyed by ``(kind, dataset fingerprint, canonical parameters)``. Lookups hit
+the hot in-memory tier first (a bounded LRU shared by every engine holding
+the store), then the persistent tier, which survives the process and makes
+cold CLI runs warm-start. The persistent tier is the log-structured engine
+in :mod:`repro.store.lsm` — the memory LRU plays the memtable, fresh writes
+land as O(1) appended records in per-shard logs (L0), and
+:meth:`ArtifactStore.gc` compacts each shard's log into its sorted base
+manifest (L1) while applying the store's eviction policy.
 
-On-disk layout (under the store directory)::
+On-disk layout (under the store directory; see :mod:`repro.store.lsm`)::
 
-    manifest.json                       # {"format_version": 1, ...}
-    data/<fingerprint>/<kind>-<digest>.npz    # payload arrays
-    data/<fingerprint>/<kind>-<digest>.json   # entry manifest (sidecar)
+    manifest.json                  # {"format_version": 2, ...}
+    shards/<xx>/manifest.log       # L0: append-only JSONL manifest records
+    shards/<xx>/manifest.base.json # L1: sorted base manifest (compacted)
+    shards/<xx>/.shard.lock        # per-shard interprocess FileLock
+    shards/<xx>/<fp>/<kind>-<digest>.npz   # payload arrays (KV-separated)
 
-Every write is atomic (unique temp file + ``os.replace``), payload before
-sidecar, so concurrent writers of the same artifact cannot clobber each
-other and a sidecar never references a missing payload. Each sidecar records
-the entry's format version, its full parameter mapping and a SHA-256
-checksum of the payload bytes; reads re-verify all three and treat any
-mismatch — truncation, corruption, a digest collision, a layout upgrade —
-as a miss, falling back to recomputation. A store whose top-level manifest
-carries an unknown format version suspends the disk tier entirely (reads
-miss, writes are skipped) until :meth:`~ArtifactStore.gc` compacts it.
+Every file write is atomic (unique temp file + ``os.replace`` for payloads
+and base manifests, a single O_APPEND record for the log), payload before
+record, so a published record never references a missing payload. Each
+record carries the entry's format version, its full parameter mapping and a
+SHA-256 checksum of the payload bytes; reads re-verify all three and treat
+any mismatch — truncation, corruption, a digest collision, a layout
+upgrade — as a miss, falling back to recomputation. A directory written by
+the flat version-1 layout is migrated in place on open (every artifact
+kept); a manifest with an unknown version suspends the disk tier entirely
+(reads miss, writes are skipped) until :meth:`~ArtifactStore.gc` resets it.
 
 The store is safe under **concurrent same-directory writers** — parallel
 serving workers (threads or processes) persisting overlapping fingerprints.
-Multi-file critical sections (an entry's payload + sidecar pair, the
-manifest, and the whole :meth:`~ArtifactStore.gc` walk) serialize on an
-advisory interprocess :class:`~repro.store.locks.FileLock`; reconciliation
-is last-writer-wins, so racing writers of one entry leave whichever complete
-payload/sidecar pair was published last. Lock contention past the bounded
-timeout never blocks or corrupts anything: the write **degrades to the
-memory tier** (counted in ``stats.lock_contention``) and the artifact is
-simply recomputed by the next cold reader.
+Writers serialize per shard on an advisory interprocess
+:class:`~repro.store.locks.FileLock`, so writers on different fingerprint
+prefixes never contend at all; racing writers of one entry are last-writer-
+wins. Lock contention past the bounded timeout never blocks or corrupts
+anything: the write **degrades to the memory tier** (counted in
+``stats.lock_contention``) and the artifact is simply recomputed by the next
+cold reader.
 """
 
 from __future__ import annotations
 
-import hashlib
-import io
 import json
 import os
 import threading
 import time
-import uuid
 from collections import OrderedDict
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from dataclasses import dataclass
+
 from repro.exceptions import StoreError
-from repro.store import faults
 from repro.store.fingerprint import params_digest
 from repro.store.locks import FileLock
+from repro.store.lsm import (
+    FLAT_FORMAT_VERSION,
+    FORMAT_VERSION,
+    EvictionPolicy,
+    GCStats,
+    LSMDiskTier,
+    StoreEntry,
+    atomic_write_bytes as _atomic_write_bytes,
+    jsonify_params as _jsonify_params,
+    shard_of,
+)
 
-#: Store layout version; entries and manifests from other versions are
-#: ignored by reads and reaped by :meth:`ArtifactStore.gc`.
-FORMAT_VERSION = 1
+__all__ = [
+    "ArtifactStore",
+    "StoreStats",
+    "StoreEntry",
+    "GCStats",
+    "EvictionPolicy",
+    "FORMAT_VERSION",
+    "FLAT_FORMAT_VERSION",
+    "ENV_STORE_DIR",
+    "TIER_MEMORY",
+    "TIER_DISK",
+    "default_store",
+    "reset_default_store",
+    "resolve_store",
+    "shard_of",
+]
 
 #: Environment variable naming the process-wide default store directory.
 ENV_STORE_DIR = "REPRO_STORE_DIR"
@@ -74,13 +98,11 @@ TIER_DISK = "disk"
 #: individual artifacts are small: 26-float vectors and CSR adjacency).
 DEFAULT_MEMORY_ITEMS = 128
 
-#: Default bound on waiting for the interprocess write lock before a write
+#: Default bound on waiting for a shard's interprocess lock before a write
 #: degrades to the memory tier.
 DEFAULT_LOCK_TIMEOUT = 5.0
 
 _MANIFEST_NAME = "manifest.json"
-_DATA_DIR = "data"
-_TMP_MARKER = ".tmp-"
 _LOCK_NAME = ".store.lock"
 
 
@@ -111,30 +133,6 @@ class StoreStats:
         }
 
 
-@dataclass(frozen=True)
-class StoreEntry:
-    """One valid persisted artifact, as listed by :meth:`ArtifactStore.entries`."""
-
-    kind: str
-    fingerprint: str
-    dataset: Optional[str]
-    params: Dict[str, Any]
-    created: float
-    payload_bytes: int
-    path: Path
-
-
-@dataclass
-class GCStats:
-    """Outcome of one :meth:`ArtifactStore.gc` compaction pass."""
-
-    kept_entries: int = 0
-    removed_entries: int = 0
-    removed_files: int = 0
-    reclaimed_bytes: int = 0
-    details: List[str] = field(default_factory=list)
-
-
 class ArtifactStore:
     """Process-shared artifact cache with an optional persistent directory.
 
@@ -147,8 +145,12 @@ class ArtifactStore:
         Bound on the in-memory LRU tier (0 disables it, so every read goes
         to disk).
     lock_timeout:
-        Seconds to wait for the interprocess write lock before a disk write
+        Seconds to wait for a shard's interprocess lock before a disk write
         degrades to the memory tier (``stats.lock_contention`` counts these).
+    policy:
+        Size/TTL eviction policy applied to the persistent tier at
+        :meth:`gc` time (see :class:`repro.store.lsm.EvictionPolicy`). The
+        default policy is unbounded — nothing valid is ever evicted.
     """
 
     def __init__(
@@ -156,6 +158,7 @@ class ArtifactStore:
         directory: Optional[Union[str, Path]] = None,
         memory_items: int = DEFAULT_MEMORY_ITEMS,
         lock_timeout: float = DEFAULT_LOCK_TIMEOUT,
+        policy: Optional[EvictionPolicy] = None,
     ) -> None:
         if memory_items < 0:
             raise StoreError(f"memory_items must be >= 0, got {memory_items}")
@@ -164,17 +167,31 @@ class ArtifactStore:
         self._directory = Path(directory).expanduser() if directory else None
         self._memory_items = int(memory_items)
         self._lock_timeout = float(lock_timeout)
+        self.policy = policy or EvictionPolicy()
         # Created eagerly (construction never touches the filesystem): a
         # lazily-raced assignment could replace a FileLock another thread
         # holds, leaking its lock fd and wedging every future disk write.
+        # The global lock now guards only whole-store transitions — the
+        # top-level manifest, flat-layout migration and stale wipes; entry
+        # writes serialize on the tier's per-shard locks instead.
         self._write_lock: Optional[FileLock] = (
             FileLock(self._directory / _LOCK_NAME)
             if self._directory is not None
             else None
         )
-        self._memory: "OrderedDict[Tuple[str, str, str], Tuple[Dict[str, np.ndarray], Dict[str, Any]]]" = (
-            OrderedDict()
+        self._tier: Optional[LSMDiskTier] = (
+            LSMDiskTier(
+                self._directory,
+                lock_timeout=self._lock_timeout,
+                policy=self.policy,
+                on_corrupt=self._mark_corrupt,
+            )
+            if self._directory is not None
+            else None
         )
+        self._memory: OrderedDict[
+            Tuple[str, str, str], Tuple[Dict[str, np.ndarray], Dict[str, Any]]
+        ] = OrderedDict()
         self._lock = threading.RLock()
         self._disk_stale = False
         self._disk_error: Optional[str] = None
@@ -212,7 +229,7 @@ class ArtifactStore:
         """True when the on-disk manifest has an unknown format version.
 
         A stale disk tier is suspended — reads miss and writes are skipped —
-        until :meth:`gc` compacts the directory and rewrites the manifest.
+        until :meth:`gc` resets the directory and rewrites the manifest.
         """
         return self._disk_stale
 
@@ -233,7 +250,9 @@ class ArtifactStore:
                 self.stats.memory_hits += 1
                 arrays, meta = cached
                 return arrays, meta, TIER_MEMORY
-        loaded = self._disk_get(kind, fingerprint, params, key[2])
+        loaded = None
+        if self.persistent:
+            loaded = self._tier.get(kind, fingerprint, key[2], params)
         if loaded is None:
             with self._lock:
                 self.stats.misses += 1
@@ -257,8 +276,9 @@ class ArtifactStore:
         """Store one artifact in both tiers.
 
         Disk failures (read-only directory, disk full) are absorbed into
-        ``stats.write_errors`` — a broken store must degrade to recompute,
-        never break the computation it was meant to speed up.
+        ``stats.write_errors`` and shard-lock contention into
+        ``stats.lock_contention`` — a broken or contended store must degrade
+        to recompute, never break the computation it was meant to speed up.
         """
         frozen: Dict[str, np.ndarray] = {}
         for name, array in arrays.items():
@@ -274,10 +294,16 @@ class ArtifactStore:
         if not self.persistent:
             return
         try:
-            self._disk_put(kind, fingerprint, params, digest, frozen, meta, dataset)
+            stored = self._tier.put(
+                kind, fingerprint, digest, params, frozen, meta, dataset
+            )
         except OSError:
             with self._lock:
                 self.stats.write_errors += 1
+            return
+        if not stored:
+            with self._lock:
+                self.stats.lock_contention += 1
 
     def clear_memory(self) -> None:
         """Drop the in-memory tier (the persistent tier is untouched)."""
@@ -286,62 +312,57 @@ class ArtifactStore:
 
     # --------------------------------------------------------------- listing
     def entries(self) -> List[StoreEntry]:
-        """All valid persisted entries (invalid ones are skipped; see :meth:`gc`)."""
-        result: List[StoreEntry] = []
+        """All valid persisted entries, in sorted index order per shard."""
         if not self.persistent:
-            return result
-        data_root = self._directory / _DATA_DIR
-        if not data_root.is_dir():
-            return result
-        for sidecar in sorted(data_root.glob("*/*.json")):
-            record = self._read_sidecar(sidecar)
-            if record is None:
-                continue
-            payload = sidecar.with_suffix(".npz")
-            try:
-                payload_bytes = payload.stat().st_size
-            except OSError:
-                continue
-            result.append(
-                StoreEntry(
-                    kind=str(record["kind"]),
-                    fingerprint=str(record["fingerprint"]),
-                    dataset=record.get("dataset"),
-                    params=dict(record.get("params", {})),
-                    created=float(record.get("created", 0.0)),
-                    payload_bytes=payload_bytes,
-                    path=sidecar,
-                )
-            )
-        return result
+            return []
+        return self._tier.entries()
+
+    def occupancy(self) -> Optional[Dict[str, Any]]:
+        """Shard/level occupancy of the persistent tier (``None`` when absent).
+
+        The snapshot feeds ``EngineServer.describe()`` and ``GET /v1/stats``:
+        per-shard entry and byte counts, log-vs-base record totals, per-kind
+        footprints, and the active eviction policy.
+        """
+        if not self.persistent:
+            return None
+        return self._tier.occupancy()
+
+    def shard_lock_path(self, fingerprint: str) -> Optional[Path]:
+        """The interprocess lock file guarding *fingerprint*'s shard."""
+        if self._tier is None:
+            return None
+        return self._tier.shard_lock_path(shard_of(fingerprint))
 
     def __len__(self) -> int:
         return len(self.entries())
 
     # -------------------------------------------------------------- compaction
     def gc(self, verify_checksums: bool = True) -> GCStats:
-        """Compact the persistent tier.
+        """Compact the persistent tier, one shard at a time.
 
-        Removes leftover temp files, sidecars with unparseable JSON or a
-        stale format version, entries whose payload is missing or (when
-        *verify_checksums*) fails its checksum, and payloads with no sidecar.
-        A store whose top-level manifest was stale is wiped entirely and its
-        manifest rewritten at the current version, re-enabling the disk tier.
+        Each shard's append log is folded into its sorted base manifest;
+        leftover temp files, records with a stale format version, entries
+        whose payload is missing or (when *verify_checksums*) fails its
+        checksum, orphaned payloads, and entries beyond the eviction
+        policy's TTL or byte budget are reclaimed. A store whose top-level
+        manifest was stale is wiped entirely and its manifest rewritten at
+        the current version, re-enabling the disk tier.
 
-        The whole pass runs under the interprocess write lock, so compaction
-        never deletes the payload half of an entry a racing writer is mid-way
-        through publishing; if the lock cannot be acquired the pass is skipped
+        Shards compact under their own interprocess locks, so compaction
+        never deletes the payload a racing writer is mid-way through
+        publishing; a shard whose lock cannot be acquired is skipped
         (reported in ``details``) rather than risking exactly that race.
         """
         stats = GCStats()
         if self._directory is None:
             return stats
         if self._disk_error is not None:
-            # Re-probe: the path may have become usable since __init__. Runs
-            # outside the instance lock (it may wait on the file lock when
-            # writing the manifest); the state fields it touches are simple
-            # assignments, and a racing get/put at worst misses or skips disk
-            # during the probe.
+            # Re-probe: the path may have become usable (or a racing
+            # migration finished) since __init__. Runs outside the instance
+            # lock (it may wait on the file lock when writing the manifest);
+            # the state fields it touches are simple assignments, and a
+            # racing get/put at worst misses or skips disk during the probe.
             self._disk_error = None
             self._init_directory()
             if self._disk_error is not None:
@@ -349,63 +370,35 @@ class ArtifactStore:
                     f"store directory unavailable: {self._disk_error}"
                 )
                 return stats
-        # Wait for the interprocess lock *before* taking the instance lock:
-        # a contended wait here must not stall concurrent memory-tier
-        # get/put, which never touch the files gc compacts.
-        if not self._acquire_write_lock():
-            stats.details.append(
-                "write-lock contention: compaction skipped (another "
-                "process holds the store lock)"
-            )
-            return stats
-        try:
-            with self._lock:
-                return self._gc_locked(stats, verify_checksums)
-        finally:
-            self._release_write_lock()
-
-    def _gc_locked(self, stats: GCStats, verify_checksums: bool) -> GCStats:
-        """The compaction body; caller holds both the instance and file locks."""
-        try:
-            if self._disk_stale:
-                self._wipe_data(stats)
-                self._write_manifest()
-                self._disk_stale = False
+        if self._disk_stale:
+            # Whole-store reset: serialize on the global lock so two
+            # processes cannot wipe and rewrite the manifest concurrently.
+            if not self._acquire_write_lock():
+                stats.details.append(
+                    "write-lock contention: stale-store reset skipped "
+                    "(another process holds the store lock)"
+                )
                 return stats
-        except OSError as error:
-            self._disk_error = str(error)
-            stats.details.append(f"store directory unavailable: {error}")
-            return stats
-        data_root = self._directory / _DATA_DIR
-        if not data_root.is_dir():
-            return stats
-        for path in sorted(data_root.glob("*/*")):
-            if _TMP_MARKER in path.name:
-                self._remove(path, stats, "leftover temp file")
-        for sidecar in sorted(data_root.glob("*/*.json")):
-            record = self._read_sidecar(sidecar, verify_checksum=verify_checksums)
-            payload = sidecar.with_suffix(".npz")
-            if record is None:
-                self._remove(sidecar, stats, "invalid or stale entry")
-                if payload.exists():
-                    self._remove(payload, stats, "payload of invalid entry")
-                stats.removed_entries += 1
-            else:
-                stats.kept_entries += 1
-        for payload in sorted(data_root.glob("*/*.npz")):
-            if not payload.with_suffix(".json").exists():
-                self._remove(payload, stats, "orphaned payload")
-                stats.removed_entries += 1
-        for bucket in sorted(data_root.iterdir()):
             try:
-                if bucket.is_dir() and not any(bucket.iterdir()):
-                    bucket.rmdir()
-            except OSError:  # racing writer repopulated the bucket
-                continue
+                with self._lock:
+                    try:
+                        self._tier.wipe(stats)
+                        self._write_manifest()
+                        self._disk_stale = False
+                    except OSError as error:
+                        self._disk_error = str(error)
+                        stats.details.append(
+                            f"store directory unavailable: {error}"
+                        )
+            finally:
+                self._release_write_lock()
+            return stats
+        self._tier.gc(stats, verify_checksums)
         try:
             self._write_manifest()
         except OSError:
-            self.stats.write_errors += 1
+            with self._lock:
+                self.stats.write_errors += 1
         return stats
 
     # ----------------------------------------------------------------- dunder
@@ -432,11 +425,11 @@ class ArtifactStore:
             self.stats.evictions += 1
 
     def _acquire_write_lock(self) -> bool:
-        """Take the interprocess write lock; ``False`` means degrade.
+        """Take the global store lock; ``False`` means degrade.
 
         Memory-only stores have nothing to serialize. Contention past the
         bounded timeout is counted and reported, never raised — the caller
-        skips its disk write and the memory tier carries the artifact.
+        skips the whole-store transition it was guarding.
         """
         if self._write_lock is None:
             return True
@@ -471,20 +464,60 @@ class ArtifactStore:
         except (OSError, ValueError, KeyError, TypeError):
             self._disk_stale = True
             return
-        if version != FORMAT_VERSION:
-            self._disk_stale = True
+        if version == FORMAT_VERSION:
+            return
+        if version == FLAT_FORMAT_VERSION:
+            self._migrate_flat()
+            return
+        self._disk_stale = True
+
+    def _migrate_flat(self) -> None:
+        """Fold a flat version-1 directory into the sharded layout, in place.
+
+        Serialized on the global store lock; the version is re-checked under
+        the lock so only the race winner migrates. Contention degrades to
+        memory-only (``disk_error``) — :meth:`gc` re-probes once the other
+        process's migration has finished — and is never destructive.
+        """
+        if not self._acquire_write_lock():
+            self._disk_error = (
+                "flat-layout migration deferred: another process holds the "
+                "store lock"
+            )
+            return
+        try:
+            try:
+                manifest = json.loads(
+                    (self._directory / _MANIFEST_NAME).read_text(encoding="utf-8")
+                )
+                version = manifest["format_version"]
+            except (OSError, ValueError, KeyError, TypeError):
+                self._disk_stale = True
+                return
+            if version == FORMAT_VERSION:
+                return
+            if version != FLAT_FORMAT_VERSION:
+                self._disk_stale = True
+                return
+            self._tier.migrate_flat()
+            self._write_manifest()
+        except OSError as error:
+            self._disk_error = str(error)
+        finally:
+            self._release_write_lock()
 
     def _write_manifest(self) -> None:
         payload = json.dumps(
             {
                 "format_version": FORMAT_VERSION,
                 "store": "repro.store",
+                "layout": "lsm",
                 "created": time.time(),
             },
             indent=2,
         )
         if not self._acquire_write_lock():
-            # The lock holder is writing the manifest or compacting; this
+            # The lock holder is writing the manifest or migrating; this
             # rewrite is redundant — degrade by skipping it.
             return
         try:
@@ -494,169 +527,9 @@ class ArtifactStore:
         finally:
             self._release_write_lock()
 
-    def _entry_paths(
-        self, kind: str, fingerprint: str, digest: str
-    ) -> Tuple[Path, Path]:
-        bucket = self._directory / _DATA_DIR / fingerprint
-        stem = f"{kind}-{digest}"
-        return bucket / f"{stem}.npz", bucket / f"{stem}.json"
-
-    def _disk_get(
-        self,
-        kind: str,
-        fingerprint: str,
-        params: Mapping[str, Any],
-        digest: str,
-    ) -> Optional[Tuple[Dict[str, np.ndarray], Dict[str, Any]]]:
-        if not self.persistent:
-            return None
-        payload_path, sidecar_path = self._entry_paths(kind, fingerprint, digest)
-        record = self._read_sidecar(sidecar_path)
-        if record is None:
-            return None
-        # Guard against digest collisions and half-written sidecars: the
-        # stored identity must match the requested one exactly.
-        if (
-            record.get("kind") != kind
-            or record.get("fingerprint") != fingerprint
-            or record.get("params") != _jsonify_params(params)
-        ):
-            self._mark_corrupt()
-            return None
-        try:
-            data = payload_path.read_bytes()
-        except OSError:
-            return None
-        if hashlib.sha256(data).hexdigest() != record.get("checksum"):
-            self._mark_corrupt()
-            return None
-        try:
-            with np.load(io.BytesIO(data), allow_pickle=False) as bundle:
-                arrays = {name: bundle[name] for name in bundle.files}
-        except (OSError, ValueError):
-            self._mark_corrupt()
-            return None
-        for array in arrays.values():
-            array.setflags(write=False)
-        return arrays, dict(record.get("meta", {}))
-
-    def _disk_put(
-        self,
-        kind: str,
-        fingerprint: str,
-        params: Mapping[str, Any],
-        digest: str,
-        arrays: Mapping[str, np.ndarray],
-        meta: Mapping[str, Any],
-        dataset: Optional[str],
-    ) -> None:
-        # Chaos hook: an injected disk failure is an OSError, absorbed by
-        # put() into stats.write_errors exactly like a full disk would be.
-        faults.fire("store.disk_write", key=f"{kind}:{fingerprint}")
-        payload_path, sidecar_path = self._entry_paths(kind, fingerprint, digest)
-        payload_path.parent.mkdir(parents=True, exist_ok=True)
-        buffer = io.BytesIO()
-        np.savez_compressed(buffer, **dict(arrays))
-        data = buffer.getvalue()
-        record = {
-            "format_version": FORMAT_VERSION,
-            "kind": kind,
-            "fingerprint": fingerprint,
-            "params": _jsonify_params(params),
-            "meta": dict(meta),
-            "dataset": dataset,
-            "checksum": hashlib.sha256(data).hexdigest(),
-            "payload": payload_path.name,
-            "created": time.time(),
-        }
-        # The payload/sidecar pair is one critical section: racing writers of
-        # the same entry serialize here, so the published pair always comes
-        # from a single writer (last writer wins). On contention the write
-        # degrades to the memory tier — already populated by the caller.
-        if not self._acquire_write_lock():
-            return
-        try:
-            # Payload first, sidecar second: a sidecar on disk always points
-            # at a complete payload; the reverse order could publish a
-            # dangling entry.
-            _atomic_write_bytes(payload_path, data)
-            _atomic_write_bytes(
-                sidecar_path, (json.dumps(record, indent=2) + "\n").encode("utf-8")
-            )
-        finally:
-            self._release_write_lock()
-
-    def _read_sidecar(
-        self, path: Path, verify_checksum: bool = False
-    ) -> Optional[Dict[str, Any]]:
-        try:
-            record = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            return None
-        if not isinstance(record, dict):
-            return None
-        if record.get("format_version") != FORMAT_VERSION:
-            return None
-        if not all(key in record for key in ("kind", "fingerprint", "checksum")):
-            return None
-        payload = path.with_suffix(".npz")
-        if not payload.is_file():
-            return None
-        if verify_checksum:
-            try:
-                data = payload.read_bytes()
-            except OSError:
-                return None
-            if hashlib.sha256(data).hexdigest() != record["checksum"]:
-                return None
-        return record
-
     def _mark_corrupt(self) -> None:
         with self._lock:
             self.stats.corrupt_entries += 1
-
-    def _wipe_data(self, stats: GCStats) -> None:
-        data_root = self._directory / _DATA_DIR
-        if not data_root.is_dir():
-            return
-        for path in sorted(data_root.glob("*/*")):
-            if path.suffix == ".json":
-                stats.removed_entries += 1
-            self._remove(path, stats, "stale-format store entry")
-        for bucket in sorted(data_root.iterdir()):
-            if bucket.is_dir() and not any(bucket.iterdir()):
-                bucket.rmdir()
-
-    @staticmethod
-    def _remove(path: Path, stats: GCStats, reason: str) -> None:
-        try:
-            size = path.stat().st_size
-            path.unlink()
-        except OSError:
-            return
-        stats.removed_files += 1
-        stats.reclaimed_bytes += size
-        stats.details.append(f"{reason}: {path.name}")
-
-
-def _jsonify_params(params: Mapping[str, Any]) -> Dict[str, Any]:
-    """Round-trip params through JSON so stored and requested forms compare equal."""
-    return json.loads(json.dumps(dict(params), sort_keys=True))
-
-
-def _atomic_write_bytes(path: Path, data: bytes) -> None:
-    """Write *data* to *path* atomically via a unique temp file + rename."""
-    tmp = path.with_name(f"{path.name}{_TMP_MARKER}{os.getpid()}-{uuid.uuid4().hex}")
-    try:
-        with open(tmp, "wb") as handle:
-            handle.write(data)
-        os.replace(tmp, path)
-    except OSError:
-        try:
-            tmp.unlink()
-        except OSError:
-            pass
-        raise
 
 
 # ------------------------------------------------------------- default store

@@ -29,6 +29,8 @@ KIND_PROJECTION = "projection"
 KIND_COUNT = "count"
 KIND_NULL = "null-counts"
 KIND_PROFILE = "profile"
+KIND_HYPERWEDGES = "hyperwedges"
+KIND_PREDICT = "predict"
 
 
 def _canonical_seed(seed: Any) -> Optional[int]:
@@ -40,6 +42,33 @@ def _canonical_seed(seed: Any) -> Optional[int]:
 def projection_params() -> Dict[str, Any]:
     """The full projection is parameter-free: one artifact per fingerprint."""
     return {"kind": KIND_PROJECTION}
+
+
+def hyperwedge_params() -> Dict[str, Any]:
+    """The hyperwedge list is parameter-free: one artifact per fingerprint.
+
+    The list is a pure function of the projection (every adjacent hyperedge
+    pair, lexicographic), so like the projection it needs no spec in its key.
+    """
+    return {"kind": KIND_HYPERWEDGES}
+
+
+def predict_params(spec, context_window, test_window) -> Dict[str, Any]:
+    """Canonical parameter mapping of a :class:`~repro.api.PredictSpec` run.
+
+    The *resolved* windows are part of the key (not the spec's possibly-None
+    defaults), so a default-split run and an explicit run over the same
+    windows share one artifact. Only runs with the default classifier bank
+    are persisted; the marker keeps a future custom-classifier key disjoint.
+    """
+    return {
+        "context": [int(context_window[0]), int(context_window[1])],
+        "test": [int(test_window[0]), int(test_window[1])],
+        "replace_fraction": float(spec.replace_fraction),
+        "max_positives": spec.max_positives,
+        "seed": _canonical_seed(spec.seed),
+        "classifiers": "default",
+    }
 
 
 def count_params(spec) -> Dict[str, Any]:
@@ -104,6 +133,85 @@ def decode_projection(
     if len(ptr) and int(ptr[-1]) != len(idx):
         return None
     return ProjectedGraph.from_csr(num_vertices, ptr, idx, weight)
+
+
+# -------------------------------------------------------------- hyperwedges
+def encode_hyperwedges(
+    wedges,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Render the hyperwedge list ``∧`` as an ``(n, 2)`` int64 pair array."""
+    pairs = np.asarray(list(wedges), dtype=np.int64).reshape(-1, 2)
+    return {"pairs": pairs}, {"num_hyperwedges": int(pairs.shape[0])}
+
+
+def decode_hyperwedges(
+    arrays: Mapping[str, np.ndarray], num_hyperedges: int
+) -> Optional[list]:
+    """Rebuild the hyperwedge list; ``None`` on a shape or range mismatch.
+
+    The pairs index hyperedges of the fingerprinted hypergraph, so anything
+    out of ``[0, num_hyperedges)`` marks the artifact inconsistent.
+    """
+    pairs = arrays.get("pairs")
+    if pairs is None or pairs.ndim != 2 or pairs.shape[1] != 2:
+        return None
+    if pairs.size and (pairs.min() < 0 or pairs.max() >= num_hyperedges):
+        return None
+    return [(int(a), int(b)) for a, b in pairs]
+
+
+# ----------------------------------------------------------------- predict
+def encode_predict(
+    result,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Render a :class:`PredictionExperimentResult` as parallel score arrays."""
+    scores = list(result.scores)
+    return (
+        {
+            "accuracy": np.asarray([s.accuracy for s in scores], dtype=float),
+            "auc": np.asarray([s.auc for s in scores], dtype=float),
+        },
+        {
+            "classifiers": [s.classifier for s in scores],
+            "feature_sets": [s.feature_set for s in scores],
+        },
+    )
+
+
+def decode_predict(
+    arrays: Mapping[str, np.ndarray], meta: Mapping[str, Any]
+) -> Optional["PredictionExperimentResult"]:
+    """Rebuild a :class:`PredictionExperimentResult`; ``None`` on a mismatch."""
+    from repro.prediction.task import PredictionExperimentResult, PredictionScore
+
+    accuracy = arrays.get("accuracy")
+    auc = arrays.get("auc")
+    classifiers = meta.get("classifiers")
+    feature_sets = meta.get("feature_sets")
+    if (
+        accuracy is None
+        or auc is None
+        or not isinstance(classifiers, list)
+        or not isinstance(feature_sets, list)
+        or accuracy.ndim != 1
+        or accuracy.shape != auc.shape
+        or len(classifiers) != accuracy.shape[0]
+        or len(feature_sets) != accuracy.shape[0]
+    ):
+        return None
+    result = PredictionExperimentResult()
+    for name, feature_set, acc, area in zip(
+        classifiers, feature_sets, accuracy, auc
+    ):
+        result.scores.append(
+            PredictionScore(
+                classifier=str(name),
+                feature_set=str(feature_set),
+                accuracy=float(acc),
+                auc=float(area),
+            )
+        )
+    return result
 
 
 # ------------------------------------------------------------------- counts

@@ -14,12 +14,22 @@ dict lookup plus one environment probe and nothing else.
 Injection points currently wired (each named ``layer.event``):
 
 ===========================  =====================================================
-``store.disk_write``         :meth:`ArtifactStore._disk_put` raises
+``store.disk_write``         :meth:`LSMDiskTier.put` raises
                              :class:`InjectedFault` (an ``OSError``), exercising
                              the degrade-to-memory write path.
 ``store.lock_acquire``       :meth:`FileLock.acquire` reports timeout-style
                              contention (returns ``False``), exercising
                              ``stats.lock_contention`` degradation.
+``store.manifest_append``    The LSM tier's manifest mutation points. Fires
+                             with key ``"<kind>:<fingerprint>"`` just before a
+                             put's log record is appended (payload already on
+                             disk — an orphan for gc), and during compaction
+                             with keys ``"compact:<shard>:base"`` (before the
+                             new base is published) and
+                             ``"compact:<shard>:log"`` (base published, log
+                             not yet truncated). ``crash`` mode at any of the
+                             three is what the replay-on-open chaos tests use
+                             to prove no committed artifact is lost.
 ``serve.unit``               :func:`dispatch_spec` — every execution backend —
                              can sleep (slow unit) or raise (failing unit). The
                              key is ``"<dataset>:<SpecType>"``.

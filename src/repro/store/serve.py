@@ -598,6 +598,10 @@ class EngineServer:
                     str(self._store.directory) if self._store.persistent else None
                 ),
                 "stats": self._store.stats.as_dict(),
+                # Shard/level occupancy of the LSM disk tier (None for
+                # memory-only stores): per-shard entry and byte counts,
+                # L0-vs-L1 record totals, per-kind footprints, policy.
+                "occupancy": self._store.occupancy(),
             }
         pool = None if self._worker_pool is None else self._worker_pool.as_dict()
         return {"engines": engines, "serve": serve, "store": store, "pool": pool}

@@ -151,7 +151,7 @@ class TestStoreDegradation:
         directory = tmp_path / "store"
         writer = ArtifactStore(directory)
         writer.put("count", "f" * 64, {"p": 1}, {"values": np.ones(4)})
-        payload = next(directory.glob("data/*/*.npz"))
+        payload = next(directory.glob("shards/*/*/*.npz"))
         payload.write_bytes(b"garbage, checksum cannot match")
         # A concurrent reader sees the corruption as a clean miss...
         reader = ArtifactStore(directory)
@@ -175,7 +175,9 @@ class TestStoreDegradation:
     def test_real_lock_contention_counts_identically(self, tmp_path):
         directory = tmp_path / "store"
         store = ArtifactStore(directory, lock_timeout=0.05)
-        blocker = FileLock(directory / ".store.lock")
+        lock_path = store.shard_lock_path("f" * 64)
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        blocker = FileLock(lock_path)
         assert blocker.acquire(timeout=1.0)
         try:
             store.put("count", "f" * 64, {"p": 1}, {"values": np.ones(4)})

@@ -181,7 +181,7 @@ class TestStoreCommands:
         # The opted-out run must neither read nor write artifacts.
         assert main(["count", str(hypergraph_file), "--no-store", "--json"]) == 0
         assert not json.loads(capsys.readouterr().out)["from_cache"]
-        assert not list(store_dir.glob("data/*/*"))
+        assert not list(store_dir.glob("shards/*/*/*.npz"))
         # A warmed store is then ignored by a --no-store run.
         assert main(["count", str(hypergraph_file), "--json"]) == 0
         capsys.readouterr()
@@ -247,6 +247,22 @@ class TestStoreCommands:
         assert main(["cache", "--store", store, "warm", "no-such-dataset"]) == 1
         assert "no-such-dataset" in capsys.readouterr().err
 
+    def test_cache_ls_json(self, hypergraph_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["count", str(hypergraph_file), "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--store", store, "ls", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_entries"] >= 1
+        assert payload["occupancy"]["layout"] == "lsm"
+        for entry in payload["entries"]:
+            assert set(entry) >= {
+                "kind", "fingerprint", "shard", "level", "size_bytes",
+                "age_seconds", "created", "params",
+            }
+            assert entry["shard"] == entry["fingerprint"][:2]
+            assert entry["age_seconds"] >= 0
+
     def test_cache_ls_empty_store(self, tmp_path, capsys):
         assert main(["cache", "--store", str(tmp_path / "store"), "ls"]) == 0
         assert "(no artifacts)" in capsys.readouterr().out
@@ -254,8 +270,9 @@ class TestStoreCommands:
     def test_cache_gc(self, hypergraph_file, tmp_path, capsys):
         store = str(tmp_path / "store")
         assert main(["count", str(hypergraph_file), "--store", store]) == 0
-        orphan = next((tmp_path / "store" / "data").glob("*/*.json"))
-        orphan.unlink()
+        # Drop the shard's manifest log: its payloads become orphans.
+        log = next((tmp_path / "store" / "shards").glob("*/manifest.log"))
+        log.unlink()
         capsys.readouterr()
         assert main(["cache", "--store", store, "gc"]) == 0
         output = capsys.readouterr().out

@@ -139,6 +139,9 @@ class TestEndpoints:
             assert payload["engines"]["max"] == 8
             assert payload["serve"]["batches"] == 0
             assert payload["store"]["persistent"] is True
+            occupancy = payload["store"]["occupancy"]
+            assert occupancy["layout"] == "lsm"
+            assert occupancy["num_shards"] == 256
             assert payload["pool"] == {
                 "backend": "thread",
                 "workers": 2,

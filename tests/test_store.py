@@ -123,10 +123,10 @@ class TestArtifactStoreTiers:
 
 class TestFailurePaths:
     def _entry_files(self, store):
-        sidecars = list(store.directory.glob("data/*/*.json"))
-        payloads = list(store.directory.glob("data/*/*.npz"))
-        assert sidecars and payloads
-        return sidecars[0], payloads[0]
+        logs = list(store.directory.glob("shards/*/manifest.log"))
+        payloads = list(store.directory.glob("shards/*/*/*.npz"))
+        assert logs and payloads
+        return logs[0], payloads[0]
 
     def test_truncated_payload_is_a_miss(self, store):
         _put_dummy(store)
@@ -136,19 +136,29 @@ class TestFailurePaths:
         assert reopened.get("count", "f" * 64, {"algorithm": "exact"}) is None
         assert reopened.stats.corrupt_entries == 1
 
-    def test_garbage_sidecar_is_a_miss(self, store):
+    def test_garbage_log_is_a_miss(self, store):
         _put_dummy(store)
-        sidecar, _ = self._entry_files(store)
-        sidecar.write_text("{not json", encoding="utf-8")
+        log, _ = self._entry_files(store)
+        log.write_text("{not json", encoding="utf-8")
         reopened = ArtifactStore(store.directory)
         assert reopened.get("count", "f" * 64, {"algorithm": "exact"}) is None
 
+    def test_trailing_partial_log_record_is_skipped(self, store):
+        # A writer crashed mid-append: the log's last line is half a record.
+        # Replay-on-open must keep every complete record and skip the tail.
+        _put_dummy(store)
+        log, _ = self._entry_files(store)
+        with open(log, "ab") as handle:
+            handle.write(b'{"format_version": 2, "op": "put", "kind": "tru')
+        reopened = ArtifactStore(store.directory)
+        assert reopened.get("count", "f" * 64, {"algorithm": "exact"}) is not None
+
     def test_version_mismatched_entry_is_a_miss(self, store):
         _put_dummy(store)
-        sidecar, _ = self._entry_files(store)
-        record = json.loads(sidecar.read_text(encoding="utf-8"))
+        log, _ = self._entry_files(store)
+        record = json.loads(log.read_text(encoding="utf-8").splitlines()[0])
         record["format_version"] = FORMAT_VERSION + 1
-        sidecar.write_text(json.dumps(record), encoding="utf-8")
+        log.write_text(json.dumps(record) + "\n", encoding="utf-8")
         reopened = ArtifactStore(store.directory)
         assert reopened.get("count", "f" * 64, {"algorithm": "exact"}) is None
 
@@ -182,8 +192,8 @@ class TestFailurePaths:
 
     def test_leftover_temp_files_are_ignored_and_collected(self, store):
         _put_dummy(store)
-        sidecar, _ = self._entry_files(store)
-        junk = sidecar.with_name(f"{sidecar.name}.tmp-999-dead")
+        log, _ = self._entry_files(store)
+        junk = log.with_name("manifest.base.json.tmp-999-dead")
         junk.write_bytes(b"partial write")
         reopened = ArtifactStore(store.directory)
         assert reopened.get("count", "f" * 64, {"algorithm": "exact"}) is not None
@@ -193,9 +203,9 @@ class TestFailurePaths:
 
     def test_write_errors_degrade_gracefully(self, tmp_path):
         store = ArtifactStore(tmp_path / "s")
-        # Block the disk tier by occupying the data root with a plain file;
+        # Block the disk tier by occupying the shard root with a plain file;
         # the put must absorb the OSError and still serve the memory tier.
-        (store.directory / "data").write_text("in the way", encoding="utf-8")
+        (store.directory / "shards").write_text("in the way", encoding="utf-8")
         _put_dummy(store)
         assert store.stats.write_errors == 1
         assert store.get("count", "f" * 64, {"algorithm": "exact"})[2] == "memory"
@@ -221,17 +231,18 @@ class TestGC:
     def test_gc_removes_orphans_and_invalid_entries(self, store):
         _put_dummy(store, fingerprint="a" * 64)
         _put_dummy(store, fingerprint="b" * 64)
-        sidecars = sorted(store.directory.glob("data/*/*.json"))
-        payloads = sorted(store.directory.glob("data/*/*.npz"))
-        sidecars[0].unlink()  # orphan payload
-        payloads[1].write_bytes(b"corrupted")  # checksum failure
-        extra = store.directory / "data" / ("c" * 64) / "count-deadbeef.npz"
+        logs = sorted(store.directory.glob("shards/*/manifest.log"))
+        payloads = sorted(store.directory.glob("shards/*/*/*.npz"))
+        logs[0].unlink()  # shard aa loses its records -> payload orphaned
+        payloads[1].write_bytes(b"corrupted")  # shard bb: checksum failure
+        extra = store.directory / "shards" / "cc" / ("c" * 64) / "count-dead.npz"
         extra.parent.mkdir(parents=True)
-        extra.write_bytes(b"no sidecar")
+        extra.write_bytes(b"no record")
         stats = store.gc()
         assert stats.kept_entries == 0
-        assert stats.removed_entries >= 3
-        assert list(store.directory.glob("data/*/*")) == []
+        assert stats.removed_entries >= 1  # the corrupt recorded entry
+        assert stats.removed_files >= 3
+        assert list(store.directory.glob("shards/*/*/*.npz")) == []
 
     def test_gc_keeps_valid_entries(self, store):
         _put_dummy(store)
@@ -365,7 +376,7 @@ class TestEngineIntegration:
 
     def test_corrupted_count_artifact_falls_back_to_recompute(self, store):
         cold = MotifEngine(_make_hypergraph(), store=store).count()
-        for payload in store.directory.glob("data/*/count-*.npz"):
+        for payload in store.directory.glob("shards/*/*/count-*.npz"):
             payload.write_bytes(b"garbage")
         warm_engine = MotifEngine(
             _make_hypergraph(), store=ArtifactStore(store.directory)

@@ -204,11 +204,20 @@ class TestProcessStress:
 
 
 class TestLockContention:
+    def _block_shard(self, store, fingerprint):
+        # Writers serialize on their fingerprint's *shard* lock, not a
+        # store-global one; holding it from a second FileLock instance
+        # simulates another process mid-write in the same shard.
+        lock_path = store.shard_lock_path(fingerprint)
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        blocker = FileLock(lock_path)
+        assert blocker.acquire(timeout=1.0)
+        return blocker
+
     def test_put_degrades_to_memory_under_contention(self, tmp_path):
         directory = tmp_path / "store"
         store = ArtifactStore(directory, lock_timeout=0.05)
-        blocker = FileLock(directory / ".store.lock")
-        assert blocker.acquire(timeout=1.0)
+        blocker = self._block_shard(store, "fp")
         try:
             store.put("count", "fp", {"p": 1}, {"values": np.ones(4)})
             # Never raised; the artifact lives in the memory tier only.
@@ -220,12 +229,25 @@ class TestLockContention:
         finally:
             blocker.release()
 
+    def test_put_on_other_shards_is_unaffected(self, tmp_path):
+        # The point of per-shard locking: contention on one shard never
+        # blocks writers whose fingerprints hash elsewhere.
+        directory = tmp_path / "store"
+        store = ArtifactStore(directory, lock_timeout=0.05)
+        blocker = self._block_shard(store, "aa" * 32)
+        try:
+            store.put("count", "bb" * 32, {"p": 1}, {"values": np.ones(4)})
+            assert store.stats.lock_contention == 0
+            cold = ArtifactStore(directory)
+            assert cold.get("count", "bb" * 32, {"p": 1}) is not None
+        finally:
+            blocker.release()
+
     def test_gc_skipped_under_contention(self, tmp_path):
         directory = tmp_path / "store"
         store = ArtifactStore(directory, lock_timeout=0.05)
         store.put("count", "fp", {"p": 1}, {"values": np.ones(4)})
-        blocker = FileLock(directory / ".store.lock")
-        assert blocker.acquire(timeout=1.0)
+        blocker = self._block_shard(store, "fp")
         try:
             stats = store.gc()
             assert stats.kept_entries == 0 and stats.removed_files == 0
@@ -239,8 +261,7 @@ class TestLockContention:
     def test_writes_resume_after_contention_clears(self, tmp_path):
         directory = tmp_path / "store"
         store = ArtifactStore(directory, lock_timeout=0.05)
-        blocker = FileLock(directory / ".store.lock")
-        assert blocker.acquire(timeout=1.0)
+        blocker = self._block_shard(store, "fp")
         store.put("count", "fp", {"p": 1}, {"values": np.ones(4)})
         blocker.release()
         store.put("count", "fp", {"p": 2}, {"values": np.ones(4)})
