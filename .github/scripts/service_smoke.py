@@ -17,16 +17,26 @@ Run against an already-started ``repro-mochy serve`` instance:
 ``--phase warm`` (second server instance over the same store directory)
 additionally asserts every result reports ``from_cache`` with
 ``cache_tier == "disk"`` — the persistent tier survived the restart.
+
+Both phases scrape ``GET /v1/metrics`` after the batch and assert the
+served counters (``repro_serve_requests_total``, the per-tier
+``repro_serve_cache_tier_total`` samples and the ``/v1/batch`` HTTP
+counter) agree exactly with the NDJSON records the client just consumed.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
+from collections import Counter
 from pathlib import Path
 
 from repro.store.client import ServiceClient
+
+SAMPLE_LINE = re.compile(r"^([A-Za-z_:][A-Za-z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$")
+LABEL_PAIR = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 VOLATILE_KEYS = frozenset(
     {
@@ -42,6 +52,25 @@ VOLATILE_KEYS = frozenset(
 
 def stable(result: dict) -> dict:
     return {key: value for key, value in result.items() if key not in VOLATILE_KEYS}
+
+
+def scrape_samples(client: ServiceClient) -> dict:
+    """Parse ``GET /v1/metrics`` into ``(name, sorted label items) -> value``."""
+    samples = {}
+    for line in client.metrics().splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = SAMPLE_LINE.match(line)
+        assert match, f"unparseable exposition line: {line!r}"
+        name, raw_labels, value = match.groups()
+        labels = dict(LABEL_PAIR.findall(raw_labels)) if raw_labels else {}
+        samples[(name, tuple(sorted(labels.items())))] = float(value)
+    return samples
+
+
+def sample_value(samples: dict, name: str, **labels) -> float:
+    key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+    return samples.get(key, 0.0)
 
 
 def read_jsonl(path: Path) -> list:
@@ -108,6 +137,38 @@ def main() -> int:
                 f"expected the disk tier"
             )
         print(f"[warm] all {len(by_index)} results served from the disk tier")
+
+    # /v1/metrics must agree exactly with the NDJSON stream the client just
+    # consumed: one served request per ok record, one /v1/batch HTTP hit,
+    # and per-tier counters matching the results' cache_tier fields (a
+    # freshly computed unit counts under the "computed" tier).
+    samples = scrape_samples(client)
+    served = sample_value(samples, "repro_serve_requests_total")
+    assert served == len(okay), (
+        f"repro_serve_requests_total is {served}, expected {len(okay)}"
+    )
+    batches = sample_value(
+        samples, "repro_http_requests_total", route="/v1/batch", status=200
+    )
+    assert batches == 1, f"expected one 200 /v1/batch hit, metrics report {batches}"
+    expected_tiers = Counter(
+        record["result"]["cache_tier"]
+        if record["result"].get("from_cache")
+        else "computed"
+        for record in okay
+    )
+    for tier, expected in sorted(expected_tiers.items()):
+        observed = sample_value(samples, "repro_serve_cache_tier_total", tier=tier)
+        assert observed == expected, (
+            f"cache tier {tier!r}: metrics report {observed}, "
+            f"NDJSON results show {expected}"
+        )
+    if arguments.phase == "warm":
+        assert expected_tiers == {"disk": len(okay)}, expected_tiers
+    print(
+        f"[{arguments.phase}] /v1/metrics agrees with the stream: "
+        f"{int(served)} served, tiers {dict(expected_tiers)}"
+    )
 
     stats = client.stats()
     assert stats["serve"]["in_flight"] == 0, "batches left in flight"

@@ -68,8 +68,8 @@ from repro.generators.corpus import dataset_names, generate_dataset
 from repro.generators.temporal import generate_temporal_coauthorship
 from repro.hypergraph import io as hio
 from repro.motifs.patterns import NUM_MOTIFS, motif_is_open
-from repro.store import ENV_STORE_DIR, ArtifactStore
-from repro.utils.logging import enable_console_logging
+from repro.store import ENV_STORE_DIR, ArtifactStore, EvictionPolicy
+from repro.utils.logging import LOG_LEVEL_NAMES, enable_console_logging
 
 
 def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
@@ -106,6 +106,53 @@ def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable artifact-store consultation for this run",
     )
+
+
+def _add_policy_arguments(parser: argparse.ArgumentParser, prefix: str) -> None:
+    """Attach the eviction-policy knobs (``--[cache-]max-bytes/--[cache-]ttl``).
+
+    *prefix* distinguishes ``cache gc --max-bytes`` (the store is the
+    subject) from ``serve --cache-max-bytes`` (the store is one component).
+    """
+    parser.add_argument(
+        f"--{prefix}max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="byte budget for persisted payloads; gc evicts oldest/lowest-"
+        "priority artifacts beyond it (default: unbounded)",
+    )
+    parser.add_argument(
+        f"--{prefix}ttl",
+        action="append",
+        default=None,
+        metavar="KIND=SECONDS",
+        help="maximum age for one artifact kind, e.g. --"
+        f"{prefix}ttl count=3600 (repeatable; default: never expires)",
+    )
+
+
+def _eviction_policy(
+    max_bytes: Optional[int], ttl_items: Optional[Sequence[str]]
+) -> Optional[EvictionPolicy]:
+    """Fold the policy flags into an :class:`EvictionPolicy`, or ``None``."""
+    if max_bytes is None and not ttl_items:
+        return None
+    ttls = {}
+    for item in ttl_items or []:
+        kind, sep, seconds = item.partition("=")
+        if not sep or not kind:
+            raise CLIError(f"--ttl expects KIND=SECONDS, got {item!r}")
+        try:
+            ttls[kind] = float(seconds)
+        except ValueError as error:
+            raise CLIError(
+                f"--ttl {item!r}: seconds must be a number"
+            ) from error
+    try:
+        return EvictionPolicy(max_bytes=max_bytes, ttl_seconds=ttls)
+    except ValueError as error:
+        raise CLIError(str(error)) from error
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -210,10 +257,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit a machine-readable listing (shard, level, size, age, params)",
     )
-    cache_sub.add_parser(
+    cache_gc = cache_sub.add_parser(
         "gc",
         help="compact the store: fold shard logs, drop stale/corrupt/evicted entries",
     )
+    _add_policy_arguments(cache_gc, prefix="")
     warm = cache_sub.add_parser(
         "warm", help="pre-populate the store (projection + exact counts)"
     )
@@ -285,8 +333,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="how long a SIGTERM waits for in-flight batches (default: 30)",
     )
+    serve.add_argument(
+        "--log-level",
+        choices=LOG_LEVEL_NAMES,
+        default=None,
+        help="console log level for the service (structured JSON events on "
+        "the 'repro' logger; 'debug' includes per-unit and HTTP access logs)",
+    )
     _add_executor_arguments(serve)
     _add_store_arguments(serve)
+    _add_policy_arguments(serve, prefix="cache-")
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="query a running motif service's counters and latency summaries",
+    )
+    stats.add_argument(
+        "--host", default="127.0.0.1", help="service address (default: 127.0.0.1)"
+    )
+    stats.add_argument(
+        "--port", type=int, default=None, help="service port (default: 8723)"
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw /v1/stats JSON document",
+    )
+    stats.add_argument(
+        "--metrics",
+        action="store_true",
+        help="emit the raw Prometheus text from GET /v1/metrics instead",
+    )
 
     serve_batch = subparsers.add_parser(
         "serve-batch",
@@ -329,6 +406,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _run_cache(arguments)
         elif arguments.command == "serve":
             _run_serve(arguments)
+        elif arguments.command == "stats":
+            _run_stats(arguments)
         elif arguments.command == "serve-batch":
             _run_serve_batch(arguments)
         else:  # pragma: no cover - argparse enforces the choices
@@ -339,13 +418,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
-def _open_store(directory: str) -> ArtifactStore:
+def _open_store(
+    directory: str, policy: Optional[EvictionPolicy] = None
+) -> ArtifactStore:
     """Open an explicitly-requested store, failing loudly if it is unusable.
 
     (The ambient ``$REPRO_STORE_DIR`` default instead degrades to
     memory-only, so a broken environment never blocks a computation.)
     """
-    store = ArtifactStore(directory)
+    store = ArtifactStore(directory, policy=policy)
     if store.disk_error is not None:
         raise CLIError(f"store directory {directory!r} is unusable: {store.disk_error}")
     return store
@@ -474,7 +555,10 @@ def _cache_store(arguments) -> ArtifactStore:
         raise CLIError(
             f"no store directory configured: pass --store DIR or set ${ENV_STORE_DIR}"
         )
-    return _open_store(directory)
+    policy = _eviction_policy(
+        getattr(arguments, "max_bytes", None), getattr(arguments, "ttl", None)
+    )
+    return _open_store(directory, policy=policy)
 
 
 def _format_bytes(size: int) -> str:
@@ -613,15 +697,33 @@ def _run_cache_warm(store: ArtifactStore, arguments) -> None:
     print(f"store: {len(store.entries())} artifacts in {store.directory}")
 
 
+def _serve_store_argument(arguments) -> Union[ArtifactStore, bool]:
+    """Resolve the serve command's store, honoring --cache-max-bytes/--cache-ttl."""
+    policy = _eviction_policy(arguments.cache_max_bytes, arguments.cache_ttl)
+    if policy is None:
+        return _store_argument(arguments)
+    if arguments.no_store:
+        raise CLIError("eviction-policy flags are meaningless with --no-store")
+    directory = arguments.store or os.environ.get(ENV_STORE_DIR)
+    if not directory:
+        raise CLIError(
+            "eviction-policy flags need a store: pass --store DIR or set "
+            f"${ENV_STORE_DIR}"
+        )
+    return _open_store(directory, policy=policy)
+
+
 def _run_serve(arguments) -> None:
     from repro.store import server as http_server
 
+    if arguments.log_level:
+        enable_console_logging(arguments.log_level)
     port = http_server.DEFAULT_PORT if arguments.port is None else arguments.port
     try:
         server = http_server.build_server(
             host=arguments.host,
             port=port,
-            store=_store_argument(arguments),
+            store=_serve_store_argument(arguments),
             workers=arguments.workers,
             backend=arguments.backend,
             max_engines=arguments.max_engines,
@@ -645,6 +747,50 @@ def _run_serve(arguments) -> None:
         else arguments.drain_seconds
     )
     http_server.run(server, drain_seconds=drain)
+
+
+def _run_stats(arguments) -> None:
+    from repro.store.client import ServiceClient, ServiceError
+    from repro.store.server import DEFAULT_PORT
+
+    port = DEFAULT_PORT if arguments.port is None else arguments.port
+    client = ServiceClient(host=arguments.host, port=port, retries=0)
+    try:
+        if arguments.metrics:
+            sys.stdout.write(client.metrics())
+            return
+        payload = client.stats()
+    except (ServiceError, OSError) as error:
+        raise CLIError(
+            f"cannot reach the service at {arguments.host}:{port}: {error}"
+        ) from error
+    finally:
+        client.close()
+    if arguments.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    print(f"# service: http://{arguments.host}:{port}")
+    for section in ("serve", "engines", "pool", "service"):
+        block = payload.get(section)
+        if isinstance(block, dict):
+            flat = ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(block.items())
+                if not isinstance(value, (dict, list))
+            )
+            print(f"{section}: {flat}")
+    summaries = payload.get("metrics")
+    if isinstance(summaries, dict) and summaries:
+        print(f"{'histogram':<40} {'count':>8} {'p50':>10} {'p95':>10} {'p99':>10}")
+        for name in sorted(summaries):
+            summary = summaries[name]
+            if not isinstance(summary, dict) or not summary.get("count"):
+                continue
+            print(
+                f"{name:<40.40} {summary['count']:>8} "
+                f"{summary['p50']:>10.6f} {summary['p95']:>10.6f} "
+                f"{summary['p99']:>10.6f}"
+            )
 
 
 def _read_serve_requests(source: str):

@@ -1,0 +1,529 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+Stdlib-only, thread-safe, deterministic. Metric families are registered once
+(by name) and live for the life of the process; per-label-set children are
+created on first touch. Histograms use *fixed* bucket boundaries so two runs
+over the same workload render byte-identical exposition (no adaptive
+bucketing, no timestamps).
+
+Hot-path cost: every mutating call checks ``registry.enabled`` first and
+returns immediately when instrumentation is off, so the disabled overhead is
+one attribute load + branch per call site (gated by
+``benchmarks/bench_obs.py``).
+
+Rendering follows the Prometheus text exposition format 0.0.4:
+``# HELP``/``# TYPE`` headers, ``_total`` counter samples,
+``_bucket{le=...}``/``_sum``/``_count`` histogram samples, escaped label
+values, samples sorted for determinism.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import re
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "get_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "render",
+    "summaries",
+    "reset_metrics",
+    "set_enabled",
+    "metrics_enabled",
+]
+
+ENV_METRICS = "REPRO_METRICS"
+
+# Spans micro-second cache hits up to minute-long cold builds. Fixed so that
+# exposition output is structurally identical across runs.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus clients do."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _label_suffix(labelnames: Sequence[str], labelvalues: Sequence[str]) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        '%s="%s"' % (name, _escape_label_value(value))
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{%s}" % pairs
+
+
+class _Family:
+    """Base class for one named metric family with zero or more label dims."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help_text: str,
+        labelnames: Tuple[str, ...],
+    ) -> None:
+        self._registry = registry
+        self.name = name
+        self.help = help_text
+        self.labelnames = labelnames
+        self._lock = threading.Lock()
+
+    def _labelvalues(self, labels: Dict[str, object]) -> Tuple[str, ...]:
+        # Hot path: build the key straight from the expected names; a length
+        # check plus KeyError covers every mismatch without allocating sets.
+        names = self.labelnames
+        if len(labels) != len(names):
+            self._label_error(labels)
+        try:
+            return tuple(str(labels[name]) for name in names)
+        except KeyError:
+            self._label_error(labels)
+
+    def _label_error(self, labels: Dict[str, object]) -> None:
+        raise ValueError(
+            "metric %r expects labels %r, got %r"
+            % (self.name, self.labelnames, tuple(sorted(labels)))
+        )
+
+    def signature(self) -> Tuple[str, Tuple[str, ...]]:
+        return (self.kind, self.labelnames)
+
+    def reset(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def render(self) -> List[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Family):
+    """Monotonically increasing counter (rendered with a ``_total`` suffix)."""
+
+    kind = "counter"
+
+    def __init__(self, registry, name, help_text, labelnames):
+        super().__init__(registry, name, help_text, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if not self._registry.enabled:
+            return
+        if amount < 0:
+            raise ValueError("counter %r cannot decrease" % self.name)
+        key = self._labelvalues(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = self._labelvalues(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def total(self) -> float:
+        with self._lock:
+            return sum(self._values.values())
+
+    def reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+    def render(self) -> List[str]:
+        if self.name.endswith("_total"):
+            sample_name = self.name
+        else:
+            sample_name = self.name + "_total"
+        with self._lock:
+            items = sorted(self._values.items())
+        lines = [
+            "# HELP %s %s" % (sample_name, _escape_help(self.help)),
+            "# TYPE %s counter" % sample_name,
+        ]
+        for key, value in items:
+            lines.append(
+                "%s%s %s"
+                % (sample_name, _label_suffix(self.labelnames, key), _format_value(value))
+            )
+        return lines
+
+
+class Gauge(_Family):
+    """A value that can go up and down (occupancy, in-flight, bytes)."""
+
+    kind = "gauge"
+
+    def __init__(self, registry, name, help_text, labelnames):
+        super().__init__(registry, name, help_text, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        if not self._registry.enabled:
+            return
+        key = self._labelvalues(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if not self._registry.enabled:
+            return
+        key = self._labelvalues(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        key = self._labelvalues(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+    def render(self) -> List[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        lines = [
+            "# HELP %s %s" % (self.name, _escape_help(self.help)),
+            "# TYPE %s gauge" % self.name,
+        ]
+        for key, value in items:
+            lines.append(
+                "%s%s %s"
+                % (self.name, _label_suffix(self.labelnames, key), _format_value(value))
+            )
+        return lines
+
+
+class _HistogramChild:
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * n_buckets  # per-finite-bucket, non-cumulative
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Family):
+    """Fixed-bucket histogram; cumulative ``le`` buckets are derived on render."""
+
+    kind = "histogram"
+
+    def __init__(self, registry, name, help_text, labelnames, buckets):
+        super().__init__(registry, name, help_text, labelnames)
+        edges = tuple(sorted(float(edge) for edge in buckets))
+        if not edges:
+            raise ValueError("histogram %r needs at least one bucket" % name)
+        if len(set(edges)) != len(edges):
+            raise ValueError("histogram %r has duplicate bucket edges" % name)
+        self.buckets = edges
+        self._children: Dict[Tuple[str, ...], _HistogramChild] = {}
+
+    def signature(self) -> Tuple[str, Tuple[str, ...], Tuple[float, ...]]:
+        return (self.kind, self.labelnames, self.buckets)
+
+    def observe(self, value: float, **labels: object) -> None:
+        if not self._registry.enabled:
+            return
+        key = self._labelvalues(labels)
+        value = float(value)
+        # index of the first bucket with edge >= value; len(edges) => +Inf only
+        lo = bisect_left(self.buckets, value)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = _HistogramChild(len(self.buckets) + 1)
+            child.counts[lo] += 1
+            child.total += value
+            child.count += 1
+
+    def child_count(self, **labels: object) -> int:
+        key = self._labelvalues(labels)
+        with self._lock:
+            child = self._children.get(key)
+            return child.count if child else 0
+
+    def reset(self) -> None:
+        with self._lock:
+            self._children.clear()
+
+    def _aggregate(self) -> Tuple[List[int], float, int]:
+        """Sum all children into (per-bucket counts, sum, count)."""
+        counts = [0] * (len(self.buckets) + 1)
+        total = 0.0
+        count = 0
+        with self._lock:
+            for child in self._children.values():
+                for i, c in enumerate(child.counts):
+                    counts[i] += c
+                total += child.total
+                count += child.count
+        return counts, total, count
+
+    def summary(self) -> Dict[str, float]:
+        """Deterministic {count, sum, p50, p95, p99} across all label sets."""
+        counts, total, count = self._aggregate()
+        result: Dict[str, float] = {"count": count, "sum": round(total, 9)}
+        for q, key in ((0.50, "p50"), (0.95, "p95"), (0.99, "p99")):
+            result[key] = self._quantile(counts, count, q)
+        return result
+
+    def _quantile(self, counts: List[int], count: int, q: float) -> float:
+        if count == 0:
+            return 0.0
+        rank = q * count
+        cumulative = 0
+        for i, bucket_count in enumerate(counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if i >= len(self.buckets):
+                    # Landed in +Inf: clamp to the largest finite edge.
+                    return self.buckets[-1]
+                upper = self.buckets[i]
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                if bucket_count == 0:
+                    return upper
+                fraction = (rank - previous) / bucket_count
+                return round(lower + (upper - lower) * fraction, 9)
+        return self.buckets[-1]
+
+    def render(self) -> List[str]:
+        lines = [
+            "# HELP %s %s" % (self.name, _escape_help(self.help)),
+            "# TYPE %s histogram" % self.name,
+        ]
+        with self._lock:
+            items = sorted(
+                (key, list(child.counts), child.total, child.count)
+                for key, child in self._children.items()
+            )
+        for key, counts, total, count in items:
+            cumulative = 0
+            for i, edge in enumerate(self.buckets):
+                cumulative += counts[i]
+                labelnames = self.labelnames + ("le",)
+                labelvalues = key + (_format_value(edge),)
+                lines.append(
+                    "%s_bucket%s %d"
+                    % (self.name, _label_suffix(labelnames, labelvalues), cumulative)
+                )
+            cumulative += counts[len(self.buckets)]
+            labelnames = self.labelnames + ("le",)
+            labelvalues = key + ("+Inf",)
+            lines.append(
+                "%s_bucket%s %d"
+                % (self.name, _label_suffix(labelnames, labelvalues), cumulative)
+            )
+            lines.append(
+                "%s_sum%s %s"
+                % (self.name, _label_suffix(self.labelnames, key), _format_value(total))
+            )
+            lines.append(
+                "%s_count%s %d" % (self.name, _label_suffix(self.labelnames, key), count)
+            )
+        return lines
+
+
+class MetricsRegistry:
+    """Thread-safe, idempotent registry of metric families.
+
+    Registering the same name twice returns the existing family when the
+    declaration matches (kind, labelnames, buckets) and raises otherwise, so
+    modules can declare their metrics at import time without coordination.
+    """
+
+    def __init__(self, enabled: Optional[bool] = None) -> None:
+        if enabled is None:
+            enabled = os.environ.get(ENV_METRICS, "1").lower() not in (
+                "0",
+                "false",
+                "off",
+                "no",
+            )
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def _register(self, cls, name, help_text, labelnames, **kwargs) -> _Family:
+        if not _NAME_RE.match(name):
+            raise ValueError("invalid metric name %r" % name)
+        labelnames = tuple(labelnames or ())
+        for label in labelnames:
+            if not _LABEL_RE.match(label) or label.startswith("__"):
+                raise ValueError("invalid label name %r on metric %r" % (label, name))
+        candidate = cls(self, name, help_text, labelnames, **kwargs)
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing.signature() != candidate.signature():
+                    raise ValueError(
+                        "metric %r re-registered with a different declaration" % name
+                    )
+                return existing
+            self._families[name] = candidate
+            return candidate
+
+    def counter(
+        self, name: str, help_text: str, labelnames: Iterable[str] = ()
+    ) -> Counter:
+        family = self._register(Counter, name, help_text, labelnames)
+        assert isinstance(family, Counter)
+        return family
+
+    def gauge(self, name: str, help_text: str, labelnames: Iterable[str] = ()) -> Gauge:
+        family = self._register(Gauge, name, help_text, labelnames)
+        assert isinstance(family, Gauge)
+        return family
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Iterable[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        family = self._register(
+            Histogram, name, help_text, labelnames, buckets=tuple(buckets)
+        )
+        assert isinstance(family, Histogram)
+        return family
+
+    # -- output ----------------------------------------------------------
+
+    def render(self) -> str:
+        """Full Prometheus text exposition (format 0.0.4)."""
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        lines: List[str] = []
+        for family in families:
+            lines.extend(family.render())
+        return "\n".join(lines) + "\n"
+
+    def summaries(self) -> Dict[str, Dict[str, float]]:
+        """Per-histogram {count, sum, p50, p95, p99}, aggregated over labels."""
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        return {
+            family.name: family.summary()
+            for family in families
+            if isinstance(family, Histogram)
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero all sample values. Family objects stay registered, so
+        module-level handles held by instrumented code remain live."""
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
+            family.reset()
+
+    def clear(self) -> None:
+        """Drop every family. Only for tests that exercise registration."""
+        with self._lock:
+            self._families.clear()
+
+    def get(self, name: str) -> Optional[_Family]:
+        with self._lock:
+            return self._families.get(name)
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def counter(name: str, help_text: str, labelnames: Iterable[str] = ()) -> Counter:
+    return _REGISTRY.counter(name, help_text, labelnames)
+
+
+def gauge(name: str, help_text: str, labelnames: Iterable[str] = ()) -> Gauge:
+    return _REGISTRY.gauge(name, help_text, labelnames)
+
+
+def histogram(
+    name: str,
+    help_text: str,
+    labelnames: Iterable[str] = (),
+    buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+) -> Histogram:
+    return _REGISTRY.histogram(name, help_text, labelnames, buckets=buckets)
+
+
+def render() -> str:
+    return _REGISTRY.render()
+
+
+def summaries() -> Dict[str, Dict[str, float]]:
+    return _REGISTRY.summaries()
+
+
+def reset_metrics() -> None:
+    _REGISTRY.reset()
+
+
+def set_enabled(enabled: bool) -> None:
+    _REGISTRY.enabled = bool(enabled)
+
+
+def metrics_enabled() -> bool:
+    return _REGISTRY.enabled

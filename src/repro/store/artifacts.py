@@ -56,7 +56,10 @@ import numpy as np
 from dataclasses import dataclass
 
 from repro.exceptions import StoreError
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import log_event
 from repro.store.fingerprint import params_digest
+from repro.utils.logging import get_logger
 from repro.store.locks import FileLock
 from repro.store.lsm import (
     FLAT_FORMAT_VERSION,
@@ -104,6 +107,24 @@ DEFAULT_LOCK_TIMEOUT = 5.0
 
 _MANIFEST_NAME = "manifest.json"
 _LOCK_NAME = ".store.lock"
+
+LOGGER = get_logger(__name__)
+
+STORE_GETS_TOTAL = obs_metrics.counter(
+    "repro_store_gets_total",
+    "Artifact lookups by outcome: memory_hit, disk_hit or miss.",
+    ("outcome",),
+)
+STORE_PUTS_TOTAL = obs_metrics.counter(
+    "repro_store_puts_total",
+    "Artifact writes by outcome: ok (both tiers), memory_only (no "
+    "persistent tier), error (disk failure), contention (shard lock busy).",
+    ("outcome",),
+)
+STORE_MEMORY_EVICTIONS_TOTAL = obs_metrics.counter(
+    "repro_store_memory_evictions_total",
+    "Artifacts LRU-evicted from the in-memory tier.",
+)
 
 
 @dataclass
@@ -249,6 +270,7 @@ class ArtifactStore:
                 self._memory.move_to_end(key)
                 self.stats.memory_hits += 1
                 arrays, meta = cached
+                STORE_GETS_TOTAL.inc(outcome="memory_hit")
                 return arrays, meta, TIER_MEMORY
         loaded = None
         if self.persistent:
@@ -256,11 +278,13 @@ class ArtifactStore:
         if loaded is None:
             with self._lock:
                 self.stats.misses += 1
+            STORE_GETS_TOTAL.inc(outcome="miss")
             return None
         arrays, meta = loaded
         with self._lock:
             self._memory_put(key, arrays, meta)
             self.stats.disk_hits += 1
+        STORE_GETS_TOTAL.inc(outcome="disk_hit")
         return arrays, meta, TIER_DISK
 
     # ------------------------------------------------------------------ writes
@@ -292,18 +316,30 @@ class ArtifactStore:
             self._memory_put(key, frozen, meta)
             self.stats.writes += 1
         if not self.persistent:
+            STORE_PUTS_TOTAL.inc(outcome="memory_only")
             return
         try:
             stored = self._tier.put(
                 kind, fingerprint, digest, params, frozen, meta, dataset
             )
-        except OSError:
+        except OSError as error:
             with self._lock:
                 self.stats.write_errors += 1
+            STORE_PUTS_TOTAL.inc(outcome="error")
+            log_event(
+                LOGGER,
+                "store.put_degraded",
+                kind=kind,
+                fingerprint=fingerprint[:12],
+                error=str(error),
+            )
             return
         if not stored:
             with self._lock:
                 self.stats.lock_contention += 1
+            STORE_PUTS_TOTAL.inc(outcome="contention")
+            return
+        STORE_PUTS_TOTAL.inc(outcome="ok")
 
     def clear_memory(self) -> None:
         """Drop the in-memory tier (the persistent tier is untouched)."""
@@ -423,6 +459,7 @@ class ArtifactStore:
         while len(self._memory) > self._memory_items:
             self._memory.popitem(last=False)
             self.stats.evictions += 1
+            STORE_MEMORY_EVICTIONS_TOTAL.inc()
 
     def _acquire_write_lock(self) -> bool:
         """Take the global store lock; ``False`` means degrade.

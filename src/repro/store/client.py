@@ -42,6 +42,7 @@ from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.api.config import spec_to_dict
 from repro.exceptions import ReproError
+from repro.obs.trace import REQUEST_ID_HEADER, current_request_id, new_request_id
 from repro.store.serve import ServeRequest
 
 #: Accepted request shapes: a wire record, a ServeRequest, or (source, spec).
@@ -176,6 +177,10 @@ class ServiceClient:
         self.backoff_cap = float(backoff_cap)
         self.retry_deadline = float(retry_deadline)
         self.counters = ClientStats()
+        #: The ``X-Request-Id`` sent with the most recent batch; the same id
+        #: comes back on every NDJSON record envelope and in the server's
+        #: structured log, so one value correlates all three sides.
+        self.last_request_id: Optional[str] = None
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------- plumbing
@@ -313,6 +318,18 @@ class ServiceClient:
         holds this client's own retry/connection telemetry)."""
         return self._get_json("/v1/stats")
 
+    def metrics(self) -> str:
+        """``GET /v1/metrics`` — the raw Prometheus text exposition."""
+        response = self._request_with_retry("GET", "/v1/metrics")
+        body = response.read()
+        if response.will_close:
+            self._drop_connection()
+        if response.status != 200:
+            raise self._error_from(
+                response.status, self._parse_json(body, response.status)
+            )
+        return body.decode("utf-8")
+
     def wait_until_healthy(
         self,
         timeout: float = 10.0,
@@ -355,7 +372,7 @@ class ServiceClient:
             delay = min(delay * 2.0, max_interval)
 
     def batch_stream(
-        self, requests: List[RequestLike]
+        self, requests: List[RequestLike], request_id: Optional[str] = None
     ) -> Iterator[Dict[str, Any]]:
         """``POST /v1/batch``, yielding each NDJSON record as it arrives.
 
@@ -366,15 +383,27 @@ class ServiceClient:
         before the response starts) are retried with backoff first. Once
         the stream has started, failures are **not** retried — records were
         already delivered — and surface as the connection error they are.
+
+        Every batch travels with an ``X-Request-Id`` header — *request_id*
+        if given, else the ambient :func:`repro.obs.trace.trace` id, else a
+        fresh one — recorded as :attr:`last_request_id`. The service echoes
+        it on each streamed record, so a batch can be correlated with the
+        server's structured log after the fact.
         """
         body = json.dumps(
             {"requests": [request_to_dict(request) for request in requests]}
         ).encode("utf-8")
+        self.last_request_id = (
+            request_id or current_request_id() or new_request_id()
+        )
         response = self._request_with_retry(
             "POST",
             "/v1/batch",
             body=body,
-            headers={"Content-Type": "application/json"},
+            headers={
+                "Content-Type": "application/json",
+                REQUEST_ID_HEADER: self.last_request_id,
+            },
         )
         if response.status != 200:
             payload = self._parse_json(response.read(), response.status)
@@ -396,7 +425,9 @@ class ServiceClient:
             if not completed or not response.isclosed() or response.will_close:
                 self._drop_connection()
 
-    def batch(self, requests: List[RequestLike]) -> List[Dict[str, Any]]:
+    def batch(
+        self, requests: List[RequestLike], request_id: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
         """``POST /v1/batch``, collecting result dicts in **request order**.
 
         The streaming inverse of :meth:`batch_stream` for callers that just
@@ -407,7 +438,7 @@ class ServiceClient:
         """
         results: Dict[int, Dict[str, Any]] = {}
         done: Optional[Dict[str, Any]] = None
-        for record in self.batch_stream(requests):
+        for record in self.batch_stream(requests, request_id=request_id):
             status = record.get("status")
             if status == "ok":
                 results[record["index"]] = record["result"]

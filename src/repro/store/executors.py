@@ -41,6 +41,7 @@ over the wire while slower units are still running.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, wait
@@ -57,7 +58,31 @@ from repro.counting.parallel import (
 )
 from repro.exceptions import ServeError, SpecError
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import current_request_id, log_event, trace
 from repro.store import faults
+from repro.utils.logging import get_logger
+
+LOGGER = get_logger(__name__)
+
+QUEUE_WAIT_SECONDS = obs_metrics.histogram(
+    "repro_executor_queue_wait_seconds",
+    "Delay between a unit's submission and the start of its execution "
+    "(thread backend; workers share the parent's registry).",
+    ("backend",),
+)
+UNIT_TURNAROUND_SECONDS = obs_metrics.histogram(
+    "repro_executor_unit_turnaround_seconds",
+    "Submission-to-completion latency of streamed units, observed in the "
+    "parent (includes queue wait; the only cross-boundary view for process "
+    "workers).",
+    ("backend",),
+)
+RESPAWNS_TOTAL = obs_metrics.counter(
+    "repro_executor_respawns_total",
+    "Broken worker pools discarded and lazily respawned after a crash.",
+    ("backend",),
+)
 
 #: Serving backends accepted by ``EngineServer.submit(backend=...)``.
 SERVE_BACKEND_SERIAL = "serial"
@@ -139,6 +164,10 @@ class WorkerPayload:
     and therefore unreachable from another process). ``capture`` makes the
     worker resolve failures to :class:`UnitFailure` records instead of
     raising, mirroring the local error-capturing execution path.
+    ``request_id`` carries the originating request's trace id across the
+    pickle boundary (contextvars do not survive it); the worker re-enters
+    :func:`repro.obs.trace.trace` with it so worker-side structured events
+    correlate with the parent's.
     """
 
     edge_ptr: np.ndarray
@@ -148,9 +177,15 @@ class WorkerPayload:
     store_dir: Optional[str]
     capture: bool = False
     failure: Optional[UnitFailure] = None
+    request_id: Optional[str] = None
 
     @classmethod
-    def failed(cls, dataset: str, failure: UnitFailure) -> "WorkerPayload":
+    def failed(
+        cls,
+        dataset: str,
+        failure: UnitFailure,
+        request_id: Optional[str] = None,
+    ) -> "WorkerPayload":
         """A payload that resolves to *failure* without running anything.
 
         Used by error-capturing streams when materializing the real payload
@@ -166,6 +201,7 @@ class WorkerPayload:
             store_dir=None,
             capture=True,
             failure=failure,
+            request_id=request_id,
         )
 
 
@@ -260,22 +296,42 @@ def execute_payload(payload: WorkerPayload):
 
     if payload.failure is not None:
         return payload.failure
-    # Chaos hook on the worker side of the pickle boundary: a "crash"-mode
-    # fault here kills this worker process outright (os._exit), which is how
-    # the chaos suite proves a dead worker cannot wedge a stream. Armed via
-    # the REPRO_FAULTS environment variable, which workers inherit.
-    faults.fire("worker.unit", key=payload.dataset)
-    try:
-        hypergraph = hypergraph_from_csr_rows(
-            payload.edge_ptr, payload.edge_nodes, payload.dataset
+    # Re-enter the originating request's trace context: contextvars did not
+    # survive the pickle boundary, but the id rode along on the payload.
+    with trace(payload.request_id):
+        # Chaos hook on the worker side of the pickle boundary: a
+        # "crash"-mode fault here kills this worker process outright
+        # (os._exit), which is how the chaos suite proves a dead worker
+        # cannot wedge a stream. Armed via the REPRO_FAULTS environment
+        # variable, which workers inherit.
+        faults.fire("worker.unit", key=payload.dataset)
+        started = time.perf_counter()
+        try:
+            hypergraph = hypergraph_from_csr_rows(
+                payload.edge_ptr, payload.edge_nodes, payload.dataset
+            )
+            store = ArtifactStore(payload.store_dir) if payload.store_dir else False
+            engine = MotifEngine(hypergraph, store=store)
+            result = dispatch_spec(engine, spec_from_dict(payload.spec))
+        except Exception as error:
+            log_event(
+                LOGGER,
+                "worker.unit_failed",
+                dataset=payload.dataset,
+                error_type=type(error).__name__,
+                seconds=round(time.perf_counter() - started, 6),
+            )
+            if payload.capture:
+                return UnitFailure.from_exception(error)
+            raise
+        log_event(
+            LOGGER,
+            "worker.unit_done",
+            dataset=payload.dataset,
+            spec_type=str(payload.spec.get("type", "?")),
+            seconds=round(time.perf_counter() - started, 6),
         )
-        store = ArtifactStore(payload.store_dir) if payload.store_dir else False
-        engine = MotifEngine(hypergraph, store=store)
-        return dispatch_spec(engine, spec_from_dict(payload.spec))
-    except Exception as error:
-        if payload.capture:
-            return UnitFailure.from_exception(error)
-        raise
+        return result
 
 
 class WorkerPool:
@@ -344,6 +400,14 @@ class WorkerPool:
             broken, self._executor = self._executor, None
             self._respawns += 1
         broken.shutdown(wait=False)
+        RESPAWNS_TOTAL.inc(backend=self.backend)
+        log_event(
+            LOGGER,
+            "executor.pool_respawn",
+            level=logging.WARNING,
+            backend=self.backend,
+            respawns=self._respawns,
+        )
         return True
 
     def executor(self):
@@ -504,11 +568,18 @@ class _PoolExecutor(ServeExecutor):
             if executor is None:
                 return [self._run_inline(item) for item in items]
             try:
+                submitted = time.monotonic()
                 futures = [self._submit(executor, item) for item in items]
                 # Collect in submission order: request ordering is part of
                 # the serving contract regardless of which worker finished
                 # first.
-                return [future.result() for future in futures]
+                results = []
+                for future in futures:
+                    results.append(future.result())
+                    UNIT_TURNAROUND_SECONDS.observe(
+                        time.monotonic() - submitted, backend=self.name
+                    )
+                return results
             except BrokenExecutor as error:
                 self._recover(executor)
                 raise ServeError(
@@ -533,8 +604,10 @@ class _PoolExecutor(ServeExecutor):
                         yield index, self._run_inline(item)
                 return
             pending: Dict[Any, int] = {}
+            submitted: Dict[int, float] = {}
             try:
                 for index, item in enumerate(items):
+                    submitted[index] = time.monotonic()
                     pending[self._submit(executor, item)] = index
             except BrokenExecutor as error:
                 # The pool was already broken (a worker died idle, after a
@@ -584,6 +657,9 @@ class _PoolExecutor(ServeExecutor):
                             )
                         pending.clear()
                         break
+                    UNIT_TURNAROUND_SECONDS.observe(
+                        time.monotonic() - submitted[index], backend=self.name
+                    )
                     yield index, outcome
 
 
@@ -596,7 +672,20 @@ class ThreadExecutor(_PoolExecutor):
         return item.run_local()
 
     def _submit(self, executor, item: ServeUnit):
-        return executor.submit(item.run_local)
+        # Pool threads inherit neither the submitter's contextvars nor its
+        # clock: capture the request id and the enqueue instant here, then
+        # re-bind/observe when a worker thread actually picks the unit up.
+        request_id = current_request_id()
+        enqueued = time.monotonic()
+
+        def run():
+            QUEUE_WAIT_SECONDS.observe(
+                time.monotonic() - enqueued, backend=SERVE_BACKEND_THREAD
+            )
+            with trace(request_id):
+                return item.run_local()
+
+        return executor.submit(run)
 
 
 class ProcessExecutor(_PoolExecutor):

@@ -71,8 +71,60 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import log_event
 from repro.store import faults
 from repro.store.locks import FileLock
+from repro.utils.logging import get_logger
+
+LOGGER = get_logger(__name__)
+
+LSM_GET_SECONDS = obs_metrics.histogram(
+    "repro_lsm_get_seconds",
+    "Disk-tier lookup latency (index search + payload read + checksum), "
+    "per shard.",
+    ("shard",),
+)
+LSM_PUT_SECONDS = obs_metrics.histogram(
+    "repro_lsm_put_seconds",
+    "Disk-tier write latency (payload encode + atomic write + log append), "
+    "per shard.",
+    ("shard",),
+)
+LSM_COMPACTION_SECONDS = obs_metrics.histogram(
+    "repro_lsm_compaction_seconds",
+    "Duration of one shard's gc compaction pass.",
+    ("shard",),
+)
+LSM_COMPACTION_RECLAIMED_BYTES = obs_metrics.counter(
+    "repro_lsm_compaction_reclaimed_bytes",
+    "Bytes reclaimed by gc compaction (superseded, corrupt, orphaned and "
+    "evicted payloads).",
+)
+LSM_EVICTIONS_TOTAL = obs_metrics.counter(
+    "repro_lsm_evictions_total",
+    "Entries evicted by the size/TTL policy at compaction time, by kind.",
+    ("kind",),
+)
+LSM_REPLAYED_RECORDS_TOTAL = obs_metrics.counter(
+    "repro_lsm_replayed_log_records",
+    "Log records replayed while (re)building shard indexes.",
+)
+LSM_ENTRIES = obs_metrics.gauge(
+    "repro_lsm_entries", "Live entries in the disk tier (last occupancy scan)."
+)
+LSM_PAYLOAD_BYTES = obs_metrics.gauge(
+    "repro_lsm_payload_bytes",
+    "Payload bytes in the disk tier (last occupancy scan).",
+)
+LSM_SHARDS_USED = obs_metrics.gauge(
+    "repro_lsm_shards_used",
+    "Shard buckets holding at least one record (last occupancy scan).",
+)
+LSM_LOG_RECORDS = obs_metrics.gauge(
+    "repro_lsm_log_records",
+    "Uncompacted L0 log records across shards (last occupancy scan).",
+)
 
 #: Store layout version; version-1 (flat) directories are migrated on open,
 #: anything else suspends the disk tier until :meth:`gc` compacts it.
@@ -332,34 +384,38 @@ class LSMDiskTier:
         clean miss, so the caller falls back to recomputation.
         """
         shard = shard_of(fingerprint)
-        state = self._load_state(shard)
-        record = state.lookup(entry_key(kind, fingerprint, digest))
-        if record is None:
-            return None
-        if (
-            record.get("kind") != kind
-            or record.get("fingerprint") != fingerprint
-            or record.get("params") != jsonify_params(params)
-        ):
-            self._on_corrupt()
-            return None
-        payload_path = self.shard_dir(shard) / str(record.get("payload", ""))
+        started = time.perf_counter()
         try:
-            data = payload_path.read_bytes()
-        except OSError:
-            return None
-        if hashlib.sha256(data).hexdigest() != record.get("checksum"):
-            self._on_corrupt()
-            return None
-        try:
-            with np.load(io.BytesIO(data), allow_pickle=False) as bundle:
-                arrays = {name: bundle[name] for name in bundle.files}
-        except (OSError, ValueError):
-            self._on_corrupt()
-            return None
-        for array in arrays.values():
-            array.setflags(write=False)
-        return arrays, dict(record.get("meta", {}))
+            state = self._load_state(shard)
+            record = state.lookup(entry_key(kind, fingerprint, digest))
+            if record is None:
+                return None
+            if (
+                record.get("kind") != kind
+                or record.get("fingerprint") != fingerprint
+                or record.get("params") != jsonify_params(params)
+            ):
+                self._on_corrupt()
+                return None
+            payload_path = self.shard_dir(shard) / str(record.get("payload", ""))
+            try:
+                data = payload_path.read_bytes()
+            except OSError:
+                return None
+            if hashlib.sha256(data).hexdigest() != record.get("checksum"):
+                self._on_corrupt()
+                return None
+            try:
+                with np.load(io.BytesIO(data), allow_pickle=False) as bundle:
+                    arrays = {name: bundle[name] for name in bundle.files}
+            except (OSError, ValueError):
+                self._on_corrupt()
+                return None
+            for array in arrays.values():
+                array.setflags(write=False)
+            return arrays, dict(record.get("meta", {}))
+        finally:
+            LSM_GET_SECONDS.observe(time.perf_counter() - started, shard=shard)
 
     def entries(self) -> List[StoreEntry]:
         """Every live persisted artifact, in sorted key order per shard."""
@@ -412,6 +468,13 @@ class LSMDiskTier:
                 bucket = by_kind.setdefault(kind, {"entries": 0, "payload_bytes": 0})
                 bucket["entries"] += 1
                 bucket["payload_bytes"] += int(record.get("payload_bytes", 0))
+        # Occupancy gauges track the latest scan (every describe()/stats
+        # request refreshes them, so a scraped value is at most one scrape
+        # interval stale).
+        LSM_ENTRIES.set(total_entries)
+        LSM_PAYLOAD_BYTES.set(total_bytes)
+        LSM_SHARDS_USED.set(len(shards))
+        LSM_LOG_RECORDS.set(log_records)
         return {
             "layout": "lsm",
             "num_shards": NUM_SHARDS,
@@ -466,6 +529,7 @@ class LSMDiskTier:
             "payload_bytes": len(data),
             "created": time.time(),
         }
+        started = time.perf_counter()
         lock = self._shard_lock(shard)
         if not lock.acquire(timeout=self._lock_timeout):
             return False
@@ -476,6 +540,7 @@ class LSMDiskTier:
             self._append_record(shard, record)
         finally:
             lock.release()
+        LSM_PUT_SECONDS.observe(time.perf_counter() - started, shard=shard)
         return True
 
     def _append_record(self, shard: str, record: Dict[str, Any]) -> None:
@@ -572,6 +637,7 @@ class LSMDiskTier:
         victims: Dict[str, set],
     ) -> None:
         """Fold one shard's log into its base manifest (caller holds the lock)."""
+        started = time.perf_counter()
         shard_dir = self.shard_dir(shard)
         shard_stats = {"kept": 0, "removed": 0, "evicted": 0, "reclaimed_bytes": 0}
         for path in sorted(shard_dir.glob("**/*")):
@@ -589,6 +655,19 @@ class LSMDiskTier:
                 reason = "evicted by policy"
                 shard_stats["evicted"] += 1
                 stats.evicted_entries += 1
+                kind = str(record.get("kind", "?"))
+                LSM_EVICTIONS_TOTAL.inc(kind=kind)
+                log_event(
+                    LOGGER,
+                    "lsm.evict",
+                    shard=shard,
+                    kind=kind,
+                    dataset=record.get("dataset"),
+                    payload_bytes=int(record.get("payload_bytes", 0)),
+                    age_seconds=round(
+                        max(0.0, time.time() - float(record.get("created", 0.0))), 3
+                    ),
+                )
             elif not payload.is_file():
                 reason = "missing payload"
             elif verify_checksums:
@@ -662,6 +741,19 @@ class LSMDiskTier:
         stats.shards[shard] = shard_stats
         with self._lock:
             self._states.pop(shard, None)
+        elapsed = time.perf_counter() - started
+        LSM_COMPACTION_SECONDS.observe(elapsed, shard=shard)
+        LSM_COMPACTION_RECLAIMED_BYTES.inc(shard_stats["reclaimed_bytes"])
+        log_event(
+            LOGGER,
+            "lsm.compaction",
+            shard=shard,
+            kept=shard_stats["kept"],
+            removed=shard_stats["removed"],
+            evicted=shard_stats["evicted"],
+            reclaimed_bytes=shard_stats["reclaimed_bytes"],
+            seconds=round(elapsed, 6),
+        )
 
     def wipe(self, stats: GCStats) -> None:
         """Remove every shard (and legacy flat data) — the stale-manifest reset."""
@@ -837,6 +929,8 @@ class LSMDiskTier:
             else:
                 record["_level"] = LEVEL_LOG
                 merged[key] = record
+        if log_records:
+            LSM_REPLAYED_RECORDS_TOTAL.inc(log_records)
         return merged, log_records, base_records
 
     @staticmethod

@@ -74,6 +74,8 @@ from repro.exceptions import ServeError, SpecError
 from repro.hypergraph.builders import TemporalHypergraph
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.motifs.counts import MotifCounts
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import current_request_id, log_event
 from repro.store.artifacts import ArtifactStore, resolve_store
 from repro.store.executors import (
     FAILURE_TIMEOUT,
@@ -86,6 +88,7 @@ from repro.store.executors import (
     ensure_servable_spec,
     resolve_serve_executor,
 )
+from repro.utils.logging import get_logger
 
 #: Specs the server knows how to dispatch (predict needs temporal data and a
 #: classifier grid — it stays an engine-level workflow for now).
@@ -94,6 +97,53 @@ ServeSource = Union[str, Path, Hypergraph, TemporalHypergraph]
 
 #: Bound on concurrently-dispatched async batches per server.
 DEFAULT_ASYNC_BATCHES = 4
+
+LOGGER = get_logger(__name__)
+
+SERVE_REQUESTS_TOTAL = obs_metrics.counter(
+    "repro_serve_requests_total", "Request slots submitted across all batches."
+)
+SERVE_DEDUPLICATED_TOTAL = obs_metrics.counter(
+    "repro_serve_deduplicated_total",
+    "Request slots satisfied by another slot's computation (per-batch dedup).",
+)
+SERVE_BATCHES_TOTAL = obs_metrics.counter(
+    "repro_serve_batches_total", "Batches submitted to the engine server."
+)
+SERVE_IN_FLIGHT = obs_metrics.gauge(
+    "repro_serve_in_flight_batches", "Batches currently executing."
+)
+SERVE_UNIT_FAILURES_TOTAL = obs_metrics.counter(
+    "repro_serve_unit_failures_total",
+    "Units resolved to structured failure records, by error type.",
+    ("type",),
+)
+SERVE_UNIT_SECONDS = obs_metrics.histogram(
+    "repro_serve_unit_seconds",
+    "Engine-local execution latency of one unit (serial/thread backends), "
+    "by spec type.",
+    ("spec",),
+)
+SERVE_CACHE_TIER_TOTAL = obs_metrics.counter(
+    "repro_serve_cache_tier_total",
+    'Unique-unit outcomes by cache provenance ("engine"/"memory"/"disk" '
+    'hits, "computed" for cold work).',
+    ("tier",),
+)
+SERVE_ENGINES_BUILT_TOTAL = obs_metrics.counter(
+    "repro_serve_engines_built_total", "Worker engines constructed for the pool."
+)
+SERVE_ENGINES_EVICTED_TOTAL = obs_metrics.counter(
+    "repro_serve_engines_evicted_total", "Worker engines LRU-evicted from the pool."
+)
+
+
+def _observe_outcome(outcome: Any) -> None:
+    """Record one unique unit's cache provenance in the registry."""
+    tier = None
+    if getattr(outcome, "from_cache", False):
+        tier = getattr(outcome, "cache_tier", None)
+    SERVE_CACHE_TIER_TOTAL.inc(tier=tier or "computed")
 
 
 @dataclass(frozen=True)
@@ -338,10 +388,21 @@ class EngineServer:
             self.stats.unique += num_unique
             self.stats.deduplicated += num_requests - num_unique
             self.stats.in_flight += 1
+        SERVE_BATCHES_TOTAL.inc()
+        SERVE_REQUESTS_TOTAL.inc(num_requests)
+        SERVE_DEDUPLICATED_TOTAL.inc(num_requests - num_unique)
+        SERVE_IN_FLIGHT.inc()
+        log_event(
+            LOGGER,
+            "serve.batch_begin",
+            requests=num_requests,
+            unique=num_unique,
+        )
 
     def _end_batch(self) -> None:
         with self._pool_lock:
             self.stats.in_flight -= 1
+        SERVE_IN_FLIGHT.dec()
 
     def submit(
         self,
@@ -377,6 +438,8 @@ class EngineServer:
             outcomes = executor.map(units)
         finally:
             self._end_batch()
+        for outcome in outcomes:
+            _observe_outcome(outcome)
         computed = dict(zip(unique.keys(), outcomes))
         return [_fan_out(computed[key]) for key in keys]
 
@@ -437,6 +500,14 @@ class EngineServer:
                             self.stats.unit_timeouts += 1
                         elif outcome.error_type == FAILURE_WORKER_CRASH:
                             self.stats.worker_crashes += 1
+                    SERVE_UNIT_FAILURES_TOTAL.inc(type=outcome.error_type)
+                    log_event(
+                        LOGGER,
+                        "serve.unit_failure",
+                        unit=units[unit_index].label,
+                        error_type=outcome.error_type,
+                        retryable=outcome.retryable,
+                    )
                     if not capture_errors:
                         # Deadline/crash records exist even without capture
                         # mode (the executor cannot raise them usefully from
@@ -448,6 +519,7 @@ class EngineServer:
                     for slot in slots[unit_keys[unit_index]]:
                         yield slot, outcome
                 else:
+                    _observe_outcome(outcome)
                     for slot in slots[unit_keys[unit_index]]:
                         yield slot, _fan_out(outcome)
         finally:
@@ -561,6 +633,7 @@ class EngineServer:
                 return existing
             self._engines[key] = engine
             self.stats.engines_built += 1
+            SERVE_ENGINES_BUILT_TOTAL.inc()
             while len(self._engines) > self._max_engines:
                 # The evicted engine's lock entry is kept on purpose: a
                 # thread may still be executing on the evicted engine, and a
@@ -570,6 +643,7 @@ class EngineServer:
                 # the workload's dataset universe.
                 self._engines.popitem(last=False)
                 self.stats.engines_evicted += 1
+                SERVE_ENGINES_EVICTED_TOTAL.inc()
         return engine
 
     # ------------------------------------------------------------- observation
@@ -604,7 +678,15 @@ class EngineServer:
                 "occupancy": self._store.occupancy(),
             }
         pool = None if self._worker_pool is None else self._worker_pool.as_dict()
-        return {"engines": engines, "serve": serve, "store": store, "pool": pool}
+        return {
+            "engines": engines,
+            "serve": serve,
+            "store": store,
+            "pool": pool,
+            # Deterministic latency summaries (count/sum/p50/p95/p99) of
+            # every histogram in the process-wide registry.
+            "metrics": obs_metrics.summaries(),
+        }
 
     # ----------------------------------------------------------------- internal
     def _make_unit(self, request: ServeRequest, capture: bool = False) -> ServeUnit:
@@ -632,7 +714,12 @@ class EngineServer:
         # One unit at a time per engine: MotifEngine's internal memo/caches
         # are not thread-safe, and units on *different* engines still overlap.
         with self._engine_lock(key):
-            return dispatch_spec(engine, request.spec)
+            started = time.perf_counter()
+            result = dispatch_spec(engine, request.spec)
+        SERVE_UNIT_SECONDS.observe(
+            time.perf_counter() - started, spec=type(request.spec).__name__
+        )
+        return result
 
     def _execute_captured(self, request: ServeRequest):
         try:
@@ -648,7 +735,9 @@ class EngineServer:
             return self._payload_for(request, capture=True)
         except Exception as error:
             return WorkerPayload.failed(
-                dataset=str(request.source), failure=UnitFailure.from_exception(error)
+                dataset=str(request.source),
+                failure=UnitFailure.from_exception(error),
+                request_id=current_request_id(),
             )
 
     def _payload_for(
@@ -668,6 +757,11 @@ class EngineServer:
             spec=spec_to_dict(request.spec),
             store_dir=store_dir,
             capture=capture,
+            # Bind the submitting context's trace id into the shipped form:
+            # payloads are materialized on the submitter's thread, so the
+            # contextvar is still visible here even though it will not
+            # survive the pickle boundary.
+            request_id=current_request_id(),
         )
 
     def _engine_lock(self, key: object) -> threading.Lock:

@@ -35,7 +35,21 @@ Endpoints
 ``GET /v1/stats``
     The engine server's :meth:`~repro.store.serve.EngineServer.describe`
     snapshot (engine-pool occupancy, serving counters, store tier hits and
-    lock contention, worker-pool shape) plus HTTP-level counters.
+    lock contention, worker-pool shape, histogram latency summaries) plus
+    HTTP-level counters.
+
+``GET /v1/metrics``
+    The process-wide :mod:`repro.obs` registry in Prometheus text exposition
+    format 0.0.4 — per-stage server latency histograms, admission
+    rejections, serve dedup/cache-tier/unit-failure counters, executor
+    queue-wait and respawn metrics, per-shard LSM put/get/compaction/
+    eviction/occupancy metrics. Suitable for a Prometheus scrape target.
+
+Every batch gets a trace id — the client's ``X-Request-Id`` header when
+present (:class:`~repro.store.client.ServiceClient` always sends one),
+otherwise minted here — which is echoed as a response header, stamped on
+every NDJSON record envelope, propagated into executor workers (thread and
+process) and attached to every structured log event of the request.
 
 Result payloads are **bit-identical** to the ``serve-batch`` CLI's serial
 output for exact and integer-seeded specs — the HTTP layer serializes the
@@ -83,6 +97,13 @@ from typing import Any, Dict, Iterator, List, Optional, Union
 from repro import __version__
 from repro.api.registry import DatasetRegistry
 from repro.exceptions import ReproError, SpecError
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import (
+    REQUEST_ID_HEADER,
+    log_event,
+    new_request_id,
+    trace,
+)
 from repro.store import faults
 from repro.store.artifacts import ArtifactStore
 from repro.store.executors import (
@@ -93,8 +114,39 @@ from repro.store.executors import (
     WorkerPool,
 )
 from repro.store.serve import EngineServer, ServeRequest, request_from_dict
+from repro.utils.logging import get_logger
 
-LOGGER = logging.getLogger("repro.store.server")
+LOGGER = get_logger("repro.store.server")
+
+#: Routes the service answers; anything else is labeled "other" in metrics
+#: (unknown paths must not mint unbounded label values).
+KNOWN_ROUTES = ("/v1/batch", "/v1/health", "/v1/stats", "/v1/metrics")
+
+#: Content type of the Prometheus text exposition format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+HTTP_REQUESTS_TOTAL = obs_metrics.counter(
+    "repro_http_requests_total",
+    "HTTP requests answered, by route and status code.",
+    ("route", "status"),
+)
+STAGE_SECONDS = obs_metrics.histogram(
+    "repro_server_stage_seconds",
+    "Per-stage latency of one batch request: parse (read+validate body), "
+    "queue (dispatch to first outcome), execute (first to last outcome), "
+    "stream (total response write loop).",
+    ("stage",),
+)
+ADMISSION_REJECTIONS_TOTAL = obs_metrics.counter(
+    "repro_server_admission_rejections_total",
+    "Batch requests refused before dispatch, by structured error type "
+    '("ServerBusy" is the at-capacity admission gate).',
+    ("reason",),
+)
+
+
+def _route_of(path: str) -> str:
+    return path if path in KNOWN_ROUTES else "other"
 
 #: Default bind address and port of the service.
 DEFAULT_HOST = "127.0.0.1"
@@ -260,6 +312,7 @@ class MotifService:
         with self._in_flight_lock:
             if self._in_flight >= self.max_queue:
                 self.stats.count("batches_rejected_busy")
+                ADMISSION_REJECTIONS_TOTAL.inc(reason="ServerBusy")
                 raise RequestRejected(
                     429,
                     "ServerBusy",
@@ -353,36 +406,79 @@ class MotifService:
         )
 
     # ----------------------------------------------------------------- serving
-    def stream(self, requests: List[ServeRequest]) -> Iterator[Dict[str, Any]]:
+    def stream(
+        self,
+        requests: List[ServeRequest],
+        request_id: Optional[str] = None,
+    ) -> Iterator[Dict[str, Any]]:
         """Serve a parsed batch, yielding wire records in completion order.
 
         Runs under the service's ``request_timeout`` (when configured):
         units unfinished at the deadline become per-unit ``UnitTimeout``
         error records and the stream still terminates with its ``done``
         summary — a slow unit degrades itself, never the batch protocol.
+
+        When *request_id* is given, every wire record carries it on its
+        envelope (never inside ``result``, so payloads stay bit-identical to
+        the serial reference) — the trace id a client can correlate with the
+        server's structured log.
         """
         self.stats.count("batches_accepted")
+        log_event(
+            LOGGER,
+            "server.batch_accepted",
+            level=logging.INFO,
+            requests=len(requests),
+        )
         started = time.perf_counter()
+        first_outcome_at: Optional[float] = None
         ok = errors = 0
         for index, outcome in self._server.submit_stream(
             requests, capture_errors=True, timeout=self.request_timeout
         ):
+            if first_outcome_at is None:
+                first_outcome_at = time.perf_counter()
+                STAGE_SECONDS.observe(first_outcome_at - started, stage="queue")
             if isinstance(outcome, UnitFailure):
                 errors += 1
                 self.stats.count("errors_streamed")
-                yield {"index": index, "status": "error", "error": outcome.as_dict()}
+                record: Dict[str, Any] = {
+                    "index": index,
+                    "status": "error",
+                    "error": outcome.as_dict(),
+                }
             else:
                 ok += 1
                 self.stats.count("results_streamed")
-                yield {"index": index, "status": "ok", "result": outcome.to_dict()}
+                record = {"index": index, "status": "ok", "result": outcome.to_dict()}
+            if request_id is not None:
+                record["request_id"] = request_id
+            yield record
+        elapsed = time.perf_counter() - started
+        STAGE_SECONDS.observe(
+            elapsed - ((first_outcome_at or time.perf_counter()) - started),
+            stage="execute",
+        )
         self.stats.count("batches_completed")
-        yield {
+        log_event(
+            LOGGER,
+            "server.batch_done",
+            level=logging.INFO,
+            requests=len(requests),
+            ok=ok,
+            errors=errors,
+            seconds=round(elapsed, 6),
+        )
+        done: Dict[str, Any] = {
             "status": "done",
             "count": len(requests),
             "ok": ok,
             "errors": errors,
-            "elapsed_seconds": time.perf_counter() - started,
+            "elapsed_seconds": elapsed,
         }
+        if request_id is not None:
+            done["request_id"] = request_id
+        yield done
 
     # -------------------------------------------------------------- observation
     def health(self) -> Dict[str, Any]:
@@ -434,6 +530,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._send_json(200, service.health())
         elif self.path == "/v1/stats":
             self._send_json(200, service.stats_payload())
+        elif self.path == "/v1/metrics":
+            self._send_text(200, obs_metrics.render(), METRICS_CONTENT_TYPE)
         else:
             self._send_json(404, _not_found(self.path))
 
@@ -444,25 +542,37 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         if self.path != "/v1/batch":
             self._send_json(404, _not_found(self.path))
             return
-        try:
-            with service.track_in_flight():
-                try:
-                    body = self._read_body()
-                    requests = service.parse_batch(body)
-                except RequestRejected as error:
-                    service.stats.count("batches_rejected")
-                    # The body was (at least partly) consumed or found
-                    # malformed; close so a confused client cannot
-                    # desynchronize the connection.
-                    self._send_json(error.status, error.payload, error=error)
-                    return
-                self._stream_batch(service, requests)
-        except RequestRejected as error:
-            # Admission refused the batch before its body was read: answer
-            # 429 + Retry-After and close (the unread body is still on the
-            # wire, so this connection cannot be reused).
-            service.stats.count("batches_rejected")
-            self._send_json(error.status, error.payload, error=error)
+        # The trace id for this batch: the client's X-Request-Id when it sent
+        # one (ServiceClient always does), otherwise minted here. Bound as a
+        # contextvar for the whole request so every layer underneath —
+        # parsing, dispatch, engines, store tiers, structured events — sees
+        # it without threading it through signatures.
+        self.request_id = self.headers.get(REQUEST_ID_HEADER) or new_request_id()
+        with trace(self.request_id):
+            try:
+                with service.track_in_flight():
+                    try:
+                        parse_started = time.perf_counter()
+                        body = self._read_body()
+                        requests = service.parse_batch(body)
+                        STAGE_SECONDS.observe(
+                            time.perf_counter() - parse_started, stage="parse"
+                        )
+                    except RequestRejected as error:
+                        service.stats.count("batches_rejected")
+                        ADMISSION_REJECTIONS_TOTAL.inc(reason=error.error_type)
+                        # The body was (at least partly) consumed or found
+                        # malformed; close so a confused client cannot
+                        # desynchronize the connection.
+                        self._send_json(error.status, error.payload, error=error)
+                        return
+                    self._stream_batch(service, requests)
+            except RequestRejected as error:
+                # Admission refused the batch before its body was read:
+                # answer 429 + Retry-After and close (the unread body is
+                # still on the wire, so this connection cannot be reused).
+                service.stats.count("batches_rejected")
+                self._send_json(error.status, error.payload, error=error)
 
     # ------------------------------------------------------------------ helpers
     def _drop_connection(self) -> bool:
@@ -505,6 +615,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "request_id", None)
+        if request_id is not None:
+            self.send_header(REQUEST_ID_HEADER, request_id)
         if error is not None:
             if error.retry_after is not None:
                 self.send_header("Retry-After", str(error.retry_after))
@@ -513,6 +626,16 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
+        HTTP_REQUESTS_TOTAL.inc(route=_route_of(self.path), status=str(status))
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        HTTP_REQUESTS_TOTAL.inc(route=_route_of(self.path), status=str(status))
 
     def _stream_batch(
         self, service: MotifService, requests: List[ServeRequest]
@@ -520,11 +643,17 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")
+        self.send_header(REQUEST_ID_HEADER, self.request_id)
         self.end_headers()
+        stream_started = time.perf_counter()
         try:
-            for record in service.stream(requests):
+            for record in service.stream(requests, request_id=self.request_id):
                 self._write_chunk(json.dumps(record) + "\n")
             self._write_last_chunk()
+            STAGE_SECONDS.observe(
+                time.perf_counter() - stream_started, stage="stream"
+            )
+            HTTP_REQUESTS_TOTAL.inc(route="/v1/batch", status="200")
         except (BrokenPipeError, ConnectionResetError):
             # The client went away mid-stream; nothing left to tell it.
             LOGGER.debug("client disconnected mid-stream")
@@ -564,7 +693,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.wfile.flush()
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        LOGGER.debug("%s - %s", self.address_string(), format % args)
+        # Structured access log on the repro namespace: one JSON line per
+        # request at DEBUG (silent by default; `serve --log-level debug`
+        # surfaces it), carrying the bound trace id when one is set.
+        log_event(
+            LOGGER,
+            "http.access",
+            client=self.address_string(),
+            line=format % args,
+        )
 
 
 class MotifHTTPServer(ThreadingHTTPServer):
@@ -697,7 +834,7 @@ def run(
     if announce is not None:
         announce(
             f"serving on http://{server.host}:{server.port} "
-            f"(POST /v1/batch, GET /v1/health, GET /v1/stats)"
+            f"(POST /v1/batch, GET /v1/health, GET /v1/stats, GET /v1/metrics)"
         )
         sys.stdout.flush()
     try:

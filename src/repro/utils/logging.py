@@ -9,8 +9,12 @@ scripts and the CLI.
 from __future__ import annotations
 
 import logging
+from typing import Union
 
 _LIBRARY_LOGGER_NAME = "repro"
+
+#: Level names accepted by :func:`enable_console_logging` (CLI ``--log-level``).
+LOG_LEVEL_NAMES = ("debug", "info", "warning", "error", "critical")
 
 logging.getLogger(_LIBRARY_LOGGER_NAME).addHandler(logging.NullHandler())
 
@@ -30,12 +34,26 @@ def get_logger(name: str) -> logging.Logger:
     return logging.getLogger(name)
 
 
-def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+def resolve_level(level: Union[int, str]) -> int:
+    """Turn a numeric level or a case-insensitive name into a logging level."""
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(
+                f"unknown log level {level!r}; expected one of {LOG_LEVEL_NAMES}"
+            )
+        return resolved
+    return int(level)
+
+
+def enable_console_logging(level: Union[int, str] = logging.INFO) -> logging.Handler:
     """Attach a stream handler to the library logger and return it.
 
-    Intended for the CLI and examples; libraries embedding repro should
-    configure logging themselves instead.
+    *level* may be a numeric level or a name like ``"debug"``. Intended for
+    the CLI and examples; libraries embedding repro should configure logging
+    themselves instead.
     """
+    level = resolve_level(level)
     logger = logging.getLogger(_LIBRARY_LOGGER_NAME)
     handler = logging.StreamHandler()
     handler.setFormatter(

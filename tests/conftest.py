@@ -10,8 +10,22 @@ from repro.exceptions import ReproError
 from repro.hypergraph import Hypergraph
 from repro.generators import generate_uniform_random
 from repro.motifs import MotifCounts, classify_instance
+from repro.obs import metrics as obs_metrics
 from repro.projection import project
 from repro.store import ENV_STORE_DIR, reset_default_store
+
+
+@pytest.fixture(autouse=True)
+def _reset_metrics_registry():
+    """Zero the process-wide metrics registry around every test.
+
+    The :mod:`repro.obs` counters are process-global by design; resetting
+    (not clearing — module-level family handles stay registered) keeps each
+    test's exact-count assertions independent of what ran before it.
+    """
+    obs_metrics.reset_metrics()
+    yield
+    obs_metrics.reset_metrics()
 
 
 @pytest.fixture(autouse=True)
