@@ -72,6 +72,13 @@ def run_core_speed_benchmark(result_path: Path = RESULT_PATH) -> dict:
         "reference_projection_s": reference_projection_s,
         "reference_exact_s": reference_exact_s,
         "speedup": reference_total / fast_total if fast_total > 0 else float("inf"),
+        # Per-anchor throughput of the batched exact kernel (every hyperedge
+        # is an anchor of MoCHy-E's outer loop) — the unit the anchor-block
+        # kernels optimize, tracked so block-layout regressions show up even
+        # when the headline speedup stays above its gate.
+        "exact_anchors_per_s": (
+            hypergraph.num_hyperedges / exact_s if exact_s > 0 else float("inf")
+        ),
     }
     result_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return payload
@@ -89,6 +96,7 @@ def test_bench_core_speed():
         f"{payload['reference_exact_s']:>10.4f}",
         f"overall speedup: {payload['speedup']:.1f}x on "
         f"{payload['edges']} hyperedges / {payload['hyperwedges']} hyperwedges",
+        f"exact throughput: {payload['exact_anchors_per_s']:.0f} anchors/s",
     ]
     write_report("bench_core_speed", "\n".join(lines))
     assert payload["speedup"] >= 5.0

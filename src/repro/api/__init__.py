@@ -22,6 +22,7 @@ from repro.api.config import (
     SPEC_TYPES,
     CompareSpec,
     CountSpec,
+    KernelConfig,
     PredictSpec,
     ProfileSpec,
     spec_from_dict,
@@ -49,6 +50,7 @@ __all__ = [
     "ProfileSpec",
     "CompareSpec",
     "PredictSpec",
+    "KernelConfig",
     "PROJECTION_FULL",
     "PROJECTION_LAZY",
     "PROJECTIONS",

@@ -39,6 +39,7 @@ from repro.api.config import (
     PROJECTION_LAZY,
     CompareSpec,
     CountSpec,
+    KernelConfig,
     PredictSpec,
     ProfileSpec,
 )
@@ -64,6 +65,7 @@ from repro.counting.runner import (
 )
 from repro.counting.wedge_sampling import count_approx_wedge_sampling
 from repro.exceptions import SpecError
+from repro.fastcore.backend import use_backend
 from repro.hypergraph.builders import TemporalHypergraph
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.ml import default_classifiers
@@ -118,6 +120,12 @@ class MotifEngine:
         :class:`~repro.store.ArtifactStore` is used as given. Only
         deterministic artifacts (the full projection, exact or integer-seeded
         results) are stored, so cached and cold paths stay bit-identical.
+    kernel:
+        Optional :class:`~repro.api.KernelConfig` (or backend name string)
+        pinning the counting-kernel backend for every run of this engine.
+        ``None`` follows the ambient selection (``set_backend`` /
+        ``REPRO_KERNEL_BACKEND``). Counts are bit-identical across backends,
+        so the choice is deliberately not part of any cache key.
     """
 
     def __init__(
@@ -125,6 +133,7 @@ class MotifEngine:
         hypergraph: EngineSource,
         projection: Optional[ProjectedGraph] = None,
         store: Union[ArtifactStore, bool, None] = True,
+        kernel: Union[KernelConfig, str, None] = None,
     ) -> None:
         if isinstance(hypergraph, TemporalHypergraph):
             self._temporal: Optional[TemporalHypergraph] = hypergraph
@@ -137,6 +146,9 @@ class MotifEngine:
                 "MotifEngine requires a Hypergraph or TemporalHypergraph, "
                 f"got {type(hypergraph).__name__}"
             )
+        if isinstance(kernel, str):
+            kernel = KernelConfig(kernel)
+        self._kernel = kernel
         self._projection = projection
         self._projection_builds = 0
         self._hyperwedges: Optional[List[Tuple[int, int]]] = None
@@ -153,10 +165,11 @@ class MotifEngine:
         scale: float = 1.0,
         registry: Optional[DatasetRegistry] = None,
         store: Union[ArtifactStore, bool, None] = True,
+        kernel: Union[KernelConfig, str, None] = None,
     ) -> "MotifEngine":
         """Build an engine from a registered dataset name or a hypergraph file."""
         registry = DEFAULT_REGISTRY if registry is None else registry
-        return cls(registry.load(source, scale=scale), store=store)
+        return cls(registry.load(source, scale=scale), store=store, kernel=kernel)
 
     # -------------------------------------------------------------- properties
     @property
@@ -180,6 +193,14 @@ class MotifEngine:
     def store(self) -> Optional[ArtifactStore]:
         """The artifact store this engine consults (``None`` when disabled)."""
         return self._store
+
+    @property
+    def kernel(self) -> Optional[KernelConfig]:
+        """The pinned kernel configuration (``None`` = ambient selection)."""
+        return self._kernel
+
+    def _kernel_backend(self) -> Optional[str]:
+        return None if self._kernel is None else self._kernel.backend
 
     @property
     def fingerprint(self) -> str:
@@ -278,7 +299,10 @@ class MotifEngine:
                 wedges = self._lazy_hyperwedges
         resolved_samples = self._resolve_samples(spec, hypergraph, provider, wedges)
         with Timer() as counting_timer:
-            counts = self._dispatch(spec, hypergraph, provider, resolved_samples, wedges)
+            with use_backend(self._kernel_backend()):
+                counts = self._dispatch(
+                    spec, hypergraph, provider, resolved_samples, wedges
+                )
         result = CountResult(
             dataset=hypergraph.name,
             algorithm=spec.algorithm,
@@ -474,14 +498,15 @@ class MotifEngine:
                 null, tier = stored
                 self._null_cache[key] = null
                 return _copy_counts(null.mean_counts), tier
-        null = random_motif_counts(
-            self._static(),
-            num_random=spec.num_random,
-            null_model=spec.null_model,
-            algorithm=spec.algorithm,
-            sampling_ratio=spec.sampling_ratio,
-            seed=spec.seed,
-        )
+        with use_backend(self._kernel_backend()):
+            null = random_motif_counts(
+                self._static(),
+                num_random=spec.num_random,
+                null_model=spec.null_model,
+                algorithm=spec.algorithm,
+                sampling_ratio=spec.sampling_ratio,
+                seed=spec.seed,
+            )
         if cacheable:
             self._null_cache[key] = null
             if self._store is not None:

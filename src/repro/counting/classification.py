@@ -36,13 +36,36 @@ class NeighborhoodProvider(Protocol):
 def fast_adjacency(projection: NeighborhoodProvider):
     """The provider's CSR adjacency arrays, or ``None`` if it has none.
 
-    This is the single dispatch seam between the per-triple fallback loops
-    and the batched fast-core kernels: any provider exposing
-    ``adjacency_arrays()`` (today :class:`repro.projection.ProjectedGraph`)
-    takes the fast path in every counter at once.
+    Any provider exposing ``adjacency_arrays()`` (today
+    :class:`repro.projection.ProjectedGraph`) yields a fully materialized
+    :class:`~repro.fastcore.projection.AdjacencyArrays` — the picklable form
+    the parallel drivers ship to workers and the compiled backend requires.
     """
     getter = getattr(projection, "adjacency_arrays", None)
     return getter() if getter is not None else None
+
+
+#: Methods a provider must expose to drive the batched block kernels.
+_KERNEL_SOURCE_METHODS = ("gather_rows", "row_lengths", "pair_weights")
+
+
+def kernel_source(projection: NeighborhoodProvider):
+    """A block-kernel source for *projection*, or ``None`` for the fallback.
+
+    This is the single dispatch seam between the per-triple fallback loops
+    and the batched fast-core kernels. Full projections resolve to their
+    :class:`~repro.fastcore.projection.AdjacencyArrays`; any other provider
+    implementing the gather/lookup interface (today
+    :class:`repro.projection.LazyProjection`) is consumed directly, so the
+    memory-budgeted projection runs the same vectorized sweeps. Providers
+    with neither take the per-triple reference path.
+    """
+    arrays = fast_adjacency(projection)
+    if arrays is not None:
+        return arrays
+    if all(hasattr(projection, name) for name in _KERNEL_SOURCE_METHODS):
+        return projection
+    return None
 
 
 def classify_triple(

@@ -8,10 +8,10 @@ corresponding counter is incremented. Since each instance contains three
 hyperedges, it is counted ``3s/|E|`` times in expectation, so multiplying by
 ``|E| / (3s)`` yields an unbiased estimate (Theorem 2).
 
-With an array-backed :class:`~repro.projection.ProjectedGraph` the per-sample
-visit runs through the batched fast-core kernel
-(:func:`repro.fastcore.count_containing_batched`); other neighborhood
-providers (e.g. a budgeted lazy projection) use the per-triple fallback.
+Both the array-backed :class:`~repro.projection.ProjectedGraph` and the
+budgeted lazy projection run the per-sample visit through the batched
+fast-core kernel (:func:`repro.fastcore.count_containing_batched`); other
+neighborhood providers use the per-triple fallback.
 """
 
 from __future__ import annotations
@@ -22,7 +22,7 @@ from typing import Optional, Sequence
 from repro.counting.classification import (
     NeighborhoodProvider,
     classify_triple,
-    fast_adjacency,
+    kernel_source,
 )
 from repro.exceptions import SamplingError
 from repro.fastcore.kernels import count_containing_batched
@@ -112,11 +112,11 @@ def accumulate_containing(
     of that anchor in *anchors* (duplicates are intentional: sampling is with
     replacement).
     """
-    adjacency = fast_adjacency(projection)
-    if adjacency is not None:
+    source = kernel_source(projection)
+    if source is not None:
         return MotifCounts(
             count_containing_batched(
-                hypergraph.csr(), adjacency, [int(anchor) for anchor in anchors]
+                hypergraph.csr(), source, [int(anchor) for anchor in anchors]
             )
         )
     counts = MotifCounts.zeros()

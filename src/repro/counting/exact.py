@@ -8,13 +8,13 @@ counted only when ``i < min(j, k)``. This guarantees every instance is counted
 exactly once. Complexity is ``O(Σ_i |N_{e_i}|² · |e_i|)`` (Theorem 1).
 
 ``count_exact`` routes through the batched fast-core kernel
-(:func:`repro.fastcore.count_exact_batched`) whenever the projection is the
-array-backed :class:`~repro.projection.ProjectedGraph`; with any other
-:class:`NeighborhoodProvider` (e.g. a budgeted
-:class:`~repro.projection.LazyProjection`) it falls back to the per-triple
-enumeration, which is also kept as the instance-level API
-(``enumerate_instances``). Both paths visit identical triples and produce
-bit-identical counts.
+(:func:`repro.fastcore.count_exact_batched`) whenever the projection can
+serve the block gather interface — the array-backed
+:class:`~repro.projection.ProjectedGraph` *and* the budgeted
+:class:`~repro.projection.LazyProjection` both can; any other
+:class:`NeighborhoodProvider` falls back to the per-triple enumeration,
+which is also kept as the instance-level API (``enumerate_instances``).
+All paths visit identical triples and produce bit-identical counts.
 """
 
 from __future__ import annotations
@@ -25,7 +25,7 @@ from typing import Iterable, Iterator, Optional, Tuple
 from repro.counting.classification import (
     NeighborhoodProvider,
     classify_triple,
-    fast_adjacency,
+    kernel_source,
 )
 from repro.fastcore.kernels import count_exact_batched
 from repro.hypergraph.hypergraph import Hypergraph
@@ -62,10 +62,10 @@ def count_exact(
     """
     if projection is None:
         projection = project(hypergraph)
-    adjacency = fast_adjacency(projection)
-    if adjacency is not None:
+    source = kernel_source(projection)
+    if source is not None:
         return MotifCounts(
-            count_exact_batched(hypergraph.csr(), adjacency, hyperedge_indices)
+            count_exact_batched(hypergraph.csr(), source, hyperedge_indices)
         )
     counts = MotifCounts.zeros()
     for instance in enumerate_instances(hypergraph, projection, hyperedge_indices):

@@ -10,11 +10,12 @@ hyperwedges and an open instance two, so the raw counters are rescaled by
 sampling ratios but strictly smaller variance (Section 3.3), which is the
 paper's headline algorithmic result.
 
-With an array-backed :class:`~repro.projection.ProjectedGraph` the
-per-wedge visit runs through the batched fast-core kernel
-(:func:`repro.fastcore.count_wedges_batched`); other neighborhood providers
-(notably a budgeted :class:`~repro.projection.LazyProjection`, which is the
-point of Section 3.4) use the per-triple fallback.
+Both the array-backed :class:`~repro.projection.ProjectedGraph` and the
+budgeted :class:`~repro.projection.LazyProjection` (the point of
+Section 3.4) run the per-wedge visit through the batched fast-core kernel
+(:func:`repro.fastcore.count_wedges_batched`) — for the lazy projection only
+the row fetches honor the memoization budget; other neighborhood providers
+use the per-triple fallback.
 """
 
 from __future__ import annotations
@@ -25,7 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.counting.classification import (
     NeighborhoodProvider,
     classify_triple,
-    fast_adjacency,
+    kernel_source,
 )
 from repro.exceptions import SamplingError
 from repro.fastcore.kernels import count_wedges_batched
@@ -141,11 +142,11 @@ def accumulate_containing_wedges(
     wedges: Sequence[Tuple[int, int]],
 ) -> MotifCounts:
     """Raw counts over all instances containing each sampled hyperwedge."""
-    adjacency = fast_adjacency(projection)
-    if adjacency is not None:
+    source = kernel_source(projection)
+    if source is not None:
         return MotifCounts(
             count_wedges_batched(
-                hypergraph.csr(), adjacency, [(int(i), int(j)) for i, j in wedges]
+                hypergraph.csr(), source, [(int(i), int(j)) for i, j in wedges]
             )
         )
     counts = MotifCounts.zeros()

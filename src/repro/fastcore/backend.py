@@ -1,0 +1,152 @@
+"""Kernel backend selection for the batched MoCHy counters.
+
+The counting kernels in :mod:`repro.fastcore.kernels` have two
+implementations of the same arithmetic:
+
+* ``"numpy"`` — the pure-NumPy anchor-block kernels. Always available and
+  always the default: every other backend is parity-tested against it (and
+  against :mod:`repro.fastcore.reference`).
+* ``"numba"`` — optional JIT-compiled inner loops
+  (:mod:`repro.fastcore.compiled`). Selected only when the ``numba`` package
+  is importable; requesting it without numba installed raises
+  :class:`~repro.exceptions.KernelBackendError` so a mis-provisioned worker
+  fails loudly instead of silently running a different code path than its
+  parent.
+
+``"auto"`` resolves to ``"numba"`` when available and ``"numpy"`` otherwise;
+it is accepted everywhere a backend name is (the environment variable, the
+CLI flag, :class:`repro.api.KernelConfig`) but is resolved to a concrete
+backend immediately, so :func:`get_backend` only ever reports ``"numpy"`` or
+``"numba"``.
+
+Selection layers, outermost wins:
+
+1. :func:`use_backend` — a context manager for scoped overrides (what
+   :class:`~repro.api.MotifEngine` uses when given a ``KernelConfig``);
+2. :func:`set_backend` — the process-wide default (what the CLI's
+   ``--kernel-backend`` flag sets);
+3. the ``REPRO_KERNEL_BACKEND`` environment variable — the initial
+   process-wide default, re-read by worker processes so forked/spawned
+   executors inherit the parent's choice even without an explicit flag.
+
+Every count is bit-identical across backends (integer arithmetic summed into
+float64 well below 2**53), so the backend is deliberately *not* part of any
+cache key: artifacts computed under one backend are served to engines running
+another.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.exceptions import KernelBackendError
+
+#: Environment variable holding the process-default backend name.
+ENV_KERNEL_BACKEND = "REPRO_KERNEL_BACKEND"
+
+BACKEND_NUMPY = "numpy"
+BACKEND_NUMBA = "numba"
+BACKEND_AUTO = "auto"
+
+#: Concrete kernel backends (what :func:`get_backend` can return).
+KERNEL_BACKENDS = (BACKEND_NUMPY, BACKEND_NUMBA)
+
+#: Names accepted wherever a backend is chosen (CLI, env, ``KernelConfig``).
+KERNEL_BACKEND_CHOICES = (BACKEND_NUMPY, BACKEND_NUMBA, BACKEND_AUTO)
+
+_numba_probe: Optional[bool] = None
+_lock = threading.Lock()
+_process_backend: Optional[str] = None
+# Scoped overrides are thread-local so engines with different KernelConfigs
+# running on the thread executor cannot clobber each other's choice.
+_local = threading.local()
+
+
+def numba_available() -> bool:
+    """Whether the optional numba dependency is importable (cached probe)."""
+    global _numba_probe
+    if _numba_probe is None:
+        try:
+            import numba  # noqa: F401
+        except Exception:
+            _numba_probe = False
+        else:
+            _numba_probe = True
+    return _numba_probe
+
+
+def resolve_backend(name: Optional[str]) -> str:
+    """Resolve a requested backend name to a concrete, available backend.
+
+    ``None`` consults the process default (:func:`set_backend`, else the
+    ``REPRO_KERNEL_BACKEND`` environment variable, else ``"numpy"``);
+    ``"auto"`` picks numba when importable. An explicit ``"numba"`` without
+    numba installed raises :class:`KernelBackendError` — the pure-NumPy path
+    is the *default* fallback, never a silent substitute for an explicit
+    request.
+    """
+    if name is None:
+        with _lock:
+            if _process_backend is not None:
+                return _process_backend
+        name = os.environ.get(ENV_KERNEL_BACKEND) or BACKEND_NUMPY
+    name = str(name).strip().lower()
+    if name == BACKEND_AUTO:
+        return BACKEND_NUMBA if numba_available() else BACKEND_NUMPY
+    if name not in KERNEL_BACKENDS:
+        raise KernelBackendError(
+            f"unknown kernel backend {name!r}; choose from "
+            f"{KERNEL_BACKEND_CHOICES}"
+        )
+    if name == BACKEND_NUMBA and not numba_available():
+        raise KernelBackendError(
+            "kernel backend 'numba' requested but the numba package is not "
+            "installed; install the 'compiled' extra (pip install "
+            "repro-mochy[compiled]) or use --kernel-backend numpy"
+        )
+    return name
+
+
+def set_backend(name: Optional[str]) -> str:
+    """Set (and return) the process-wide default backend.
+
+    ``None`` clears the override back to the environment default. The name is
+    validated and resolved eagerly, so an unavailable backend fails here, not
+    in the middle of a counting run.
+    """
+    global _process_backend
+    resolved = None if name is None else resolve_backend(name)
+    with _lock:
+        _process_backend = resolved
+    return resolved if resolved is not None else resolve_backend(None)
+
+
+def get_backend() -> str:
+    """The backend the kernels will use right now (scoped override first)."""
+    override = getattr(_local, "backend", None)
+    if override is not None:
+        return override
+    return resolve_backend(None)
+
+
+@contextmanager
+def use_backend(name: Optional[str]) -> Iterator[str]:
+    """Scoped backend override for the current thread.
+
+    ``None`` is a no-op context (the ambient backend applies), which lets
+    callers write ``with use_backend(config and config.backend):`` without
+    branching.
+    """
+    if name is None:
+        yield get_backend()
+        return
+    resolved = resolve_backend(name)
+    previous = getattr(_local, "backend", None)
+    _local.backend = resolved
+    try:
+        yield resolved
+    finally:
+        _local.backend = previous

@@ -1,0 +1,321 @@
+"""Optional numba-compiled inner loops for the MoCHy counting kernels.
+
+The NumPy block kernels in :mod:`repro.fastcore.kernels` amortize interpreter
+dispatch over thousands of candidate pairs, but still materialize the pair
+slabs as arrays. On machines with numba installed the same triple visits can
+run as tight compiled loops with zero intermediate allocation; this module
+holds those loops.
+
+Design rules:
+
+* **Bit-identical or bust.** Each kernel visits exactly the triples its NumPy
+  counterpart visits and performs the same integer arithmetic; counts are
+  accumulated as unit increments into float64, so results are bit-identical.
+  Parity is enforced by the tier-1 suite against both the NumPy kernels and
+  ``repro.fastcore.reference``.
+* **Errors defer to NumPy.** On any invalid triple the compiled loop returns
+  a nonzero status and the caller returns ``None``; the dispatching kernel
+  then re-runs the NumPy path, which raises the library's exact exception
+  types with their usual messages. Invalid input aborts the whole count
+  either way, so the recomputation only happens on the failure path.
+* **Import-gated.** ``@_jit`` is the identity when numba is missing, so this
+  module always imports and the loops stay executable as plain Python —
+  which is how the test suite checks their logic on machines without numba.
+  The backend selector (:mod:`repro.fastcore.backend`) never routes here
+  unless numba is importable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.fastcore.backend import numba_available
+from repro.fastcore.csr import HypergraphCSR
+from repro.fastcore.projection import AdjacencyArrays
+from repro.motifs.classify import motif_lookup_table
+from repro.motifs.patterns import NUM_MOTIFS
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _njit
+except Exception:  # pragma: no cover - the common case in minimal installs
+    _njit = None
+
+
+def _jit(function):
+    """``numba.njit`` when available, identity otherwise (keeps logic testable)."""
+    if _njit is None:
+        return function
+    return _njit(cache=True, nogil=True)(function)  # pragma: no cover
+
+
+@_jit
+def _pair_weight(ptr, idx, weight, row, col):
+    """``ω(∧_{row,col})`` via binary search in the sorted adjacency row."""
+    lo = ptr[row]
+    hi = ptr[row + 1]
+    while lo < hi:
+        mid = (lo + hi) // 2
+        value = idx[mid]
+        if value < col:
+            lo = mid + 1
+        elif value > col:
+            hi = mid
+        else:
+            return weight[mid]
+    return 0
+
+
+@_jit
+def _triple_overlap(edge_ptr, edge_nodes, i, j, k):
+    """``|e_i ∩ e_j ∩ e_k|`` by three-pointer merge over sorted node rows."""
+    ai = edge_ptr[i]
+    bi = edge_ptr[i + 1]
+    aj = edge_ptr[j]
+    bj = edge_ptr[j + 1]
+    ak = edge_ptr[k]
+    bk = edge_ptr[k + 1]
+    count = 0
+    while ai < bi and aj < bj and ak < bk:
+        vi = edge_nodes[ai]
+        vj = edge_nodes[aj]
+        vk = edge_nodes[ak]
+        if vi == vj and vj == vk:
+            count += 1
+            ai += 1
+            aj += 1
+            ak += 1
+        else:
+            top = vi
+            if vj > top:
+                top = vj
+            if vk > top:
+                top = vk
+            if vi < top:
+                ai += 1
+            if vj < top:
+                aj += 1
+            if vk < top:
+                ak += 1
+    return count
+
+
+@_jit
+def _classify(lookup, size_i, size_j, size_k, w_ij, w_jk, w_ki, triple):
+    """Motif id for one triple; negative on any invalid configuration.
+
+    Mirrors ``classify_batch``: Venn regions by inclusion–exclusion, a 7-bit
+    occupancy code, then the 128-entry lookup table (whose negative
+    sentinels pass straight through).
+    """
+    only_i = size_i - w_ij - w_ki + triple
+    only_j = size_j - w_ij - w_jk + triple
+    only_k = size_k - w_ki - w_jk + triple
+    pair_ij = w_ij - triple
+    pair_jk = w_jk - triple
+    pair_ki = w_ki - triple
+    if (
+        only_i < 0
+        or only_j < 0
+        or only_k < 0
+        or pair_ij < 0
+        or pair_jk < 0
+        or pair_ki < 0
+        or triple < 0
+    ):
+        return -100
+    code = 0
+    if only_i > 0:
+        code |= 1
+    if only_j > 0:
+        code |= 2
+    if only_k > 0:
+        code |= 4
+    if pair_ij > 0:
+        code |= 8
+    if pair_jk > 0:
+        code |= 16
+    if pair_ki > 0:
+        code |= 32
+    if triple > 0:
+        code |= 64
+    return lookup[code]
+
+
+@_jit
+def _count_exact_loop(
+    edge_ptr, edge_nodes, edge_sizes, adj_ptr, adj_idx, adj_weight,
+    anchors, lookup, totals,
+):
+    for t in range(anchors.shape[0]):
+        i = anchors[t]
+        row_start = adj_ptr[i]
+        row_end = adj_ptr[i + 1]
+        for a in range(row_start, row_end - 1):
+            j = adj_idx[a]
+            w_ij = adj_weight[a]
+            for b in range(a + 1, row_end):
+                k = adj_idx[b]
+                w_ik = adj_weight[b]
+                w_jk = _pair_weight(adj_ptr, adj_idx, adj_weight, j, k)
+                # Closed instances are attributed to their minimum index;
+                # j == min(j, k) because the row is sorted.
+                if w_jk != 0 and i >= j:
+                    continue
+                triple = 0
+                if w_jk > 0:
+                    triple = _triple_overlap(edge_ptr, edge_nodes, i, j, k)
+                motif = _classify(
+                    lookup,
+                    edge_sizes[i], edge_sizes[j], edge_sizes[k],
+                    w_ij, w_jk, w_ik, triple,
+                )
+                if motif < 0:
+                    return 1
+                totals[motif] += 1.0
+    return 0
+
+
+@_jit
+def _count_containing_loop(
+    edge_ptr, edge_nodes, edge_sizes, adj_ptr, adj_idx, adj_weight,
+    anchors, lookup, totals,
+):
+    for t in range(anchors.shape[0]):
+        i = anchors[t]
+        row_start = adj_ptr[i]
+        row_end = adj_ptr[i + 1]
+        for a in range(row_start, row_end):
+            j = adj_idx[a]
+            w_ij = adj_weight[a]
+            # Case 1: both other hyperedges neighbor the anchor.
+            for b in range(a + 1, row_end):
+                k = adj_idx[b]
+                w_ik = adj_weight[b]
+                w_jk = _pair_weight(adj_ptr, adj_idx, adj_weight, j, k)
+                triple = 0
+                if w_jk > 0:
+                    triple = _triple_overlap(edge_ptr, edge_nodes, i, j, k)
+                motif = _classify(
+                    lookup,
+                    edge_sizes[i], edge_sizes[j], edge_sizes[k],
+                    w_ij, w_jk, w_ik, triple,
+                )
+                if motif < 0:
+                    return 1
+                totals[motif] += 1.0
+            # Case 2: e_k adjacent to e_j but not to the anchor.
+            for p in range(adj_ptr[j], adj_ptr[j + 1]):
+                k = adj_idx[p]
+                if k == i:
+                    continue
+                if _pair_weight(adj_ptr, adj_idx, adj_weight, i, k) != 0:
+                    continue
+                motif = _classify(
+                    lookup,
+                    edge_sizes[i], edge_sizes[j], edge_sizes[k],
+                    w_ij, adj_weight[p], 0, 0,
+                )
+                if motif < 0:
+                    return 1
+                totals[motif] += 1.0
+    return 0
+
+
+@_jit
+def _count_wedges_loop(
+    edge_ptr, edge_nodes, edge_sizes, adj_ptr, adj_idx, adj_weight,
+    wedge_i, wedge_j, lookup, totals,
+):
+    for t in range(wedge_i.shape[0]):
+        i = wedge_i[t]
+        j = wedge_j[t]
+        w_ij = _pair_weight(adj_ptr, adj_idx, adj_weight, i, j)
+        ai = adj_ptr[i]
+        bi = adj_ptr[i + 1]
+        aj = adj_ptr[j]
+        bj = adj_ptr[j + 1]
+        # Merged union of the two sorted neighbor rows; the merge yields each
+        # candidate's ω(∧_ik)/ω(∧_jk) without extra binary searches.
+        while ai < bi or aj < bj:
+            if aj >= bj or (ai < bi and adj_idx[ai] < adj_idx[aj]):
+                k = adj_idx[ai]
+                w_ik = adj_weight[ai]
+                w_jk = 0
+                ai += 1
+            elif ai >= bi or adj_idx[aj] < adj_idx[ai]:
+                k = adj_idx[aj]
+                w_ik = 0
+                w_jk = adj_weight[aj]
+                aj += 1
+            else:
+                k = adj_idx[ai]
+                w_ik = adj_weight[ai]
+                w_jk = adj_weight[aj]
+                ai += 1
+                aj += 1
+            if k == i or k == j:
+                continue
+            triple = 0
+            if w_ik > 0 and w_jk > 0:
+                triple = _triple_overlap(edge_ptr, edge_nodes, i, j, k)
+            motif = _classify(
+                lookup,
+                edge_sizes[i], edge_sizes[j], edge_sizes[k],
+                w_ij, w_jk, w_ik, triple,
+            )
+            if motif < 0:
+                return 1
+            totals[motif] += 1.0
+    return 0
+
+
+def _run(loop, csr: HypergraphCSR, adjacency: AdjacencyArrays, *anchor_arrays):
+    totals = np.zeros(NUM_MOTIFS + 1, dtype=np.float64)
+    status = loop(
+        csr.edge_ptr,
+        csr.edge_nodes,
+        csr.edge_sizes,
+        adjacency.ptr,
+        adjacency.idx,
+        adjacency.weight,
+        *anchor_arrays,
+        motif_lookup_table(),
+        totals,
+    )
+    if status != 0:
+        # Invalid triple: hand back to the NumPy path, which raises the
+        # library's exact exception types.
+        return None
+    return totals[1:]
+
+
+def count_exact(
+    csr: HypergraphCSR, adjacency: AdjacencyArrays, anchors: np.ndarray
+) -> Optional[np.ndarray]:
+    """Compiled MoCHy-E; ``None`` means "fall back to the NumPy kernels"."""
+    if not numba_available():
+        return None
+    return _run(_count_exact_loop, csr, adjacency, anchors)
+
+
+def count_containing(
+    csr: HypergraphCSR, adjacency: AdjacencyArrays, anchors: np.ndarray
+) -> Optional[np.ndarray]:
+    """Compiled MoCHy-A inner counts; ``None`` = fall back to NumPy."""
+    if not numba_available():
+        return None
+    return _run(_count_containing_loop, csr, adjacency, anchors)
+
+
+def count_wedges(
+    csr: HypergraphCSR,
+    adjacency: AdjacencyArrays,
+    wedge_i: np.ndarray,
+    wedge_j: np.ndarray,
+) -> Optional[np.ndarray]:
+    """Compiled MoCHy-A+ inner counts; ``None`` = fall back to NumPy."""
+    if not numba_available():
+        return None
+    return _run(_count_wedges_loop, csr, adjacency, wedge_i, wedge_j)

@@ -62,6 +62,28 @@ def sorted_member_positions(
     return haystack[positions] == values, positions
 
 
+def gather_row_positions(
+    ptr: np.ndarray, rows: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flat data positions of the given CSR rows; returns ``(positions, owner)``.
+
+    ``owner[t]`` is the position within *rows* whose row produced
+    ``positions[t]``; indexing any per-entry array with *positions* is the
+    pure-array equivalent of ``concatenate([data[r] ...])``.
+    """
+    starts = ptr[rows].astype(np.int64)
+    lengths = (ptr[rows + 1] - ptr[rows]).astype(np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    positions = np.arange(total, dtype=np.int64) + np.repeat(
+        starts - offsets, lengths
+    )
+    owner = np.repeat(np.arange(len(rows), dtype=np.int64), lengths)
+    return positions, owner
+
+
 class AdjacencyArrays:
     """Picklable CSR adjacency of a projected graph.
 
@@ -71,7 +93,9 @@ class AdjacencyArrays:
     * a neighborhood is an O(1) pair of array slices,
     * a single overlap ``ω(∧_ij)`` is one binary search in row ``i``,
     * a *batch* of overlaps is one vectorized ``searchsorted`` against the
-      globally sorted key array ``row·|E| + col`` (cached lazily).
+      globally sorted key array ``row·|E| + col`` (cached lazily),
+    * a *block* of neighborhoods is one :meth:`gather_rows` call — the unit
+      the anchor-block counting kernels consume.
     """
 
     __slots__ = ("num_vertices", "ptr", "idx", "weight", "_keys")
@@ -124,6 +148,24 @@ class AdjacencyArrays:
         if keys.size == 0:
             return np.zeros(len(rows), dtype=WEIGHT_DTYPE)
         return np.where(found, self.weight[positions], 0).astype(WEIGHT_DTYPE)
+
+    def row_lengths(self, rows: np.ndarray) -> np.ndarray:
+        """Projected degrees of the given vertices as int64."""
+        rows = np.asarray(rows, dtype=np.int64)
+        return (self.ptr[rows + 1] - self.ptr[rows]).astype(np.int64)
+
+    def gather_rows(
+        self, rows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated ``(neighbor ids, weights, lengths)`` of the given rows.
+
+        ``lengths[t]`` is the degree of ``rows[t]``; the id/weight arrays are
+        the rows laid out back to back, each sorted ascending by neighbor id.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        positions, _ = gather_row_positions(self.ptr, rows)
+        lengths = (self.ptr[rows + 1] - self.ptr[rows]).astype(np.int64)
+        return self.idx[positions], self.weight[positions], lengths
 
 
 #: Maximum pair occurrences materialized at once while building a projection
@@ -300,27 +342,40 @@ def build_projection_arrays(
     return pairs_to_symmetric_csr(keys, counts, num_edges)
 
 
+def neighborhood_arrays(
+    node_ptr: np.ndarray,
+    node_edges: np.ndarray,
+    edge_row: np.ndarray,
+    i: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(neighbor ids, weights)`` of one hyperedge from the membership rows.
+
+    The unit of work of the lazy projection: concatenate the membership rows
+    of ``e_i``'s nodes and histogram them — each co-member appears once per
+    shared node. Ids come back sorted ascending (``np.unique``), matching the
+    row ordering of :class:`AdjacencyArrays`.
+    """
+    if edge_row.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    pieces = [
+        node_edges[node_ptr[v] : node_ptr[v + 1]] for v in edge_row.tolist()
+    ]
+    members = np.concatenate(pieces)
+    neighbors, multiplicity = np.unique(members, return_counts=True)
+    keep = neighbors != i
+    return neighbors[keep].astype(np.int64), multiplicity[keep].astype(np.int64)
+
+
 def neighborhood_counts(
     node_ptr: np.ndarray,
     node_edges: np.ndarray,
     edge_row: np.ndarray,
     i: int,
 ) -> Dict[int, int]:
-    """``{j: ω(∧_ij)}`` for one hyperedge from the membership rows.
-
-    The unit of work of the lazy projection: concatenate the membership rows
-    of ``e_i``'s nodes and histogram them — each co-member appears once per
-    shared node.
-    """
-    if edge_row.size == 0:
-        return {}
-    pieces = [
-        node_edges[node_ptr[v] : node_ptr[v + 1]] for v in edge_row.tolist()
-    ]
-    members = np.concatenate(pieces)
-    neighbors, multiplicity = np.unique(members, return_counts=True)
+    """``{j: ω(∧_ij)}`` for one hyperedge from the membership rows."""
+    neighbors, multiplicity = neighborhood_arrays(node_ptr, node_edges, edge_row, i)
     return {
         int(j): int(w)
         for j, w in zip(neighbors.tolist(), multiplicity.tolist())
-        if j != i
     }

@@ -2,16 +2,22 @@
 
 When the hypergraph is large, materializing the whole projected graph costs
 ``O(|E| + |∧|)`` memory. Instead, :class:`LazyProjection` computes the
-neighborhood ``{j: ω(∧_ij)}`` of a hyperedge only when an algorithm asks for
-it, and memoizes at most a configurable number of neighborhoods. The paper
-reports that prioritizing hyperedges with high projected-graph degree
-outperforms random or LRU retention (Figure 11); all three policies are
-implemented so the ablation can be reproduced.
+neighborhood of a hyperedge only when an algorithm asks for it, and memoizes
+at most a configurable number of neighborhoods. The paper reports that
+prioritizing hyperedges with high projected-graph degree outperforms random
+or LRU retention (Figure 11); all three policies are implemented so the
+ablation can be reproduced.
 
-Each on-demand neighborhood is computed by the array-backed
-:func:`repro.projection.builder.neighborhood_of` (a histogram over the CSR
-membership rows); the memoization cache itself stays a dict of dicts, since
-its contents are consumed incrementally by the per-triple counters.
+The cache is array-native: each memoized neighborhood is a pair of sorted
+``(neighbor ids, weights)`` arrays computed by one vectorized histogram over
+the CSR membership rows (:func:`repro.fastcore.projection.neighborhood_arrays`).
+On top of :meth:`row`, the class serves the same block interface the batched
+counting kernels consume from :class:`~repro.fastcore.projection.AdjacencyArrays`
+(``gather_rows`` / ``row_lengths`` / ``pair_weights``), so ``--projection
+lazy`` runs through the exact same vectorized kernels as the full projection
+— only row *fetches* honor the budget. Dict-shaped accessors
+(:meth:`neighbors`, :meth:`overlap`) remain for the per-triple reference
+counters and provider-agnostic callers.
 """
 
 from __future__ import annotations
@@ -19,8 +25,10 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
+from repro.fastcore.projection import neighborhood_arrays, sorted_member_positions
 from repro.hypergraph.hypergraph import Hypergraph
-from repro.projection.builder import neighborhood_of
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require_non_negative_int
 
@@ -62,10 +70,13 @@ class LazyProjection:
         if budget is not None:
             budget = require_non_negative_int(budget, "budget")
         self._hypergraph = hypergraph
+        self._csr = hypergraph.csr()
         self._budget = budget
         self._policy = policy
         self._rng = ensure_rng(seed)
-        self._cache: "OrderedDict[int, Dict[int, int]]" = OrderedDict()
+        self._cache: "OrderedDict[int, Tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
         self._computations = 0
         self._hits = 0
 
@@ -101,12 +112,12 @@ class LazyProjection:
         return self._budget
 
     # ------------------------------------------------------------ neighborhoods
-    def neighbors(self, i: int) -> Dict[int, int]:
-        """``{j: ω(∧_ij)}`` for hyperedge *i*, memoizing within the budget.
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(neighbor ids, weights)`` of hyperedge *i*, sorted ascending.
 
-        Whether computed on the fly or read from the cache, the neighborhood is
-        always exact, so algorithms built on top are unaffected by the budget
-        (only their running time is).
+        Whether computed on the fly or read from the cache, the neighborhood
+        is always exact, so algorithms built on top are unaffected by the
+        budget (only their running time is).
         """
         cached = self._cache.get(i)
         if cached is not None:
@@ -114,18 +125,33 @@ class LazyProjection:
             if self._policy == POLICY_LRU:
                 self._cache.move_to_end(i)
             return cached
-        neighborhood = neighborhood_of(self._hypergraph, i)
+        self._hypergraph._check_edge_index(i)
+        csr = self._csr
+        neighborhood = neighborhood_arrays(
+            csr.node_ptr, csr.node_edges, csr.edge_row(i), i
+        )
         self._computations += 1
         self._maybe_store(i, neighborhood)
         return neighborhood
 
+    def neighbors(self, i: int) -> Dict[int, int]:
+        """``{j: ω(∧_ij)}`` for hyperedge *i*, memoizing within the budget."""
+        ids, weights = self.row(i)
+        return {
+            int(j): int(w) for j, w in zip(ids.tolist(), weights.tolist())
+        }
+
     def neighbor_indices(self, i: int) -> List[int]:
         """Indices of hyperedges adjacent to *i*."""
-        return list(self.neighbors(i))
+        return self.row(i)[0].tolist()
 
     def overlap(self, i: int, j: int) -> int:
         """``|e_i ∩ e_j|`` computed via the (possibly cached) neighborhood of *i*."""
-        return self.neighbors(i).get(j, 0)
+        ids, weights = self.row(i)
+        position = int(np.searchsorted(ids, j))
+        if position < ids.size and int(ids[position]) == j:
+            return int(weights[position])
+        return 0
 
     def hyperwedge_list(self) -> List[Tuple[int, int]]:
         """All hyperwedges ``(i, j)`` with ``i < j``.
@@ -135,27 +161,88 @@ class LazyProjection:
         """
         wedges: List[Tuple[int, int]] = []
         for i in range(self.num_hyperedges):
-            for j in self.neighbors(i):
-                if i < j:
-                    wedges.append((i, j))
+            ids, _ = self.row(i)
+            for j in ids[ids > i].tolist():
+                wedges.append((i, int(j)))
         return wedges
 
     def prewarm(self, indices: Iterable[int]) -> None:
         """Eagerly compute (and memoize, budget permitting) the given neighborhoods."""
         for i in indices:
-            self.neighbors(i)
+            self.row(i)
+
+    # ------------------------------------------------------- kernel interface
+    # The batched counting kernels drive any source exposing gather_rows /
+    # row_lengths / pair_weights (see AdjacencyArrays); serving them here
+    # means the lazy projection runs the same vectorized block sweeps, with
+    # only the row fetches subject to the memoization budget.
+
+    def row_lengths(self, rows: np.ndarray) -> np.ndarray:
+        """Projected degrees of the given hyperedges (fetches their rows)."""
+        return np.fromiter(
+            (self.row(int(r))[0].size for r in rows),
+            dtype=np.int64,
+            count=len(rows),
+        )
+
+    def gather_rows(
+        self, rows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated ``(neighbor ids, weights, lengths)`` of the given rows."""
+        id_parts: List[np.ndarray] = []
+        weight_parts: List[np.ndarray] = []
+        lengths = np.empty(len(rows), dtype=np.int64)
+        for position, r in enumerate(rows):
+            ids, weights = self.row(int(r))
+            id_parts.append(ids)
+            weight_parts.append(weights)
+            lengths[position] = ids.size
+        if not id_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, lengths
+        return (
+            np.concatenate(id_parts),
+            np.concatenate(weight_parts),
+            lengths,
+        )
+
+    def pair_weights(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Vectorized ``ω(∧_{rows[t], cols[t]})`` lookups (0 where absent).
+
+        Queries are grouped by row so each distinct row is fetched once and
+        searched with one vectorized ``searchsorted``.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        out = np.zeros(rows.size, dtype=np.int64)
+        if rows.size == 0:
+            return out
+        order = np.argsort(rows, kind="stable")
+        sorted_rows = rows[order]
+        boundaries = np.nonzero(
+            np.concatenate(([True], sorted_rows[1:] != sorted_rows[:-1]))
+        )[0]
+        ends = np.concatenate((boundaries[1:], [sorted_rows.size]))
+        for start, end in zip(boundaries.tolist(), ends.tolist()):
+            ids, weights = self.row(int(sorted_rows[start]))
+            positions = order[start:end]
+            hit, where = sorted_member_positions(ids, cols[positions])
+            out[positions[hit]] = weights[where[hit]]
+        return out
 
     # --------------------------------------------------------------- internal
-    def _maybe_store(self, i: int, neighborhood: Dict[int, int]) -> None:
+    def _maybe_store(
+        self, i: int, neighborhood: Tuple[np.ndarray, np.ndarray]
+    ) -> None:
         if self._budget is not None and self._budget == 0:
             return
         self._cache[i] = neighborhood
         if self._budget is None:
             return
         while len(self._cache) > self._budget:
-            self._evict(i)
+            self._evict()
 
-    def _evict(self, just_inserted: int) -> None:
+    def _evict(self) -> None:
         if self._policy == POLICY_LRU:
             # Evict the least recently used entry (front of the OrderedDict).
             self._cache.popitem(last=False)
@@ -165,14 +252,13 @@ class LazyProjection:
             victim = keys[int(self._rng.integers(0, len(keys)))]
             del self._cache[victim]
             return
-        # Degree policy: drop the cached neighborhood with the smallest degree,
-        # preferring to keep high-degree hyperedges resident.
-        victim = min(self._cache, key=lambda key: len(self._cache[key]))
-        # If the victim is the entry we just inserted that is fine: low-degree
-        # neighborhoods are cheap to recompute, which is exactly the point.
+        # Degree policy: drop the cached neighborhood with the smallest
+        # degree, preferring to keep high-degree hyperedges resident. The
+        # victim may be the entry just inserted (always so at budget=1 when
+        # it has the minimum degree): low-degree neighborhoods are cheap to
+        # recompute, which is exactly the point.
+        victim = min(self._cache, key=lambda key: self._cache[key][0].size)
         del self._cache[victim]
-        if victim == just_inserted:
-            return
 
     def __repr__(self) -> str:
         return (

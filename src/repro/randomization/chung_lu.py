@@ -14,6 +14,9 @@ Two implementations are provided:
 
 * :func:`chung_lu_bipartite` — the faithful Bernoulli model, with the standard
   sorted-weight geometric-skipping speedup so dense pairs are not all visited.
+  All hyperedges advance through the sorted node list together: each round
+  draws the geometric skips and acceptance tests for the whole frontier of
+  still-active hyperedges in one vectorized sweep.
 * :func:`weighted_slot_fill` — a simpler per-hyperedge refill (each slot of a
   hyperedge is filled with a node drawn proportionally to node degree). It
   exactly preserves the hyperedge-size distribution and preserves node degrees
@@ -30,6 +33,10 @@ from repro.exceptions import RandomizationError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.utils.rng import SeedLike, ensure_rng
 
+#: Rounds of vectorized duplicate-redraw before ``weighted_slot_fill`` falls
+#: back to per-hyperedge ``rng.choice(replace=False)`` for the stragglers.
+_SLOT_FILL_ROUNDS = 50
+
 
 def chung_lu_hypergraph(
     hypergraph: Hypergraph, seed: SeedLike = None, name: str | None = None
@@ -45,11 +52,12 @@ def chung_lu_hypergraph(
     if hypergraph.num_hyperedges == 0:
         raise RandomizationError("cannot randomize an empty hypergraph")
     rng = ensure_rng(seed)
-    node_labels = list(hypergraph.nodes())
-    node_degrees = np.array(
-        [hypergraph.degree(node) for node in node_labels], dtype=float
-    )
-    edge_sizes = np.array(hypergraph.hyperedge_sizes(), dtype=float)
+    # Degrees come straight off the CSR view: node ids are positions in
+    # ``hypergraph.nodes()``, so the pointer gaps line up with *node_labels*.
+    csr = hypergraph.csr()
+    node_labels = hypergraph.nodes()
+    node_degrees = np.diff(csr.node_ptr).astype(float)
+    edge_sizes = np.asarray(csr.edge_sizes, dtype=float)
     memberships = chung_lu_bipartite(node_degrees, edge_sizes, rng)
     edges: List[List] = []
     seen = set()
@@ -79,7 +87,10 @@ def chung_lu_bipartite(
     to it. Uses the efficient Chung–Lu sampling of Aksoy et al.: nodes are
     sorted by weight and, for each hyperedge, candidate nodes are visited with
     geometric skips so the expected work is proportional to the number of
-    generated edges rather than ``|V| · |E|``.
+    generated edges rather than ``|V| · |E|``. The skip/accept recurrence is
+    identical for every hyperedge, so all hyperedges are advanced in lockstep:
+    each round draws one skip and one acceptance uniform per still-active
+    hyperedge and updates the whole frontier with array operations.
     """
     node_degrees = np.asarray(node_degrees, dtype=float)
     edge_sizes = np.asarray(edge_sizes, dtype=float)
@@ -93,29 +104,70 @@ def chung_lu_bipartite(
     order = np.argsort(-node_degrees)
     sorted_degrees = node_degrees[order]
     num_nodes = len(sorted_degrees)
-    memberships: List[List[int]] = []
-    for edge_size in edge_sizes:
-        members: List[int] = []
-        if edge_size <= 0:
-            memberships.append(members)
-            continue
-        position = 0
-        probability = min(1.0, edge_size * sorted_degrees[0] / total) if num_nodes else 0.0
-        while position < num_nodes and probability > 0:
-            if probability < 1.0:
-                # Geometric skip: jump over nodes that would not connect.
-                # 1 - random() lies in (0, 1], so the logarithm is finite.
-                skip = int(np.floor(np.log(1.0 - rng.random()) / np.log(1.0 - probability)))
-                position += skip
-            if position >= num_nodes:
-                break
-            current = min(1.0, edge_size * sorted_degrees[position] / total)
-            if rng.random() < current / probability:
-                members.append(int(order[position]))
-            probability = current
-            position += 1
-        memberships.append(members)
-    return memberships
+    num_edges = len(edge_sizes)
+
+    # Frontier state: one cursor and one carried probability per active edge.
+    active = np.flatnonzero(edge_sizes > 0).astype(np.int64)
+    position = np.zeros(active.size, dtype=np.int64)
+    probability = np.minimum(1.0, edge_sizes[active] * sorted_degrees[0] / total)
+    keep = probability > 0
+    active, position, probability = active[keep], position[keep], probability[keep]
+
+    hit_edges: List[np.ndarray] = []
+    hit_nodes: List[np.ndarray] = []
+    while active.size:
+        # Geometric skip: jump over nodes that would not connect. 1 - random()
+        # lies in (0, 1], so the logarithm is finite; probability == 1 skips 0.
+        skippable = probability < 1.0
+        if np.any(skippable):
+            draws = rng.random(active.size)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                skip = np.floor(
+                    np.log1p(-draws) / np.log1p(-probability)
+                ).astype(np.int64)
+            position = position + np.where(skippable, skip, 0)
+        alive = position < num_nodes
+        active, position, probability = (
+            active[alive],
+            position[alive],
+            probability[alive],
+        )
+        if not active.size:
+            break
+        current = np.minimum(
+            1.0, edge_sizes[active] * sorted_degrees[position] / total
+        )
+        accept = rng.random(active.size) < current / probability
+        if np.any(accept):
+            hit_edges.append(active[accept])
+            hit_nodes.append(order[position[accept]])
+        probability = current
+        position = position + 1
+        alive = (position < num_nodes) & (probability > 0)
+        active, position, probability = (
+            active[alive],
+            position[alive],
+            probability[alive],
+        )
+
+    return _group_by_edge(hit_edges, hit_nodes, num_edges)
+
+
+def _group_by_edge(
+    hit_edges: List[np.ndarray], hit_nodes: List[np.ndarray], num_edges: int
+) -> List[List[int]]:
+    """Regroup flat (edge, node) hit arrays into per-edge member lists."""
+    if not hit_edges:
+        return [[] for _ in range(num_edges)]
+    edges_flat = np.concatenate(hit_edges)
+    nodes_flat = np.concatenate(hit_nodes)
+    grouped = np.argsort(edges_flat, kind="stable")
+    edges_flat, nodes_flat = edges_flat[grouped], nodes_flat[grouped]
+    bounds = np.searchsorted(edges_flat, np.arange(num_edges + 1))
+    return [
+        nodes_flat[bounds[index] : bounds[index + 1]].tolist()
+        for index in range(num_edges)
+    ]
 
 
 def weighted_slot_fill(
@@ -125,23 +177,71 @@ def weighted_slot_fill(
 
     Each hyperedge keeps its size; its members are re-drawn without replacement
     with probability proportional to node degree. Node degrees are preserved in
-    expectation, hyperedge sizes exactly. Used as an ablation alternative to
+    expectation, hyperedge sizes exactly. All slots across all hyperedges are
+    drawn at once via inverse-CDF ``searchsorted``; within-hyperedge duplicates
+    are redrawn in vectorized rounds, with a per-hyperedge
+    ``rng.choice(replace=False)`` fallback for any hyperedge still clashing
+    after :data:`_SLOT_FILL_ROUNDS` rounds. Used as an ablation alternative to
     the Chung–Lu model.
     """
     if hypergraph.num_hyperedges == 0:
         raise RandomizationError("cannot randomize an empty hypergraph")
     rng = ensure_rng(seed)
-    node_labels = list(hypergraph.nodes())
-    degrees = np.array([hypergraph.degree(node) for node in node_labels], dtype=float)
+    csr = hypergraph.csr()
+    node_labels = hypergraph.nodes()
+    num_nodes = len(node_labels)
+    degrees = np.diff(csr.node_ptr).astype(float)
     probabilities = degrees / degrees.sum()
+    cumulative = np.cumsum(probabilities)
+    cumulative[-1] = 1.0  # guard against round-off excluding the last node
+
+    sizes = np.minimum(np.asarray(csr.edge_sizes, dtype=np.int64), num_nodes)
+    total_slots = int(sizes.sum())
+    owner = np.repeat(np.arange(sizes.size, dtype=np.int64), sizes)
+    picks = np.searchsorted(cumulative, rng.random(total_slots), side="right")
+    picks = np.minimum(picks, num_nodes - 1).astype(np.int64)
+
+    # Redraw slots that collide with another slot of the same hyperedge.
+    for _ in range(_SLOT_FILL_ROUNDS):
+        duplicate = _duplicate_slots(owner, picks, num_nodes)
+        if not np.any(duplicate):
+            break
+        redraw = np.searchsorted(
+            cumulative, rng.random(int(duplicate.sum())), side="right"
+        )
+        picks[duplicate] = np.minimum(redraw, num_nodes - 1)
+    else:
+        # Stragglers (e.g. a hyperedge needing nearly every node): draw those
+        # hyperedges whole, without replacement, the slow exact way.
+        duplicate = _duplicate_slots(owner, picks, num_nodes)
+        for edge in np.unique(owner[duplicate]):
+            slots = owner == edge
+            picks[slots] = rng.choice(
+                num_nodes, size=int(slots.sum()), replace=False, p=probabilities
+            )
+
+    bounds = np.concatenate(([0], np.cumsum(sizes)))
     edges: List[List] = []
     seen = set()
-    for size in hypergraph.hyperedge_sizes():
-        size = min(size, len(node_labels))
-        chosen = rng.choice(len(node_labels), size=size, replace=False, p=probabilities)
-        key = frozenset(int(index) for index in chosen)
+    for index in range(sizes.size):
+        members = picks[bounds[index] : bounds[index + 1]]
+        key = frozenset(int(pick) for pick in members)
         if key in seen:
             continue
         seen.add(key)
-        edges.append([node_labels[int(index)] for index in chosen])
+        edges.append([node_labels[int(pick)] for pick in members])
     return Hypergraph(edges, name=name or f"{hypergraph.name}-slotfill")
+
+
+def _duplicate_slots(
+    owner: np.ndarray, picks: np.ndarray, num_nodes: int
+) -> np.ndarray:
+    """Mask of slots whose pick repeats an earlier pick of the same hyperedge."""
+    keys = owner * np.int64(num_nodes) + picks
+    grouped = np.argsort(keys, kind="stable")
+    sorted_keys = keys[grouped]
+    duplicate_sorted = np.zeros(keys.size, dtype=bool)
+    duplicate_sorted[1:] = sorted_keys[1:] == sorted_keys[:-1]
+    duplicate = np.zeros(keys.size, dtype=bool)
+    duplicate[grouped] = duplicate_sorted
+    return duplicate

@@ -1,0 +1,294 @@
+"""Tests for kernel-backend selection and the optional compiled kernels.
+
+Covers the selection layers of :mod:`repro.fastcore.backend` (environment
+variable, process default, thread-scoped override), the
+:class:`repro.api.KernelConfig` spec and its engine/CLI/worker wiring, and
+interpreted parity of the :mod:`repro.fastcore.compiled` loops — ``@_jit`` is
+the identity without numba, so the compiled logic is executable (and parity
+tested) as plain Python on machines without the optional dependency.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import CountSpec, KernelConfig, MotifEngine, spec_to_dict
+from repro.counting.classification import fast_adjacency
+from repro.exceptions import KernelBackendError
+from repro.fastcore import compiled
+from repro.fastcore.backend import (
+    BACKEND_AUTO,
+    BACKEND_NUMBA,
+    BACKEND_NUMPY,
+    ENV_KERNEL_BACKEND,
+    KERNEL_BACKEND_CHOICES,
+    get_backend,
+    numba_available,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.fastcore.kernels import count_exact_batched
+from repro.fastcore.reference import (
+    count_containing_reference,
+    count_exact_reference,
+    count_wedges_reference,
+    project_reference,
+)
+from repro.generators import generate_uniform_random
+from repro.projection import project
+
+
+@pytest.fixture(autouse=True)
+def _clean_backend_state(monkeypatch):
+    """Each test starts from the library default and leaves no process state."""
+    from repro.fastcore import backend as backend_module
+
+    monkeypatch.delenv(ENV_KERNEL_BACKEND, raising=False)
+    set_backend(None)
+    yield
+    # Reset the process default directly: set_backend(None) re-resolves the
+    # environment, which tests may have pointed at an invalid name.
+    backend_module._process_backend = None
+
+
+class TestResolution:
+    def test_numpy_always_resolves(self):
+        assert resolve_backend(BACKEND_NUMPY) == BACKEND_NUMPY
+
+    def test_default_is_numpy(self):
+        assert resolve_backend(None) == BACKEND_NUMPY
+        assert get_backend() == BACKEND_NUMPY
+
+    def test_auto_resolves_to_an_available_backend(self):
+        resolved = resolve_backend(BACKEND_AUTO)
+        if numba_available():
+            assert resolved == BACKEND_NUMBA
+        else:
+            assert resolved == BACKEND_NUMPY
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KernelBackendError, match="unknown kernel backend"):
+            resolve_backend("cython")
+
+    def test_names_are_normalized(self):
+        assert resolve_backend("  NumPy ") == BACKEND_NUMPY
+
+    @pytest.mark.skipif(numba_available(), reason="numba is installed")
+    def test_explicit_numba_without_numba_fails_loudly(self):
+        with pytest.raises(KernelBackendError, match="numba"):
+            resolve_backend(BACKEND_NUMBA)
+
+    def test_environment_variable_sets_the_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_KERNEL_BACKEND, BACKEND_NUMPY)
+        assert resolve_backend(None) == BACKEND_NUMPY
+
+    def test_set_backend_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv(ENV_KERNEL_BACKEND, "bogus")
+        # set_backend short-circuits the (invalid) environment value.
+        assert set_backend(BACKEND_NUMPY) == BACKEND_NUMPY
+        assert get_backend() == BACKEND_NUMPY
+
+    def test_invalid_environment_value_fails_on_resolution(self, monkeypatch):
+        monkeypatch.setenv(ENV_KERNEL_BACKEND, "bogus")
+        with pytest.raises(KernelBackendError, match="unknown kernel backend"):
+            resolve_backend(None)
+
+
+class TestScopedOverride:
+    def test_use_backend_restores_previous_choice(self):
+        assert get_backend() == BACKEND_NUMPY
+        with use_backend(BACKEND_NUMPY) as active:
+            assert active == BACKEND_NUMPY
+            assert get_backend() == BACKEND_NUMPY
+        assert get_backend() == BACKEND_NUMPY
+
+    def test_use_backend_none_is_a_noop_scope(self):
+        set_backend(BACKEND_NUMPY)
+        with use_backend(None) as active:
+            assert active == BACKEND_NUMPY
+
+    def test_use_backend_is_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["backend"] = get_backend()
+
+        with use_backend(BACKEND_NUMPY):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The spawned thread never saw the context override; it read the
+        # process default.
+        assert seen["backend"] == BACKEND_NUMPY
+
+    @pytest.mark.skipif(numba_available(), reason="numba is installed")
+    def test_use_backend_validates_eagerly(self):
+        with pytest.raises(KernelBackendError):
+            with use_backend(BACKEND_NUMBA):
+                pass  # pragma: no cover - the context must not be entered
+
+
+class TestKernelConfig:
+    def test_default_is_auto(self):
+        assert KernelConfig().backend == BACKEND_AUTO
+
+    def test_name_is_normalized(self):
+        assert KernelConfig("NUMPY").backend == BACKEND_NUMPY
+
+    def test_unknown_name_rejected_eagerly(self):
+        with pytest.raises(KernelBackendError, match="unknown kernel backend"):
+            KernelConfig("fortran")
+
+    def test_all_choices_construct(self):
+        for name in KERNEL_BACKEND_CHOICES:
+            assert KernelConfig(name).backend == name
+
+    def test_engine_accepts_config_and_counts_match(self, small_random_hypergraph):
+        baseline = MotifEngine(small_random_hypergraph, store=False).count().counts
+        pinned = MotifEngine(
+            small_random_hypergraph, store=False, kernel=KernelConfig(BACKEND_NUMPY)
+        )
+        assert pinned.kernel == KernelConfig(BACKEND_NUMPY)
+        assert pinned.count().counts == baseline
+
+    def test_engine_accepts_backend_name_string(self, small_random_hypergraph):
+        engine = MotifEngine(small_random_hypergraph, store=False, kernel="numpy")
+        assert engine.kernel == KernelConfig(BACKEND_NUMPY)
+
+    def test_engine_sampling_runs_under_config(self, small_random_hypergraph):
+        spec = CountSpec(algorithm="wedge-sampling", num_samples=20, seed=3)
+        loose = MotifEngine(small_random_hypergraph, store=False).count(spec).counts
+        pinned = (
+            MotifEngine(small_random_hypergraph, store=False, kernel="numpy")
+            .count(spec)
+            .counts
+        )
+        assert pinned == loose
+
+
+class TestCompiledInterpreted:
+    """The compiled loops, run as plain Python, match the reference counters."""
+
+    @pytest.fixture()
+    def graph(self):
+        hypergraph = generate_uniform_random(
+            num_nodes=25, num_hyperedges=35, mean_size=3.5, max_size=7, seed=13
+        )
+        projection = project(hypergraph)
+        return hypergraph, projection, fast_adjacency(projection)
+
+    def test_exact_loop_matches_reference(self, graph):
+        hypergraph, _, adjacency = graph
+        csr = hypergraph.csr()
+        anchors = np.arange(csr.num_edges, dtype=np.int64)
+        got = compiled._run(compiled._count_exact_loop, csr, adjacency, anchors)
+        want = count_exact_reference(hypergraph).to_array()
+        assert np.array_equal(got, want)
+
+    def test_containing_loop_matches_reference(self, graph):
+        hypergraph, projection, adjacency = graph
+        csr = hypergraph.csr()
+        anchors = np.arange(0, csr.num_edges, 2, dtype=np.int64)
+        got = compiled._run(
+            compiled._count_containing_loop, csr, adjacency, anchors
+        )
+        want = count_containing_reference(
+            hypergraph, projection, anchors.tolist()
+        ).to_array()
+        assert np.array_equal(got, want)
+
+    def test_wedges_loop_matches_reference(self, graph):
+        hypergraph, projection, adjacency = graph
+        csr = hypergraph.csr()
+        wedges = projection.hyperwedge_list()[:60]
+        wedge_array = np.asarray(wedges, dtype=np.int64)
+        got = compiled._run(
+            compiled._count_wedges_loop,
+            csr,
+            adjacency,
+            wedge_array[:, 0],
+            wedge_array[:, 1],
+        )
+        want = count_wedges_reference(hypergraph, projection, wedges).to_array()
+        assert np.array_equal(got, want)
+
+    def test_public_wrappers_respect_availability(self, graph):
+        hypergraph, _, adjacency = graph
+        csr = hypergraph.csr()
+        anchors = np.arange(csr.num_edges, dtype=np.int64)
+        result = compiled.count_exact(csr, adjacency, anchors)
+        if numba_available():
+            assert np.array_equal(result, count_exact_reference(hypergraph).to_array())
+        else:
+            # Without numba the wrapper must defer to the NumPy kernels.
+            assert result is None
+
+    @pytest.mark.skipif(numba_available(), reason="numba is installed")
+    def test_batched_kernel_rejects_unavailable_explicit_backend(self, graph):
+        hypergraph, _, adjacency = graph
+        with pytest.raises(KernelBackendError):
+            count_exact_batched(hypergraph.csr(), adjacency, backend=BACKEND_NUMBA)
+
+    def test_batched_kernel_backend_argument_is_bit_identical(self, graph):
+        hypergraph, _, adjacency = graph
+        csr = hypergraph.csr()
+        default = count_exact_batched(csr, adjacency)
+        explicit = count_exact_batched(csr, adjacency, backend=BACKEND_NUMPY)
+        auto = count_exact_batched(csr, adjacency, backend=BACKEND_AUTO)
+        assert np.array_equal(default, explicit)
+        assert np.array_equal(default, auto)
+
+
+class TestCliFlag:
+    def test_count_with_kernel_backend_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.hypergraph import io as hio
+
+        hypergraph = generate_uniform_random(num_nodes=20, num_hyperedges=25, seed=5)
+        path = tmp_path / "graph.txt"
+        hio.write_plain(hypergraph, path)
+        assert main(["count", str(path), "--kernel-backend", "numpy"]) == 0
+        assert "total instances" in capsys.readouterr().out
+        # The flag installed a process-wide default.
+        assert get_backend() == BACKEND_NUMPY
+
+    @pytest.mark.skipif(numba_available(), reason="numba is installed")
+    def test_unavailable_backend_is_a_clean_cli_error(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.hypergraph import io as hio
+
+        hypergraph = generate_uniform_random(num_nodes=10, num_hyperedges=12, seed=5)
+        path = tmp_path / "graph.txt"
+        hio.write_plain(hypergraph, path)
+        assert main(["count", str(path), "--kernel-backend", "numba"]) == 1
+        assert "numba" in capsys.readouterr().err
+
+
+class TestWorkerPayload:
+    def test_payload_carries_and_honors_the_backend(self, small_random_hypergraph):
+        from repro.store.executors import WorkerPayload, execute_payload
+
+        csr = small_random_hypergraph.csr()
+        payload = WorkerPayload(
+            edge_ptr=csr.edge_ptr,
+            edge_nodes=csr.edge_nodes,
+            dataset=small_random_hypergraph.name,
+            spec=spec_to_dict(CountSpec()),
+            store_dir=None,
+            kernel_backend=BACKEND_NUMPY,
+        )
+        result = execute_payload(payload)
+        baseline = MotifEngine(small_random_hypergraph, store=False).count().counts
+        assert result.counts == baseline
+
+    def test_server_ships_the_resolved_backend(self, small_random_hypergraph):
+        from repro.store.serve import EngineServer, ServeRequest
+
+        server = EngineServer(store=False)
+        request = ServeRequest(source=small_random_hypergraph, spec=CountSpec())
+        payload = server._payload_for(request)
+        assert payload.kernel_backend == get_backend()

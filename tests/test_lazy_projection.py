@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.hypergraph import Hypergraph
 from repro.projection import (
     POLICY_DEGREE,
     POLICY_LRU,
@@ -11,6 +12,25 @@ from repro.projection import (
     LazyProjection,
     project,
 )
+
+
+@pytest.fixture
+def star_hypergraph() -> Hypergraph:
+    """Hub hyperedge 0 overlaps each leaf 1–4; the leaves are pairwise disjoint.
+
+    Projected degrees are therefore known exactly: deg(0) = 4, deg(leaf) = 1,
+    which makes eviction-policy behavior fully predictable.
+    """
+    return Hypergraph(
+        [
+            {0, 1, 2, 3},
+            {0, 10},
+            {1, 11},
+            {2, 12},
+            {3, 13},
+        ],
+        name="star",
+    )
 
 
 class TestCorrectness:
@@ -99,3 +119,74 @@ class TestMemoization:
     def test_repr_mentions_policy(self, paper_hypergraph):
         lazy = LazyProjection(paper_hypergraph, budget=2, policy=POLICY_LRU)
         assert "lru" in repr(lazy)
+
+
+class TestEvictionSemantics:
+    """Pin each policy's victim choice, including the budget=1 edge cases."""
+
+    def test_degree_keeps_high_degree_resident_at_budget_one(self, star_hypergraph):
+        lazy = LazyProjection(star_hypergraph, budget=1, policy=POLICY_DEGREE)
+        lazy.row(0)  # hub, degree 4
+        lazy.row(1)  # leaf, degree 1 — must be the victim, not the hub
+        assert list(lazy._cache) == [0]
+
+    def test_degree_evicts_the_just_inserted_entry_at_budget_one(
+        self, star_hypergraph
+    ):
+        # With the hub resident, every subsequent leaf insert makes the leaf
+        # itself the minimum-degree entry; the intended behavior is to evict
+        # it immediately (cheap to recompute) and keep the hub.
+        lazy = LazyProjection(star_hypergraph, budget=1, policy=POLICY_DEGREE)
+        lazy.row(1)
+        lazy.row(0)  # displaces the leaf: hub now resident
+        for leaf in (2, 3, 4):
+            lazy.row(leaf)
+            assert list(lazy._cache) == [0]
+        # The leaves were computed but never retained, so re-reads recompute.
+        computations = lazy.computations
+        lazy.row(2)
+        assert lazy.computations == computations + 1
+
+    def test_lru_keeps_the_most_recent_at_budget_one(self, star_hypergraph):
+        lazy = LazyProjection(star_hypergraph, budget=1, policy=POLICY_LRU)
+        lazy.row(0)
+        lazy.row(3)
+        assert list(lazy._cache) == [3]
+        lazy.row(0)  # miss: 0 was evicted when 3 came in
+        assert list(lazy._cache) == [0]
+        assert lazy.cache_hits == 0
+
+    def test_lru_touch_refreshes_recency(self, star_hypergraph):
+        lazy = LazyProjection(star_hypergraph, budget=2, policy=POLICY_LRU)
+        lazy.row(1)
+        lazy.row(2)
+        lazy.row(1)  # hit: 1 becomes most recent, 2 is now the LRU entry
+        lazy.row(3)
+        assert list(lazy._cache) == [1, 3]
+
+    def test_random_eviction_is_seed_deterministic(self, small_random_hypergraph):
+        def final_keys(seed):
+            lazy = LazyProjection(
+                small_random_hypergraph, budget=3, policy=POLICY_RANDOM, seed=seed
+            )
+            for i in range(small_random_hypergraph.num_hyperedges):
+                lazy.row(i)
+            return list(lazy._cache)
+
+        assert final_keys(7) == final_keys(7)
+
+    def test_random_eviction_stays_within_budget(self, small_random_hypergraph):
+        lazy = LazyProjection(
+            small_random_hypergraph, budget=2, policy=POLICY_RANDOM, seed=0
+        )
+        for i in range(small_random_hypergraph.num_hyperedges):
+            lazy.row(i)
+            assert lazy.cache_size <= 2
+
+    def test_zero_budget_never_caches_under_any_policy(self, star_hypergraph):
+        for policy in (POLICY_DEGREE, POLICY_LRU, POLICY_RANDOM):
+            lazy = LazyProjection(star_hypergraph, budget=0, policy=policy, seed=0)
+            for i in range(star_hypergraph.num_hyperedges):
+                lazy.row(i)
+            assert lazy.cache_size == 0
+            assert lazy.cache_hits == 0
