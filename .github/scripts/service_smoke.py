@@ -22,6 +22,14 @@ Both phases scrape ``GET /v1/metrics`` after the batch and assert the
 served counters (``repro_serve_requests_total``, the per-tier
 ``repro_serve_cache_tier_total`` samples and the ``/v1/batch`` HTTP
 counter) agree exactly with the NDJSON records the client just consumed.
+
+Both phases also stream an evolution chain through ``POST /v1/evolve``
+(the registered deterministic temporal dataset) and cross-check the
+per-mode ``repro_evolve_snapshots_total`` counters against the snapshot
+records consumed. The cold phase computes the chain (one full count plus
+incremental deltas) and persists its lineage sidecars; the warm phase —
+a *different server process* over the same store directory — must serve
+every snapshot ``cached`` from those lineage artifacts.
 """
 
 from __future__ import annotations
@@ -79,6 +87,48 @@ def read_jsonl(path: Path) -> list:
         for line in path.read_text(encoding="utf-8").splitlines()
         if line.strip() and not line.startswith("#")
     ]
+
+
+def check_evolve(client: ServiceClient, phase: str) -> None:
+    """Stream ``POST /v1/evolve`` and reconcile it with ``/v1/metrics``."""
+    before = scrape_samples(client)
+    records = list(client.evolve_stream("coauth-temporal-like"))
+
+    assert records and records[-1].get("status") == "done", records[-1:]
+    done = records[-1]
+    snapshots = [r["snapshot"] for r in records if r.get("status") == "ok"]
+    assert done["errors"] == 0, f"evolve stream reported errors: {done}"
+    assert done["count"] == len(snapshots) > 1
+    assert [s["index"] for s in snapshots] == list(range(len(snapshots)))
+
+    modes = Counter(snapshot["mode"] for snapshot in snapshots)
+    assert dict(modes) == done["modes"], (modes, done["modes"])
+    if phase == "warm":
+        # A different server process over the same store: every snapshot
+        # must be served from the persisted count + lineage artifacts.
+        assert set(modes) == {"cached"}, (
+            f"warm evolve chain was not fully cached: {dict(modes)}"
+        )
+
+    after = scrape_samples(client)
+    for mode, expected in sorted(modes.items()):
+        grew = sample_value(after, "repro_evolve_snapshots_total", mode=mode)
+        grew -= sample_value(before, "repro_evolve_snapshots_total", mode=mode)
+        assert grew == expected, (
+            f"evolve mode {mode!r}: metrics grew by {grew}, "
+            f"NDJSON stream carried {expected} snapshots"
+        )
+    hits = sample_value(
+        after, "repro_http_requests_total", route="/v1/evolve", status=200
+    )
+    hits -= sample_value(
+        before, "repro_http_requests_total", route="/v1/evolve", status=200
+    )
+    assert hits == 1, f"expected one 200 /v1/evolve hit, metrics grew by {hits}"
+    print(
+        f"[{phase}] /v1/evolve streamed {len(snapshots)} snapshots "
+        f"(modes {dict(modes)}); metrics agree"
+    )
 
 
 def main() -> int:
@@ -170,9 +220,13 @@ def main() -> int:
         f"{int(served)} served, tiers {dict(expected_tiers)}"
     )
 
+    check_evolve(client, arguments.phase)
+
     stats = client.stats()
     assert stats["serve"]["in_flight"] == 0, "batches left in flight"
     assert stats["service"]["batches_completed"] >= 1
+    assert stats["service"]["evolve_completed"] >= 1
+    assert stats["service"]["snapshots_streamed"] >= 2
     print(
         f"[{arguments.phase}] stats consistent: "
         f"store hits memory={stats['store']['stats']['memory_hits']} "

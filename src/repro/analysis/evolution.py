@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.counting.runner import ALGORITHM_EXACT, count_motifs
+from repro.counting.runner import ALGORITHM_EXACT
 from repro.hypergraph.builders import TemporalHypergraph
 from repro.motifs.counts import MotifCounts
 from repro.motifs.patterns import NUM_MOTIFS
@@ -88,21 +88,22 @@ def motif_fraction_evolution(
 
     Snapshots with fewer than *min_hyperedges* hyperedges (which cannot contain
     any instance) are skipped.
+
+    This is a thin shim over :meth:`repro.api.MotifEngine.evolve` with
+    ``mode="snapshot"`` (each timestamp counted in isolation, as in the
+    paper's figure) and the artifact store disabled, so results are
+    bit-identical to the historic per-snapshot loop.
     """
-    points: List[EvolutionPoint] = []
-    for timestamp in temporal.timestamps():
-        snapshot = temporal.snapshot(timestamp)
-        if snapshot.num_hyperedges < min_hyperedges:
-            continue
-        counts = count_motifs(
-            snapshot, algorithm=algorithm, sampling_ratio=sampling_ratio, seed=seed
+    from repro.api import EvolveSpec, MotifEngine
+
+    engine = MotifEngine(temporal, store=None)
+    result = engine.evolve(
+        EvolveSpec(
+            mode="snapshot",
+            algorithm=algorithm,
+            sampling_ratio=sampling_ratio,
+            seed=seed,
+            min_hyperedges=min_hyperedges,
         )
-        points.append(
-            EvolutionPoint(
-                timestamp=timestamp,
-                counts=counts,
-                fractions=counts.fractions(),
-                open_fraction=counts.open_fraction(),
-            )
-        )
-    return EvolutionSeries(name=temporal.name, points=points)
+    )
+    return result.series()

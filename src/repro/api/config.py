@@ -6,7 +6,9 @@ sprawl of positional strings and kwargs:
 * :class:`CountSpec` — one MoCHy counting run (exact or sampling-based),
 * :class:`ProfileSpec` — a characteristic-profile computation,
 * :class:`CompareSpec` — a real-vs-random comparison table,
-* :class:`PredictSpec` — the hyperedge-prediction experiment.
+* :class:`PredictSpec` — the hyperedge-prediction experiment,
+* :class:`EvolveSpec` — a temporal snapshot chain (paper Figure 7),
+* :class:`VarianceSpec` — the MoCHy-A vs MoCHy-A+ estimator-variance table.
 
 Specs validate eagerly at construction (``num_samples`` xor ``sampling_ratio``,
 positive sample counts, known null models, ...) and resolve the paper's
@@ -19,7 +21,7 @@ for the engine's result memoization.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.counting.runner import ALGORITHM_EXACT, resolve_algorithm
 from repro.exceptions import CountSpecError, KernelBackendError, SpecError
@@ -101,6 +103,10 @@ class CountSpec:
     budget / policy:
         Lazy-projection memoization budget (``None`` = unlimited) and
         retention policy; only meaningful with ``projection="lazy"``.
+    include_instances:
+        Attach the full instance enumeration (MoCHy-E-ENUM) to the result.
+        Exact and serial only; the instance list is never persisted, so
+        such runs bypass the artifact store.
     """
 
     algorithm: str = ALGORITHM_EXACT
@@ -111,6 +117,7 @@ class CountSpec:
     projection: str = PROJECTION_FULL
     budget: Optional[int] = None
     policy: str = POLICY_DEGREE
+    include_instances: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "algorithm", resolve_algorithm(self.algorithm))
@@ -160,6 +167,21 @@ class CountSpec:
                 "projection='lazy' is serial (the parallel drivers materialize "
                 "a full projection); use num_workers=1 with a lazy projection"
             )
+        if not isinstance(self.include_instances, bool):
+            raise CountSpecError(
+                f"include_instances must be a bool, got {self.include_instances!r}"
+            )
+        if self.include_instances:
+            if self.algorithm != ALGORITHM_EXACT:
+                raise CountSpecError(
+                    "include_instances requires algorithm='exact' (only "
+                    "MoCHy-E enumerates instances)"
+                )
+            if self.num_workers > 1:
+                raise CountSpecError(
+                    "include_instances is serial (the enumeration is a "
+                    "single ordered stream); use num_workers=1"
+                )
         if self.algorithm == ALGORITHM_EXACT:
             # Exact counting ignores sampling parameters; normalizing them away
             # makes equivalent exact specs hash to the same cache slot. The
@@ -295,6 +317,206 @@ class PredictSpec:
         return self.context_start is not None and self.test_start is not None
 
 
+#: Snapshot-chain modes of an :class:`EvolveSpec`.
+EVOLVE_CUMULATIVE = "cumulative"
+EVOLVE_SNAPSHOT = "snapshot"
+EVOLVE_MODES = (EVOLVE_CUMULATIVE, EVOLVE_SNAPSHOT)
+
+
+def _freeze_deltas(deltas) -> Tuple[Tuple[Tuple[Any, ...], ...], ...]:
+    """Canonicalize explicit deltas into nested tuples (hashable, validated)."""
+    frozen_deltas = []
+    for snapshot_index, delta in enumerate(deltas):
+        edges = []
+        for edge_index, edge in enumerate(delta):
+            if isinstance(edge, (str, bytes)) or not hasattr(edge, "__iter__"):
+                raise SpecError(
+                    f"deltas[{snapshot_index}][{edge_index}] must be a "
+                    f"collection of nodes, got {type(edge).__name__}"
+                )
+            members = tuple(edge)
+            if not members:
+                raise SpecError(
+                    f"deltas[{snapshot_index}][{edge_index}] is empty; "
+                    "hyperedges must contain at least one node"
+                )
+            edges.append(members)
+        frozen_deltas.append(tuple(edges))
+    return tuple(frozen_deltas)
+
+
+@dataclass(frozen=True)
+class EvolveSpec:
+    """Configuration of a temporal snapshot chain (paper Figure 7, served).
+
+    The chain is defined either by *timestamps* over the engine's temporal
+    hypergraph (``None`` = every distinct timestamp) or by explicit
+    *deltas* — batches of hyperedges appended on top of the engine's
+    static hypergraph, one snapshot per batch.
+
+    Parameters
+    ----------
+    mode:
+        ``"cumulative"`` grows one graph across the chain (snapshot *k* is
+        everything up to boundary *k*) — the shape the incremental delta
+        engine serves. ``"snapshot"`` counts each timestamp's hyperedges in
+        isolation, matching the legacy evolution analysis.
+    timestamps:
+        Inclusive snapshot boundaries, strictly increasing. Mutually
+        exclusive with *deltas*.
+    deltas:
+        Explicit hyperedge batches (nested sequences of nodes); implies
+        ``mode="cumulative"``.
+    algorithm / num_samples / sampling_ratio / seed:
+        Per-snapshot counting options, as in :class:`CountSpec`; the same
+        seed is replayed for every snapshot so approximate chains are
+        reproducible. Only exact chains are served incrementally.
+    incremental:
+        Use the delta engine for exact cumulative chains (bit-identical to
+        recounting); ``False`` forces a from-scratch count per snapshot.
+    min_hyperedges:
+        Skip snapshots with fewer hyperedges (the legacy analysis used 3;
+        motif counts over 1-2 edges are degenerate).
+    num_random / null_model:
+        When *num_random* is set, each snapshot also gets a characteristic
+        profile against that many null-model draws (never incremental).
+    """
+
+    mode: str = EVOLVE_CUMULATIVE
+    timestamps: Optional[Tuple[int, ...]] = None
+    deltas: Optional[Tuple[Tuple[Tuple[Any, ...], ...], ...]] = None
+    algorithm: str = ALGORITHM_EXACT
+    num_samples: Optional[int] = None
+    sampling_ratio: Optional[float] = None
+    seed: SeedLike = None
+    incremental: bool = True
+    min_hyperedges: int = 1
+    num_random: Optional[int] = None
+    null_model: str = NULL_MODEL_CHUNG_LU
+
+    def __post_init__(self) -> None:
+        if self.mode not in EVOLVE_MODES:
+            raise SpecError(
+                f"mode must be one of {EVOLVE_MODES}, got {self.mode!r}"
+            )
+        if self.timestamps is not None and self.deltas is not None:
+            raise SpecError("pass either timestamps or deltas, not both")
+        if self.timestamps is not None:
+            try:
+                stamps = tuple(int(stamp) for stamp in self.timestamps)
+            except (TypeError, ValueError):
+                raise SpecError(
+                    f"timestamps must be integers, got {self.timestamps!r}"
+                ) from None
+            if not stamps:
+                raise SpecError("timestamps must not be empty when given")
+            if any(b <= a for a, b in zip(stamps, stamps[1:])):
+                raise SpecError(
+                    f"timestamps must be strictly increasing, got {stamps}"
+                )
+            object.__setattr__(self, "timestamps", stamps)
+        if self.deltas is not None:
+            if self.mode != EVOLVE_CUMULATIVE:
+                raise SpecError("explicit deltas require mode='cumulative'")
+            if isinstance(self.deltas, (str, bytes)) or not hasattr(
+                self.deltas, "__iter__"
+            ):
+                raise SpecError(
+                    f"deltas must be a sequence of hyperedge batches, got "
+                    f"{type(self.deltas).__name__}"
+                )
+            frozen = _freeze_deltas(self.deltas)
+            if not frozen:
+                raise SpecError("deltas must not be empty when given")
+            object.__setattr__(self, "deltas", frozen)
+        object.__setattr__(self, "algorithm", resolve_algorithm(self.algorithm))
+        if self.num_samples is not None and self.sampling_ratio is not None:
+            raise SpecError("pass either num_samples or sampling_ratio, not both")
+        if self.num_samples is not None:
+            object.__setattr__(
+                self,
+                "num_samples",
+                _check_positive_int(self.num_samples, "num_samples"),
+            )
+        if self.sampling_ratio is not None:
+            if self.sampling_ratio <= 0:
+                raise SpecError(
+                    f"sampling_ratio must be positive, got {self.sampling_ratio}"
+                )
+            object.__setattr__(self, "sampling_ratio", float(self.sampling_ratio))
+        if not isinstance(self.incremental, bool):
+            raise SpecError(
+                f"incremental must be a bool, got {self.incremental!r}"
+            )
+        object.__setattr__(
+            self,
+            "min_hyperedges",
+            _check_positive_int(self.min_hyperedges, "min_hyperedges"),
+        )
+        if self.num_random is not None:
+            object.__setattr__(
+                self,
+                "num_random",
+                _check_positive_int(self.num_random, "num_random"),
+            )
+        if self.null_model not in NULL_MODELS:
+            raise SpecError(
+                f"null_model must be one of {NULL_MODELS}, got {self.null_model!r}"
+            )
+        if self.algorithm == ALGORITHM_EXACT:
+            # Mirror CountSpec's normalization: equivalent exact chains must
+            # key the same lineage artifacts.
+            object.__setattr__(self, "num_samples", None)
+            object.__setattr__(self, "sampling_ratio", None)
+            if self.num_random is None:
+                object.__setattr__(self, "seed", None)
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether snapshots are counted with MoCHy-E (no sampling)."""
+        return self.algorithm == ALGORITHM_EXACT
+
+    @property
+    def serves_incrementally(self) -> bool:
+        """Whether the chain is eligible for the incremental delta engine.
+
+        Sampling estimators draw from the whole graph per snapshot, so only
+        exact cumulative chains can merge per-anchor contributions.
+        """
+        return (
+            self.incremental and self.is_exact and self.mode == EVOLVE_CUMULATIVE
+        )
+
+    def count_spec(self) -> CountSpec:
+        """The per-snapshot :class:`CountSpec` of this chain."""
+        return CountSpec(
+            algorithm=self.algorithm,
+            num_samples=self.num_samples,
+            sampling_ratio=self.sampling_ratio,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class VarianceSpec:
+    """Configuration of the estimator-variance comparison (paper Theorems 3-5).
+
+    Computes the exact per-motif variances of the MoCHy-A (edge-sampling)
+    and MoCHy-A+ (wedge-sampling) estimators from the hypergraph's overlap
+    statistics, at a common *sampling_ratio* of their respective population
+    sizes (``s = ratio·|E|`` draws vs ``r = ratio·|∧|`` draws).
+    """
+
+    sampling_ratio: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < float(self.sampling_ratio) <= 1.0:
+            raise SpecError(
+                f"sampling_ratio must be in (0, 1], got {self.sampling_ratio}"
+            )
+        object.__setattr__(self, "sampling_ratio", float(self.sampling_ratio))
+
+
 # ---------------------------------------------------------- spec serialization
 #: Registry of spec classes by their wire-format ``type`` tag. This is what
 #: lets specs travel as plain dicts — to process workers of the parallel
@@ -304,15 +526,49 @@ SPEC_TYPES: Dict[str, type] = {
     "profile": ProfileSpec,
     "compare": CompareSpec,
     "predict": PredictSpec,
+    "evolve": EvolveSpec,
+    "variance": VarianceSpec,
 }
 
 _SPEC_TYPE_NAMES = {cls: name for name, cls in SPEC_TYPES.items()}
+
+#: Version stamped into every serialized spec. The major number is the
+#: compatibility contract: readers reject a different major outright and
+#: treat a newer minor as "same shape plus fields I don't know yet",
+#: dropping the unknown fields instead of erroring — so a newer client can
+#: talk to an older server as long as the major agrees.
+SPEC_VERSION = "1.0"
+
+SPEC_VERSION_MAJOR, SPEC_VERSION_MINOR = (
+    int(part) for part in SPEC_VERSION.split(".")
+)
+
+
+def _parse_spec_version(value: Any) -> Tuple[int, int]:
+    """``(major, minor)`` of a wire-format version tag; SpecError when malformed."""
+    if not isinstance(value, str):
+        raise SpecError(
+            f"spec_version must be a 'major.minor' string, got {value!r}"
+        )
+    parts = value.split(".")
+    try:
+        if len(parts) != 2:
+            raise ValueError(value)
+        major, minor = (int(part) for part in parts)
+        if major < 0 or minor < 0:
+            raise ValueError(value)
+    except ValueError:
+        raise SpecError(
+            f"spec_version must be a 'major.minor' string, got {value!r}"
+        ) from None
+    return major, minor
 
 
 def spec_to_dict(spec) -> Dict[str, Any]:
     """Render a spec as a plain mapping: ``{"type": ..., <field>: ...}``.
 
-    The inverse of :func:`spec_from_dict`. Field values are kept as-is (they
+    The inverse of :func:`spec_from_dict`; every payload is stamped with
+    the current :data:`SPEC_VERSION`. Field values are kept as-is (they
     are JSON types for every replayable spec; a non-replayable ``Generator``
     seed survives pickling to process workers but not JSON).
     """
@@ -324,7 +580,7 @@ def spec_to_dict(spec) -> Dict[str, Any]:
             f"cannot serialize {cls.__name__}; known specs: "
             f"{sorted(SPEC_TYPES)}"
         ) from None
-    payload: Dict[str, Any] = {"type": name}
+    payload: Dict[str, Any] = {"type": name, "spec_version": SPEC_VERSION}
     for field in fields(spec):
         payload[field.name] = getattr(spec, field.name)
     return payload
@@ -336,12 +592,28 @@ def spec_from_dict(mapping: Mapping[str, Any]):
     ``type`` defaults to ``"count"`` so terse JSONL request files can omit
     it; unknown types and unknown fields raise :class:`SpecError` before any
     dataset is touched, mirroring the specs' own eager validation.
+
+    ``spec_version`` governs tolerance: a payload stamped with the same
+    major but a newer minor may carry fields this reader does not know —
+    they are ignored, so mixed client/server fleets can roll forward one
+    side at a time. A different major (or a malformed tag) is rejected;
+    an absent tag gets today's strict behavior.
     """
     if not isinstance(mapping, Mapping):
         raise SpecError(
             f"a spec mapping must be a JSON object, got {type(mapping).__name__}"
         )
     payload = dict(mapping)
+    version = payload.pop("spec_version", None)
+    tolerate_unknown = False
+    if version is not None:
+        major, minor = _parse_spec_version(version)
+        if major != SPEC_VERSION_MAJOR:
+            raise SpecError(
+                f"unsupported spec_version {version!r}: this reader speaks "
+                f"major {SPEC_VERSION_MAJOR} (version {SPEC_VERSION})"
+            )
+        tolerate_unknown = minor > SPEC_VERSION_MINOR
     name = payload.pop("type", "count")
     try:
         cls = SPEC_TYPES[name]
@@ -352,8 +624,11 @@ def spec_from_dict(mapping: Mapping[str, Any]):
     known = {field.name for field in fields(cls)}
     unknown = sorted(set(payload) - known)
     if unknown:
-        raise SpecError(
-            f"unknown field(s) {unknown} for spec type {name!r}; "
-            f"known fields: {sorted(known)}"
-        )
+        if not tolerate_unknown:
+            raise SpecError(
+                f"unknown field(s) {unknown} for spec type {name!r}; "
+                f"known fields: {sorted(known)}"
+            )
+        for field_name in unknown:
+            payload.pop(field_name)
     return cls(**payload)

@@ -30,30 +30,51 @@ processes warm-start with bit-identical results.
 
 from __future__ import annotations
 
+import bisect
 import copy
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from numbers import Integral
-from typing import Dict, List, Optional, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.api.config import (
+    EVOLVE_CUMULATIVE,
+    EVOLVE_SNAPSHOT,
     PROJECTION_LAZY,
     CompareSpec,
     CountSpec,
+    EvolveSpec,
     KernelConfig,
     PredictSpec,
     ProfileSpec,
+    VarianceSpec,
 )
 from repro.api.registry import DEFAULT_REGISTRY, DatasetRegistry, Source
 from repro.api.results import (
     CACHE_TIER_ENGINE,
+    SNAPSHOT_MODE_CACHED,
+    SNAPSHOT_MODE_FULL,
+    SNAPSHOT_MODE_INCREMENTAL,
     CompareResult,
     CountResult,
+    EvolutionResult,
+    EvolutionSnapshot,
     PredictResult,
     ProfileResult,
+    VarianceResult,
 )
 from repro.analysis.real_vs_random import compare_counts
 from repro.counting.edge_sampling import count_approx_edge_sampling
-from repro.counting.exact import count_exact
+from repro.counting.exact import count_exact, enumerate_instances
 from repro.counting.parallel import (
     count_approx_edge_sampling_parallel,
     count_approx_wedge_sampling_parallel,
@@ -63,14 +84,17 @@ from repro.counting.runner import (
     ALGORITHM_EDGE_SAMPLING,
     ALGORITHM_WEDGE_SAMPLING,
 )
+from repro.counting.variance import compute_overlap_statistics, variance_comparison
 from repro.counting.wedge_sampling import count_approx_wedge_sampling
 from repro.exceptions import SpecError
 from repro.fastcore.backend import use_backend
+from repro.fastcore.delta import DeltaState, apply_delta, initial_state
 from repro.hypergraph.builders import TemporalHypergraph
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.ml import default_classifiers
 from repro.ml.base import BinaryClassifier
 from repro.motifs.counts import MotifCounts
+from repro.obs import metrics as obs_metrics
 from repro.prediction.metrics import accuracy, roc_auc
 from repro.prediction.task import (
     FEATURE_SETS,
@@ -85,9 +109,50 @@ from repro.projection.projected_graph import ProjectedGraph
 from repro.randomization.null_model import NullModelCounts, random_motif_counts
 from repro.store import codecs
 from repro.store.artifacts import ArtifactStore, resolve_store
+from repro.store.fingerprint import delta_digest, lineage_fingerprint
 from repro.utils.timer import Timer
 
 EngineSource = Union[Hypergraph, TemporalHypergraph]
+
+EVOLVE_SNAPSHOTS_TOTAL = obs_metrics.counter(
+    "repro_evolve_snapshots_total",
+    "Evolution-chain snapshots emitted, by serving mode "
+    '("cached"/"incremental"/"full").',
+    ("mode",),
+)
+EVOLVE_ADDED_EDGES_TOTAL = obs_metrics.counter(
+    "repro_evolve_added_edges_total",
+    "Hyperedges applied by the incremental delta engine.",
+)
+EVOLVE_INVALIDATED_ANCHORS_TOTAL = obs_metrics.counter(
+    "repro_evolve_invalidated_anchors_total",
+    "Previously-counted anchors invalidated (recounted and subtracted) by "
+    "the incremental delta engine.",
+)
+EVOLVE_AFFECTED_ANCHORS_TOTAL = obs_metrics.counter(
+    "repro_evolve_affected_anchors_total",
+    "Anchors re-run through the exact kernel per applied delta "
+    "(invalidated old anchors plus added edges).",
+)
+EVOLVE_SNAPSHOT_SECONDS = obs_metrics.histogram(
+    "repro_evolve_snapshot_seconds",
+    "Wall-clock seconds spent producing one evolution snapshot, by mode.",
+    ("mode",),
+)
+
+
+@dataclass(frozen=True)
+class _EvolveStep:
+    """One resolved chain boundary: its label, timestamp and hyperedges.
+
+    Along cumulative chains ``edges`` is the *delta* (first-seen hyperedges
+    assigned to this boundary); in snapshot mode it is the boundary's whole
+    deduplicated edge list.
+    """
+
+    label: str
+    timestamp: Optional[int]
+    edges: Tuple[FrozenSet[Hashable], ...]
 
 
 def _is_deterministic_seed(seed) -> bool:
@@ -261,7 +326,11 @@ class MotifEngine:
         independent estimates.
         """
         spec = CountSpec() if spec is None else spec
-        cacheable = spec.is_exact or _is_deterministic_seed(spec.seed)
+        # Instance enumerations are exact but carry a payload the store (and
+        # the memo's defensive-copy contract) never persists — bypass both.
+        cacheable = (
+            spec.is_exact or _is_deterministic_seed(spec.seed)
+        ) and not spec.include_instances
         if cacheable:
             cached = self._count_cache.get(spec)
             if cached is not None:
@@ -298,11 +367,21 @@ class MotifEngine:
                     self._lazy_hyperwedges = provider.hyperwedge_list()
                 wedges = self._lazy_hyperwedges
         resolved_samples = self._resolve_samples(spec, hypergraph, provider, wedges)
+        instances = None
         with Timer() as counting_timer:
             with use_backend(self._kernel_backend()):
-                counts = self._dispatch(
-                    spec, hypergraph, provider, resolved_samples, wedges
-                )
+                if spec.include_instances:
+                    # MoCHy-E-ENUM: the reference per-triple walk. Counts
+                    # tallied from it match the batched kernel exactly (both
+                    # are integer-valued), pinned by the counting test suite.
+                    instances = tuple(enumerate_instances(hypergraph, provider))
+                    counts = MotifCounts.zeros()
+                    for instance in instances:
+                        counts.increment(instance.motif)
+                else:
+                    counts = self._dispatch(
+                        spec, hypergraph, provider, resolved_samples, wedges
+                    )
         result = CountResult(
             dataset=hypergraph.name,
             algorithm=spec.algorithm,
@@ -312,6 +391,7 @@ class MotifEngine:
             counting_seconds=counting_timer.elapsed,
             projection_cached=projection_cached,
             projection_mode=spec.projection,
+            instances=instances,
         )
         if cacheable:
             # Memoize a private copy; the caller's result stays mutable
@@ -470,6 +550,347 @@ class MotifEngine:
         if storable:
             self._persist_predict(spec, context_window, test_window, result)
         return predict_result
+
+    # ------------------------------------------------------------------ evolve
+    def evolve(self, spec: Optional[EvolveSpec] = None) -> EvolutionResult:
+        """Count every snapshot of a temporal chain (paper Figure 7, served).
+
+        Exact cumulative chains run through the incremental delta engine by
+        default: each boundary re-counts only the anchors its delta touched,
+        merging into the previous snapshot's counts — bit-identical to
+        recounting from scratch. With an artifact store attached, snapshots
+        already computed (in any process) are served warm from their
+        lineage fingerprints without rebuilding the graphs at all.
+        """
+        spec = EvolveSpec() if spec is None else spec
+        with Timer() as timer:
+            snapshots = tuple(self.evolve_iter(spec))
+        return EvolutionResult(
+            dataset=self.name,
+            mode=spec.mode,
+            algorithm=spec.algorithm,
+            snapshots=snapshots,
+            seconds=timer.elapsed,
+            incremental=spec.serves_incrementally,
+            num_samples=spec.num_samples,
+        )
+
+    def evolve_iter(
+        self, spec: Optional[EvolveSpec] = None
+    ) -> Iterator[EvolutionSnapshot]:
+        """Stream :meth:`evolve` snapshots one at a time (chain order).
+
+        The spec is validated and the chain resolved *before* the first
+        snapshot is yielded, so callers (the HTTP streaming route) can
+        surface bad specs as errors rather than torn streams.
+        """
+        spec = EvolveSpec() if spec is None else spec
+        steps = self._evolve_steps(spec)
+        if spec.serves_incrementally and spec.num_random is None:
+            return self._evolve_incremental(spec, steps)
+        return self._evolve_rebuild(spec, steps)
+
+    def _evolve_steps(self, spec: EvolveSpec) -> List[_EvolveStep]:
+        """Resolve the chain boundaries into ordered :class:`_EvolveStep`\\ s.
+
+        Cumulative deltas replay :meth:`TemporalHypergraph.cumulative`
+        exactly: the temporal pairs are walked in their canonical order and
+        each hyperedge is assigned to the boundary of its first occurrence,
+        so the accumulated edge list at boundary *k* is identical — element
+        for element — to ``cumulative(t_k)``'s, and the content fingerprints
+        agree with graphs built any other way.
+        """
+        if spec.deltas is not None:
+            base = tuple(frozenset(edge) for edge in self._static().hyperedges())
+            seen = set(base)
+            steps = [_EvolveStep(label="base", timestamp=None, edges=base)]
+            for index, delta in enumerate(spec.deltas, start=1):
+                edges = []
+                for raw in delta:
+                    edge = frozenset(raw)
+                    if edge in seen:
+                        continue
+                    seen.add(edge)
+                    edges.append(edge)
+                steps.append(
+                    _EvolveStep(
+                        label=f"delta-{index}", timestamp=None, edges=tuple(edges)
+                    )
+                )
+            return steps
+        if self._temporal is None:
+            raise SpecError(
+                "evolve() over snapshot boundaries requires the engine to be "
+                "bound to a TemporalHypergraph; pass explicit deltas instead"
+            )
+        stamps = (
+            spec.timestamps
+            if spec.timestamps is not None
+            else self._temporal.timestamps()
+        )
+        stamps = tuple(stamps)
+        if not stamps:
+            raise SpecError("the bound temporal hypergraph is empty")
+        buckets: List[List[FrozenSet[Hashable]]] = [[] for _ in stamps]
+        if spec.mode == EVOLVE_SNAPSHOT:
+            positions = {stamp: index for index, stamp in enumerate(stamps)}
+            seen_at: List[set] = [set() for _ in stamps]
+            for stamp, edge in self._temporal:
+                position = positions.get(stamp)
+                if position is None or edge in seen_at[position]:
+                    continue
+                seen_at[position].add(edge)
+                buckets[position].append(edge)
+            return [
+                _EvolveStep(label=f"t={stamp}", timestamp=stamp, edges=tuple(bucket))
+                for stamp, bucket in zip(stamps, buckets)
+            ]
+        seen = set()
+        for stamp, edge in self._temporal:
+            if stamp > stamps[-1]:
+                break  # pairs are sorted by timestamp first
+            if edge in seen:
+                continue
+            seen.add(edge)
+            buckets[bisect.bisect_left(stamps, stamp)].append(edge)
+        return [
+            _EvolveStep(label=f"<={stamp}", timestamp=stamp, edges=tuple(bucket))
+            for stamp, bucket in zip(stamps, buckets)
+        ]
+
+    def _evolve_incremental(
+        self, spec: EvolveSpec, steps: List[_EvolveStep]
+    ) -> Iterator[EvolutionSnapshot]:
+        """Serve an exact cumulative chain through the delta engine.
+
+        Per boundary, in order of preference: a store hit on the snapshot's
+        lineage fingerprint (requires both the count artifact *and* — beyond
+        the root — the lineage sidecar, so a torn chain degrades to a
+        recount, never a wrong count); an incremental
+        :func:`~repro.fastcore.delta.apply_delta` when the previous
+        snapshot was computed in-process; a from-scratch count otherwise.
+        """
+        count_params = codecs.count_params(spec.count_spec())
+        state: Optional[DeltaState] = None
+        fingerprint: Optional[str] = None
+        accumulated: List[FrozenSet[Hashable]] = []
+        for index, step in enumerate(steps):
+            with Timer() as timer:
+                accumulated.extend(step.edges)
+                digest: Optional[str] = None
+                if index == 0:
+                    if spec.deltas is not None:
+                        fingerprint = self._static().fingerprint()
+                    else:
+                        fingerprint = Hypergraph(
+                            list(accumulated), name=f"{self.name}@{step.label}"
+                        ).fingerprint()
+                else:
+                    digest = delta_digest(step.edges)
+                    fingerprint = lineage_fingerprint(fingerprint, digest)
+                emit = len(accumulated) >= spec.min_hyperedges
+                counts: Optional[MotifCounts] = None
+                mode = SNAPSHOT_MODE_CACHED
+                tier: Optional[str] = None
+                delta_info: Optional[Dict[str, int]] = None
+                if emit and state is None:
+                    counts, tier = self._stored_chain_counts(
+                        fingerprint, count_params, root=index == 0
+                    )
+                if counts is None and (emit or state is not None):
+                    if state is None:
+                        state = initial_state(
+                            accumulated, backend=self._kernel_backend()
+                        )
+                        mode = SNAPSHOT_MODE_FULL
+                    else:
+                        stats = apply_delta(state, list(step.edges))
+                        mode = SNAPSHOT_MODE_INCREMENTAL
+                        delta_info = stats.to_dict()
+                    if emit:
+                        counts = MotifCounts(state.counts.copy())
+                        self._persist_chain_snapshot(
+                            fingerprint,
+                            count_params,
+                            counts,
+                            step,
+                            parent=None if index == 0 else parent_fingerprint,
+                            digest=digest,
+                            depth=index,
+                            total_edges=len(accumulated),
+                        )
+            parent_fingerprint = fingerprint
+            if not emit or counts is None:
+                continue
+            snapshot = EvolutionSnapshot(
+                index=index,
+                label=step.label,
+                fingerprint=fingerprint,
+                num_hyperedges=len(accumulated),
+                counts=counts,
+                mode=mode,
+                seconds=timer.elapsed,
+                timestamp=step.timestamp,
+                cache_tier=tier,
+                delta=delta_info,
+            )
+            self._observe_snapshot(snapshot)
+            yield snapshot
+
+    def _evolve_rebuild(
+        self, spec: EvolveSpec, steps: List[_EvolveStep]
+    ) -> Iterator[EvolutionSnapshot]:
+        """Count each snapshot via a per-snapshot child engine.
+
+        This is the from-scratch path: sampling chains, snapshot mode,
+        profile-bearing chains and ``incremental=False``. Child engines
+        share this engine's store (content-fingerprint keys) and pinned
+        kernel backend; the same integer seed replays for every snapshot.
+        """
+        count_spec = spec.count_spec()
+        accumulated: List[FrozenSet[Hashable]] = []
+        for index, step in enumerate(steps):
+            if spec.mode == EVOLVE_CUMULATIVE:
+                accumulated.extend(step.edges)
+                edges = list(accumulated)
+            else:
+                edges = list(step.edges)
+            if len(edges) < spec.min_hyperedges:
+                continue
+            with Timer() as timer:
+                if index == 0 and spec.deltas is not None:
+                    graph = self._static()
+                else:
+                    graph = Hypergraph(edges, name=f"{self.name}@{step.label}")
+                child = MotifEngine(
+                    graph, store=self._store, kernel=self._kernel
+                )
+                result = child.count(count_spec)
+                profile_values: Optional[Tuple[float, ...]] = None
+                if spec.num_random is not None:
+                    profile = child.profile(
+                        ProfileSpec(
+                            num_random=spec.num_random,
+                            algorithm=spec.algorithm,
+                            sampling_ratio=spec.sampling_ratio,
+                            null_model=spec.null_model,
+                            seed=spec.seed,
+                        ),
+                        real_counts=result.counts,
+                    )
+                    profile_values = tuple(float(v) for v in profile.values)
+            snapshot = EvolutionSnapshot(
+                index=index,
+                label=step.label,
+                fingerprint=graph.fingerprint(),
+                num_hyperedges=graph.num_hyperedges,
+                counts=result.counts,
+                mode=SNAPSHOT_MODE_CACHED if result.from_cache else SNAPSHOT_MODE_FULL,
+                seconds=timer.elapsed,
+                timestamp=step.timestamp,
+                cache_tier=result.cache_tier,
+                profile_values=profile_values,
+            )
+            self._observe_snapshot(snapshot)
+            yield snapshot
+
+    @staticmethod
+    def _observe_snapshot(snapshot: EvolutionSnapshot) -> None:
+        EVOLVE_SNAPSHOTS_TOTAL.inc(mode=snapshot.mode)
+        EVOLVE_SNAPSHOT_SECONDS.observe(snapshot.seconds, mode=snapshot.mode)
+        if snapshot.delta is not None:
+            EVOLVE_ADDED_EDGES_TOTAL.inc(snapshot.delta["added_edges"])
+            EVOLVE_INVALIDATED_ANCHORS_TOTAL.inc(
+                snapshot.delta["invalidated_anchors"]
+            )
+            EVOLVE_AFFECTED_ANCHORS_TOTAL.inc(snapshot.delta["affected_anchors"])
+
+    def _stored_chain_counts(
+        self, fingerprint: str, count_params: Dict[str, Any], root: bool
+    ) -> Tuple[Optional[MotifCounts], Optional[str]]:
+        """Chain-snapshot counts served from the store, or ``(None, None)``.
+
+        Beyond the root (whose key is a plain content fingerprint,
+        interoperable with :meth:`count` artifacts), a hit requires the
+        lineage sidecar too: counts are persisted *before* the sidecar, so
+        a crash between the two leaves a torn chain that recounts rather
+        than serving counts with unverifiable provenance.
+        """
+        if self._store is None:
+            return None, None
+        hit = self._store.get(codecs.KIND_COUNT, fingerprint, count_params)
+        if hit is None:
+            return None, None
+        arrays, _, tier = hit
+        counts = codecs.decode_counts(arrays)
+        if counts is None:
+            return None, None
+        if not root:
+            lineage = self._store.get(
+                codecs.KIND_LINEAGE, fingerprint, codecs.lineage_params()
+            )
+            if lineage is None or codecs.decode_lineage(lineage[0], lineage[1]) is None:
+                return None, None
+        return counts, tier
+
+    def _persist_chain_snapshot(
+        self,
+        fingerprint: str,
+        count_params: Dict[str, Any],
+        counts: MotifCounts,
+        step: _EvolveStep,
+        parent: Optional[str],
+        digest: Optional[str],
+        depth: int,
+        total_edges: int,
+    ) -> None:
+        if self._store is None:
+            return
+        dataset = f"{self.name}@{step.label}"
+        arrays, meta = codecs.encode_counts(counts, {"num_samples": None})
+        # Counts first, sidecar second: a crash in between leaves the count
+        # unservable (no lineage proof) instead of the chain lying.
+        self._store.put(
+            codecs.KIND_COUNT, fingerprint, count_params, arrays, meta, dataset=dataset
+        )
+        if parent is None:
+            return
+        arrays, meta = codecs.encode_lineage(
+            parent, digest, depth, step.label, len(step.edges), total_edges
+        )
+        self._store.put(
+            codecs.KIND_LINEAGE,
+            fingerprint,
+            codecs.lineage_params(),
+            arrays,
+            meta,
+            dataset=dataset,
+        )
+
+    # ---------------------------------------------------------------- variance
+    def variance(self, spec: Optional[VarianceSpec] = None) -> VarianceResult:
+        """Exact estimator variances of MoCHy-A vs MoCHy-A+ (Theorems 3-5).
+
+        Enumerates every instance once to collect the overlap statistics,
+        then evaluates both closed-form variances at the spec's common
+        sampling ratio. Reuses the engine's cached projection.
+        """
+        spec = VarianceSpec() if spec is None else spec
+        hypergraph = self._static()
+        with Timer() as timer:
+            statistics = compute_overlap_statistics(hypergraph, self.projection)
+            rows = variance_comparison(statistics, spec.sampling_ratio)
+        return VarianceResult(
+            dataset=hypergraph.name,
+            sampling_ratio=spec.sampling_ratio,
+            num_hyperedges=statistics.num_hyperedges,
+            num_hyperwedges=statistics.num_hyperwedges,
+            rows=tuple(
+                (int(motif), float(edge_var), float(wedge_var))
+                for motif, edge_var, wedge_var in rows
+            ),
+            seconds=timer.elapsed,
+        )
 
     # ---------------------------------------------------------------- internal
     def _null_counts(self, spec) -> Tuple[MotifCounts, Optional[str]]:

@@ -18,10 +18,18 @@ from typing import Callable, Dict, List, Optional, Union
 from repro.exceptions import DatasetError
 from repro.generators.corpus import dataset_specs, generate_dataset
 from repro.hypergraph import io as hio
+from repro.hypergraph.builders import TemporalHypergraph
 from repro.hypergraph.hypergraph import Hypergraph
 
 Source = Union[str, Path]
-DatasetFactory = Callable[[float], Hypergraph]
+LoadedDataset = Union[Hypergraph, TemporalHypergraph]
+DatasetFactory = Callable[[float], LoadedDataset]
+
+#: The registered synthetic temporal dataset (an evolving co-authorship
+#: hypergraph), so evolution chains can be requested by name — over the
+#: wire (``POST /v1/evolve``), from the CLI (``repro-mochy evolve``) and in
+#: tests — exactly like the static Table-2 stand-ins.
+TEMPORAL_DATASET_NAME = "coauth-temporal-like"
 
 
 class DatasetRegistry:
@@ -67,12 +75,16 @@ class DatasetRegistry:
             message += " (no datasets are registered)"
         return message
 
-    def load(self, source: Source, scale: float = 1.0) -> Hypergraph:
+    def load(self, source: Source, scale: float = 1.0) -> LoadedDataset:
         """Load a hypergraph from a registered name or a file path.
 
         Registered names win over paths; otherwise ``.json`` files go through
         :func:`repro.hypergraph.io.read_json` and anything else through
-        :func:`repro.hypergraph.io.read_plain`.
+        :func:`repro.hypergraph.io.read_plain` — unless a ``<stem>-times.txt``
+        timestamp sidecar sits next to the file, in which case the pair loads
+        as a :class:`~repro.hypergraph.TemporalHypergraph` (via
+        :func:`repro.hypergraph.io.read_plain_temporal`), so temporal sources
+        travel by path exactly like static ones.
         """
         key = str(source)
         if key in self._factories:
@@ -86,6 +98,9 @@ class DatasetRegistry:
                 )
             if path.suffix == ".json":
                 return hio.read_json(path)
+            times_path = path.with_name(f"{path.stem}-times.txt")
+            if times_path.is_file():
+                return hio.read_plain_temporal(path, times_path)
             return hio.read_plain(path)
         raise DatasetError(
             self._unknown_name_message(key, kind="file or registered dataset")
@@ -105,10 +120,27 @@ def _corpus_factory(name: str) -> DatasetFactory:
     return factory
 
 
+def _temporal_coauthorship_factory(scale: float = 1.0) -> TemporalHypergraph:
+    # Deterministic (fixed seed) so the content fingerprints — and with them
+    # warm lineage chains in a shared artifact store — agree across processes.
+    from repro.generators.temporal import generate_temporal_coauthorship
+
+    return generate_temporal_coauthorship(
+        num_years=max(2, round(6 * scale)),
+        initial_authors=max(20, round(80 * scale)),
+        initial_papers=max(10, round(45 * scale)),
+        seed=0,
+        name=TEMPORAL_DATASET_NAME,
+    )
+
+
 def _build_default_registry() -> DatasetRegistry:
     registry = DatasetRegistry()
     for spec in dataset_specs():
         registry.register(spec.name, _corpus_factory(spec.name), domain=spec.domain)
+    registry.register(
+        TEMPORAL_DATASET_NAME, _temporal_coauthorship_factory, domain="coauthorship"
+    )
     return registry
 
 

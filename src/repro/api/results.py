@@ -11,13 +11,17 @@ emits for scripting.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.analysis.real_vs_random import RealVsRandomReport
 from repro.motifs.counts import MotifCounts
 from repro.prediction.task import PredictionExperimentResult
 from repro.profile.characteristic_profile import CharacteristicProfile
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.analysis.evolution import EvolutionSeries
+    from repro.counting.exact import MotifInstance
 
 #: Cache-hit provenance values carried by results: ``"engine"`` is the
 #: engine's own per-spec memo, ``"memory"``/``"disk"`` are the artifact
@@ -72,6 +76,7 @@ class CountResult(EngineResult):
     projection_mode: str = "full"
     from_cache: bool = False
     cache_tier: Optional[str] = None
+    instances: Optional[Tuple["MotifInstance", ...]] = None
 
     @property
     def total_seconds(self) -> float:
@@ -79,7 +84,7 @@ class CountResult(EngineResult):
         return self.projection_seconds + self.counting_seconds
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "kind": self.kind,
             "dataset": self.dataset,
             "algorithm": self.algorithm,
@@ -93,6 +98,12 @@ class CountResult(EngineResult):
             "counts": {str(motif): value for motif, value in self.counts.items()},
             "total": self.counts.total(),
         }
+        if self.instances is not None:
+            payload["instances"] = [
+                {"hyperedges": list(instance.hyperedges), "motif": instance.motif}
+                for instance in self.instances
+            ]
+        return payload
 
 
 @dataclass(frozen=True)
@@ -244,5 +255,166 @@ class PredictResult(EngineResult):
                     "auc": auc,
                 }
                 for classifier, feature_set, accuracy, auc in self.result.as_rows()
+            ],
+        }
+
+
+#: How one snapshot of an evolution chain was served.
+SNAPSHOT_MODE_FULL = "full"
+SNAPSHOT_MODE_INCREMENTAL = "incremental"
+SNAPSHOT_MODE_CACHED = "cached"
+
+
+@dataclass(frozen=True)
+class EvolutionSnapshot:
+    """One snapshot of an evolution chain, as streamed by ``/v1/evolve``.
+
+    ``mode`` records how the counts were produced: ``"cached"`` (served
+    from a lineage-keyed store artifact, ``cache_tier`` names the tier),
+    ``"incremental"`` (delta engine over the previous snapshot) or
+    ``"full"`` (from-scratch count). ``fingerprint`` is the snapshot's
+    serving key — the lineage fingerprint along a cumulative chain, the
+    content fingerprint otherwise. ``delta`` carries the delta engine's
+    work stats (added edges/nodes, invalidated anchors) when incremental.
+    """
+
+    index: int
+    label: str
+    fingerprint: str
+    num_hyperedges: int
+    counts: MotifCounts
+    mode: str
+    seconds: float
+    timestamp: Optional[int] = None
+    cache_tier: Optional[str] = None
+    delta: Optional[Dict[str, int]] = None
+    profile_values: Optional[Tuple[float, ...]] = None
+
+    def open_fraction(self) -> float:
+        """Fraction of this snapshot's instances whose motif is open."""
+        return self.counts.open_fraction()
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "index": self.index,
+            "label": self.label,
+            "timestamp": self.timestamp,
+            "fingerprint": self.fingerprint,
+            "num_hyperedges": self.num_hyperedges,
+            "mode": self.mode,
+            "cache_tier": self.cache_tier,
+            "seconds": self.seconds,
+            "counts": {str(motif): value for motif, value in self.counts.items()},
+            "fractions": {
+                str(motif): value
+                for motif, value in self.counts.fractions().items()
+            },
+            "open_fraction": self.counts.open_fraction(),
+            "total": self.counts.total(),
+        }
+        if self.delta is not None:
+            payload["delta"] = dict(self.delta)
+        if self.profile_values is not None:
+            payload["profile_values"] = [float(v) for v in self.profile_values]
+        return payload
+
+
+@dataclass(frozen=True)
+class EvolutionResult(EngineResult):
+    """Outcome of :meth:`~repro.api.MotifEngine.evolve`: the whole chain.
+
+    ``snapshots`` are in chain order; per-snapshot provenance lives on each
+    :class:`EvolutionSnapshot`. ``seconds`` is the wall-clock of the whole
+    chain (cached snapshots included).
+    """
+
+    kind = "evolve"
+
+    dataset: str
+    mode: str
+    algorithm: str
+    snapshots: Tuple[EvolutionSnapshot, ...]
+    seconds: float
+    incremental: bool = True
+    num_samples: Optional[int] = None
+
+    def snapshot_modes(self) -> Dict[str, int]:
+        """How many snapshots were served per mode (cached/incremental/full)."""
+        tally: Dict[str, int] = {}
+        for snapshot in self.snapshots:
+            tally[snapshot.mode] = tally.get(snapshot.mode, 0) + 1
+        return tally
+
+    def series(self) -> "EvolutionSeries":
+        """The chain as a legacy :class:`~repro.analysis.EvolutionSeries`.
+
+        Timestamps fall back to the snapshot index along explicit-delta
+        chains (which have no timeline of their own).
+        """
+        from repro.analysis.evolution import EvolutionPoint, EvolutionSeries
+
+        points = [
+            EvolutionPoint(
+                timestamp=(
+                    snapshot.timestamp
+                    if snapshot.timestamp is not None
+                    else snapshot.index
+                ),
+                counts=snapshot.counts,
+                fractions=snapshot.counts.fractions(),
+                open_fraction=snapshot.counts.open_fraction(),
+            )
+            for snapshot in self.snapshots
+        ]
+        return EvolutionSeries(name=self.dataset, points=points)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "dataset": self.dataset,
+            "mode": self.mode,
+            "algorithm": self.algorithm,
+            "num_samples": self.num_samples,
+            "incremental": self.incremental,
+            "seconds": self.seconds,
+            "num_snapshots": len(self.snapshots),
+            "snapshot_modes": self.snapshot_modes(),
+            "snapshots": [snapshot.to_dict() for snapshot in self.snapshots],
+        }
+
+
+@dataclass(frozen=True)
+class VarianceResult(EngineResult):
+    """Outcome of :meth:`~repro.api.MotifEngine.variance` (Theorems 3-5).
+
+    ``rows`` hold, per motif, the exact estimator variances of MoCHy-A
+    (edge sampling) and MoCHy-A+ (wedge sampling) at the spec's common
+    sampling ratio of their respective population sizes.
+    """
+
+    kind = "variance"
+
+    dataset: str
+    sampling_ratio: float
+    num_hyperedges: int
+    num_hyperwedges: int
+    rows: Tuple[Tuple[int, float, float], ...] = field(default_factory=tuple)
+    seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "dataset": self.dataset,
+            "sampling_ratio": self.sampling_ratio,
+            "num_hyperedges": self.num_hyperedges,
+            "num_hyperwedges": self.num_hyperwedges,
+            "seconds": self.seconds,
+            "rows": [
+                {
+                    "motif": motif,
+                    "edge_sampling_variance": edge_variance,
+                    "wedge_sampling_variance": wedge_variance,
+                }
+                for motif, edge_variance, wedge_variance in self.rows
             ],
         }

@@ -20,6 +20,12 @@ Sub-commands
 ``predict``
     Run the hyperedge-prediction experiment on a synthetic temporal
     co-authorship hypergraph and print the Table-4 style grid.
+``evolve``
+    Count every snapshot of a temporal hypergraph's evolution chain
+    (paper Figure 7): cumulative prefixes recounted incrementally over the
+    delta engine, or per-timestamp snapshots in isolation (``--mode
+    snapshot``). ``--json`` emits the full :class:`EvolutionResult`
+    document including per-snapshot lineage fingerprints and provenance.
 ``cache``
     Inspect and manage the persistent artifact store (``ls``/``gc``/``warm``).
 ``serve-batch``
@@ -272,6 +278,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the result as a JSON document"
     )
 
+    evolve = subparsers.add_parser(
+        "evolve",
+        help="count every snapshot of a temporal hypergraph's evolution chain",
+    )
+    evolve.add_argument(
+        "path",
+        help="temporal dataset: a registered temporal name (e.g. "
+        "'coauth-temporal-like'), or a hyperedge file with a "
+        "<stem>-times.txt timestamp sidecar next to it",
+    )
+    evolve.add_argument(
+        "--mode",
+        choices=("cumulative", "snapshot"),
+        default="cumulative",
+        help="'cumulative' counts every growing prefix (incrementally); "
+        "'snapshot' counts each timestamp's hyperedges in isolation",
+    )
+    evolve.add_argument(
+        "--algorithm", default="exact", help="counting algorithm per snapshot"
+    )
+    evolve.add_argument(
+        "--ratio", type=float, default=None, help="sampling ratio per snapshot"
+    )
+    evolve.add_argument("--seed", type=int, default=None, help="random seed")
+    evolve.add_argument(
+        "--min-hyperedges",
+        type=int,
+        default=1,
+        metavar="N",
+        help="skip snapshots with fewer than N hyperedges (default: 1)",
+    )
+    evolve.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="rebuild every snapshot from scratch instead of applying deltas "
+        "(a parity/debugging aid; results are bit-identical either way)",
+    )
+    evolve.add_argument(
+        "--json", action="store_true", help="emit the result as a JSON document"
+    )
+    _add_kernel_arguments(evolve)
+    _add_store_arguments(evolve)
+
     cache = subparsers.add_parser(
         "cache", help="inspect and manage the persistent artifact store"
     )
@@ -437,6 +486,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _run_generate(arguments)
         elif arguments.command == "predict":
             _run_predict(arguments)
+        elif arguments.command == "evolve":
+            _run_evolve(arguments)
         elif arguments.command == "cache":
             _run_cache(arguments)
         elif arguments.command == "serve":
@@ -583,6 +634,59 @@ def _run_predict(arguments) -> None:
         print(f"{classifier:<22} {feature_set:<6} {acc:>7.3f} {auc:>7.3f}")
 
 
+def _run_evolve(arguments) -> None:
+    from repro.api import EvolveSpec
+
+    try:
+        spec = EvolveSpec(
+            mode=arguments.mode,
+            algorithm=arguments.algorithm,
+            sampling_ratio=arguments.ratio,
+            seed=arguments.seed,
+            incremental=not arguments.no_incremental,
+            min_hyperedges=arguments.min_hyperedges,
+        )
+    except SpecError as error:
+        raise CLIError(str(error)) from error
+    engine = _engine(arguments.path, store=_store_argument(arguments))
+    try:
+        result = engine.evolve(spec)
+    except SpecError as error:
+        raise CLIError(str(error)) from error
+    if arguments.json:
+        print(result.to_json(indent=2))
+        return
+    print(
+        f"# dataset: {result.dataset}  mode: {result.mode}  "
+        f"algorithm: {result.algorithm}"
+    )
+    modes = ", ".join(
+        f"{mode}={count}" for mode, count in sorted(result.snapshot_modes().items())
+    )
+    print(
+        f"# snapshots: {len(result.snapshots)} ({modes or 'none'})  "
+        f"total: {result.seconds:.3f}s"
+    )
+    print(
+        f"{'#':>3} {'label':<14} {'edges':>7} {'served':<12} "
+        f"{'fingerprint':<14} {'instances':>14} {'open':>7} {'seconds':>9}"
+    )
+    for snapshot in result.snapshots:
+        total = snapshot.counts.total()
+        open_total = sum(
+            value
+            for motif, value in snapshot.counts.items()
+            if motif_is_open(motif)
+        )
+        open_fraction = open_total / total if total else 0.0
+        print(
+            f"{snapshot.index:>3} {snapshot.label:<14.14} "
+            f"{snapshot.num_hyperedges:>7} {snapshot.mode:<12} "
+            f"{snapshot.fingerprint[:12]:<14} {total:>14.1f} "
+            f"{open_fraction:>7.4f} {snapshot.seconds:>9.3f}"
+        )
+
+
 def _cache_store(arguments) -> ArtifactStore:
     """The store a ``cache`` subcommand operates on (flag or environment)."""
     directory = arguments.store or os.environ.get(ENV_STORE_DIR)
@@ -617,10 +721,41 @@ def _run_cache(arguments) -> None:
         raise CLIError(f"unknown cache command {arguments.cache_command!r}")
 
 
+def _lineage_of(store: ArtifactStore, fingerprint: str):
+    """Decode one lineage sidecar (parent/depth/label), or ``None``."""
+    from repro.store import codecs
+
+    hit = store.get(codecs.KIND_LINEAGE, fingerprint, codecs.lineage_params())
+    if hit is None:
+        return None
+    arrays, meta, _tier = hit
+    return codecs.decode_lineage(arrays, meta)
+
+
 def _run_cache_ls(store: ArtifactStore, as_json: bool = False) -> None:
     entries = store.entries()
     if as_json:
         now = time.time()
+        records = []
+        max_chain_depth = 0
+        for entry in entries:
+            record = {
+                "kind": entry.kind,
+                "dataset": entry.dataset,
+                "fingerprint": entry.fingerprint,
+                "shard": entry.shard,
+                "level": entry.level,
+                "size_bytes": entry.payload_bytes,
+                "age_seconds": max(0.0, now - entry.created),
+                "created": entry.created,
+                "params": entry.params,
+            }
+            if entry.kind == "lineage":
+                lineage = _lineage_of(store, entry.fingerprint)
+                if lineage is not None:
+                    record["lineage"] = lineage
+                    max_chain_depth = max(max_chain_depth, lineage["depth"])
+            records.append(record)
         print(
             json.dumps(
                 {
@@ -628,20 +763,8 @@ def _run_cache_ls(store: ArtifactStore, as_json: bool = False) -> None:
                     "disk_stale": store.disk_stale,
                     "total_entries": len(entries),
                     "total_bytes": sum(e.payload_bytes for e in entries),
-                    "entries": [
-                        {
-                            "kind": entry.kind,
-                            "dataset": entry.dataset,
-                            "fingerprint": entry.fingerprint,
-                            "shard": entry.shard,
-                            "level": entry.level,
-                            "size_bytes": entry.payload_bytes,
-                            "age_seconds": max(0.0, now - entry.created),
-                            "created": entry.created,
-                            "params": entry.params,
-                        }
-                        for entry in entries
-                    ],
+                    "max_chain_depth": max_chain_depth,
+                    "entries": records,
                     "occupancy": store.occupancy(),
                 },
                 indent=2,

@@ -15,7 +15,7 @@ from collections import defaultdict
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import DatasetError
-from repro.hypergraph.hypergraph import Hypergraph, Node
+from repro.hypergraph.hypergraph import Hypergraph, Node, _node_sort_key
 
 
 def from_hyperedge_list(
@@ -132,7 +132,22 @@ class TemporalHypergraph:
             if not members:
                 raise DatasetError("temporal hyperedges must be non-empty")
             pairs.append((int(timestamp), members))
-        self._pairs = sorted(pairs, key=lambda pair: pair[0])
+        # Canonical order: timestamp, then a deterministic key over the
+        # members. A timestamp-only (stable) sort would leave same-stamp
+        # hyperedges in construction order, making fingerprint() and every
+        # snapshot/window/cumulative slice depend on how the input iterable
+        # happened to be arranged — identical temporal datasets would hash
+        # and slice differently. The canonical order also makes cumulative
+        # chains append-only: cumulative(t2)'s edge list extends
+        # cumulative(t1)'s, which is what the incremental delta engine
+        # (repro.fastcore.delta) relies on.
+        self._pairs = sorted(
+            pairs,
+            key=lambda pair: (
+                pair[0],
+                sorted(_node_sort_key(node) for node in pair[1]),
+            ),
+        )
         self.name = str(name)
         self._fingerprint: Optional[str] = None
 

@@ -57,6 +57,42 @@ def read_plain(
         Callable applied to each token, e.g. ``int`` for integer node ids.
     """
     path = Path(path)
+    return Hypergraph(
+        _read_plain_edges(path, delimiter, node_type), name=name or path.stem
+    )
+
+
+def read_plain_temporal(
+    path: PathLike,
+    times_path: Optional[PathLike] = None,
+    delimiter: Optional[str] = None,
+    name: Optional[str] = None,
+    node_type: type = str,
+) -> TemporalHypergraph:
+    """Read a plain hyperedge file with a line-aligned timestamp sidecar.
+
+    *times_path* defaults to ``<stem>-times.txt`` next to *path* (the same
+    naming the Benson format uses): line *i* of the sidecar is the integer
+    timestamp of hyperedge *i*.
+    """
+    path = Path(path)
+    if times_path is None:
+        times_path = path.with_name(f"{path.stem}-times.txt")
+    times_path = Path(times_path)
+    if not times_path.is_file():
+        raise DatasetError(f"{path}: no timestamp sidecar {times_path.name} found")
+    edges = _read_plain_edges(path, delimiter, node_type)
+    timestamps = _read_int_column(times_path)
+    if len(timestamps) != len(edges):
+        raise DatasetError(
+            f"{path}: {len(timestamps)} timestamps for {len(edges)} hyperedges"
+        )
+    return TemporalHypergraph(zip(timestamps, edges), name=name or path.stem)
+
+
+def _read_plain_edges(
+    path: Path, delimiter: Optional[str], node_type: type
+) -> List[List]:
     edges: List[List] = []
     with path.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
@@ -70,7 +106,7 @@ def read_plain(
                 raise DatasetError(
                     f"{path}:{line_number}: cannot parse node label: {error}"
                 ) from error
-    return Hypergraph(edges, name=name or path.stem)
+    return edges
 
 
 # ---------------------------------------------------------------------- json

@@ -425,6 +425,100 @@ class ServiceClient:
             if not completed or not response.isclosed() or response.will_close:
                 self._drop_connection()
 
+    def evolve_stream(
+        self,
+        source: Union[str, Path],
+        spec: Optional[Any] = None,
+        request_id: Optional[str] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """``POST /v1/evolve``, yielding each NDJSON record as it arrives.
+
+        Records come back in **chain order**: one ``{"status": "ok",
+        "snapshot": {...}}`` record per snapshot, then the ``done`` summary
+        with per-mode tallies. *spec* may be an :class:`~repro.api.EvolveSpec`,
+        its wire dict, or ``None`` (server defaults). The same retry /
+        request-id / keep-alive semantics as :meth:`batch_stream` apply —
+        in particular a stream that has started is never retried.
+        """
+        if not isinstance(source, (str, Path)):
+            raise ReproError(
+                f"only named/path sources travel over the wire, got "
+                f"{type(source).__name__}"
+            )
+        if spec is None:
+            spec_mapping: Dict[str, Any] = {"type": "evolve"}
+        elif isinstance(spec, dict):
+            spec_mapping = spec
+        else:
+            spec_mapping = spec_to_dict(spec)
+        body = json.dumps({"source": str(source), "spec": spec_mapping}).encode(
+            "utf-8"
+        )
+        self.last_request_id = (
+            request_id or current_request_id() or new_request_id()
+        )
+        response = self._request_with_retry(
+            "POST",
+            "/v1/evolve",
+            body=body,
+            headers={
+                "Content-Type": "application/json",
+                REQUEST_ID_HEADER: self.last_request_id,
+            },
+        )
+        if response.status != 200:
+            payload = self._parse_json(response.read(), response.status)
+            if response.will_close:
+                self._drop_connection()
+            raise self._error_from(response.status, payload)
+        completed = False
+        try:
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                yield json.loads(line)
+            completed = True
+        finally:
+            if not completed or not response.isclosed() or response.will_close:
+                self._drop_connection()
+
+    def evolve(
+        self,
+        source: Union[str, Path],
+        spec: Optional[Any] = None,
+        request_id: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """``POST /v1/evolve``, collecting the snapshot dicts in chain order.
+
+        Waits for the whole stream, checks the ``done`` summary arrived and
+        that its ``count`` matches the snapshots delivered, and raises
+        :class:`ServiceError` on an ``error``/``aborted`` record.
+        """
+        snapshots: List[Dict[str, Any]] = []
+        done: Optional[Dict[str, Any]] = None
+        for record in self.evolve_stream(source, spec, request_id=request_id):
+            status = record.get("status")
+            if status == "ok":
+                snapshots.append(record["snapshot"])
+            elif status in ("error", "aborted"):
+                detail = record.get("error", {})
+                raise ServiceError(
+                    f"evolve stream failed: "
+                    f"{detail.get('message', 'unknown error')}",
+                    payload=detail,
+                )
+            elif status == "done":
+                done = record
+        if done is None:
+            raise ServiceError("evolve stream ended without a 'done' summary")
+        if done.get("count") != len(snapshots):
+            raise ServiceError(
+                f"evolve stream delivered {len(snapshots)} snapshots but the "
+                f"summary counted {done.get('count')}"
+            )
+        return snapshots
+
     def batch(
         self, requests: List[RequestLike], request_id: Optional[str] = None
     ) -> List[Dict[str, Any]]:

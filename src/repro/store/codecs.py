@@ -31,6 +31,7 @@ KIND_NULL = "null-counts"
 KIND_PROFILE = "profile"
 KIND_HYPERWEDGES = "hyperwedges"
 KIND_PREDICT = "predict"
+KIND_LINEAGE = "lineage"
 
 
 def _canonical_seed(seed: Any) -> Optional[int]:
@@ -101,6 +102,66 @@ def profile_params(spec) -> Dict[str, Any]:
     params = null_params(spec)
     params["epsilon"] = float(spec.epsilon)
     return params
+
+
+def lineage_params() -> Dict[str, Any]:
+    """Lineage sidecars are parameter-free: one record per child fingerprint."""
+    return {"kind": KIND_LINEAGE}
+
+
+# ------------------------------------------------------------------ lineage
+def encode_lineage(
+    parent: str,
+    digest_of_delta: str,
+    depth: int,
+    label: str,
+    added_edges: int,
+    total_edges: int,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Render one snapshot-lineage record (chain edge ``parent -> child``).
+
+    The sidecar carries no payload of its own — shared count/projection
+    payloads stay filed under their own keys — only the chain metadata the
+    serving layer needs to recognize a warm snapshot and to report chain
+    depth in ``cache ls --json``.
+    """
+    return (
+        {"sizes": np.asarray([added_edges, total_edges], dtype=np.int64)},
+        {
+            "parent": str(parent),
+            "delta_digest": str(digest_of_delta),
+            "depth": int(depth),
+            "label": str(label),
+        },
+    )
+
+
+def decode_lineage(
+    arrays: Mapping[str, np.ndarray], meta: Mapping[str, Any]
+) -> Optional[Dict[str, Any]]:
+    """Rebuild a lineage record as a plain dict; ``None`` on a mismatch."""
+    sizes = arrays.get("sizes")
+    parent = meta.get("parent")
+    digest_of_delta = meta.get("delta_digest")
+    depth = meta.get("depth")
+    if (
+        sizes is None
+        or sizes.shape != (2,)
+        or not isinstance(parent, str)
+        or not isinstance(digest_of_delta, str)
+        or not isinstance(depth, int)
+        or isinstance(depth, bool)
+        or depth < 1
+    ):
+        return None
+    return {
+        "parent": parent,
+        "delta_digest": digest_of_delta,
+        "depth": depth,
+        "label": str(meta.get("label", "")),
+        "added_edges": int(sizes[0]),
+        "total_edges": int(sizes[1]),
+    }
 
 
 # --------------------------------------------------------------- projection

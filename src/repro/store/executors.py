@@ -253,13 +253,25 @@ def hypergraph_from_csr_rows(
 
 def ensure_servable_spec(spec) -> None:
     """Reject spec types the serving layer cannot dispatch, eagerly."""
-    from repro.api.config import CompareSpec, CountSpec, ProfileSpec
+    from repro.api.config import CompareSpec, CountSpec, EvolveSpec, ProfileSpec, VarianceSpec
 
-    if not isinstance(spec, (CountSpec, ProfileSpec, CompareSpec)):
+    if isinstance(spec, EvolveSpec):
+        raise SpecError(
+            "EvolveSpec is not servable in a batch: evolution chains stream "
+            "one record per snapshot — use POST /v1/evolve (or "
+            "MotifEngine.evolve) instead"
+        )
+    if not isinstance(spec, (CountSpec, ProfileSpec, CompareSpec, VarianceSpec)):
         raise SpecError(
             f"spec type {type(spec).__name__} is not servable in a batch; "
-            f"the serving layer dispatches CountSpec, ProfileSpec and "
-            f"CompareSpec"
+            f"the serving layer dispatches CountSpec, ProfileSpec, "
+            f"CompareSpec and VarianceSpec"
+        )
+    if isinstance(spec, CountSpec) and spec.include_instances:
+        raise SpecError(
+            "include_instances is not servable: the instance enumeration is "
+            "an unbounded payload the store never persists — run it on a "
+            "local MotifEngine instead"
         )
 
 
@@ -270,7 +282,7 @@ def dispatch_spec(engine, spec):
     local (serial/thread) execution and the process workers — so backends
     cannot drift in what they serve.
     """
-    from repro.api.config import CountSpec, ProfileSpec
+    from repro.api.config import CountSpec, ProfileSpec, VarianceSpec
 
     ensure_servable_spec(spec)
     # Chaos hook shared by every backend: an armed "serve.unit" fault can
@@ -283,6 +295,8 @@ def dispatch_spec(engine, spec):
         return engine.count(spec)
     if isinstance(spec, ProfileSpec):
         return engine.profile(spec)
+    if isinstance(spec, VarianceSpec):
+        return engine.variance(spec)
     return engine.compare(spec)
 
 

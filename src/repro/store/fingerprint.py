@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import TYPE_CHECKING, Any, Mapping
+from typing import TYPE_CHECKING, Any, FrozenSet, Hashable, Iterable, Mapping
 
 import numpy as np
 
@@ -33,6 +33,9 @@ if TYPE_CHECKING:  # pragma: no cover - annotations only
 #: Salt versioning the fingerprint itself; bump to invalidate every stored
 #: artifact if the canonical CSR layout ever changes meaning.
 _FINGERPRINT_SALT = b"repro.store/fingerprint/v1"
+
+#: Salt for snapshot-lineage fingerprints (``H(parent_fp, delta_digest)``).
+_LINEAGE_SALT = b"repro.store/lineage-fingerprint/v1"
 
 #: Hex digits of the params digest kept in on-disk entry names.
 PARAMS_DIGEST_LENGTH = 16
@@ -57,6 +60,39 @@ def csr_fingerprint(csr: "HypergraphCSR") -> str:
 def hypergraph_fingerprint(hypergraph: "Hypergraph") -> str:
     """Fingerprint of a hypergraph (cached on the instance)."""
     return hypergraph.fingerprint()
+
+
+def delta_digest(added_edges: Iterable[FrozenSet[Hashable]]) -> str:
+    """Stable content hash of an ordered hyperedge delta.
+
+    The *sequence* of added edges is part of the identity — appended edges
+    take the next indices, and everything downstream (projections, counts,
+    seeded draws) is indexed by hyperedge position. Node labels participate
+    via ``repr``, matching :meth:`TemporalHypergraph.fingerprint`.
+    """
+    digest = hashlib.sha256(b"repro.store/delta-digest/v1")
+    for edge in added_edges:
+        canonical = json.dumps(
+            sorted(repr(node) for node in edge), separators=(",", ":")
+        )
+        digest.update(canonical.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def lineage_fingerprint(parent_fingerprint: str, digest_of_delta: str) -> str:
+    """Child snapshot fingerprint ``H(parent_fp, delta_digest)``.
+
+    Chains compose: the fingerprint of snapshot *k* commits to the root
+    content fingerprint and every delta along the way, so two chains agree
+    on a snapshot's key iff they grew from the same root through the same
+    edit history — without ever hashing the (shared) full payload again.
+    """
+    digest = hashlib.sha256(_LINEAGE_SALT)
+    digest.update(parent_fingerprint.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(digest_of_delta.encode("utf-8"))
+    return digest.hexdigest()
 
 
 def params_digest(params: Mapping[str, Any]) -> str:

@@ -211,6 +211,9 @@ DEFAULT_KIND_PRIORITY: Dict[str, int] = {
     "predict": 3,
     "count": 4,
     "profile": 5,
+    # Lineage sidecars are a few dozen bytes but gate warm snapshot
+    # chains: evicting one downgrades every descendant to a recount.
+    "lineage": 6,
 }
 
 #: Priority of kinds absent from the table (between bulky and hot).

@@ -63,13 +63,21 @@ from repro.analysis.real_vs_random import RealVsRandomReport
 from repro.api.config import (
     CompareSpec,
     CountSpec,
+    EvolveSpec,
     ProfileSpec,
+    VarianceSpec,
     spec_from_dict,
     spec_to_dict,
 )
 from repro.api.engine import MotifEngine
 from repro.api.registry import DEFAULT_REGISTRY, DatasetRegistry
-from repro.api.results import CompareResult, CountResult, EngineResult, ProfileResult
+from repro.api.results import (
+    CompareResult,
+    CountResult,
+    EngineResult,
+    EvolutionSnapshot,
+    ProfileResult,
+)
 from repro.exceptions import ServeError, SpecError
 from repro.fastcore.backend import get_backend
 from repro.hypergraph.builders import TemporalHypergraph
@@ -92,8 +100,10 @@ from repro.store.executors import (
 from repro.utils.logging import get_logger
 
 #: Specs the server knows how to dispatch (predict needs temporal data and a
-#: classifier grid — it stays an engine-level workflow for now).
-ServeSpec = Union[CountSpec, ProfileSpec, CompareSpec]
+#: classifier grid — it stays an engine-level workflow for now). Evolution
+#: chains are deliberately *not* batch-servable: they stream one record per
+#: snapshot through :meth:`EngineServer.evolve_stream` / ``POST /v1/evolve``.
+ServeSpec = Union[CountSpec, ProfileSpec, CompareSpec, VarianceSpec]
 ServeSource = Union[str, Path, Hypergraph, TemporalHypergraph]
 
 #: Bound on concurrently-dispatched async batches per server.
@@ -592,6 +602,36 @@ class EngineServer:
             workers=workers,
             backend=backend,
         )
+
+    def evolve_stream(
+        self, source: ServeSource, spec: Optional[EvolveSpec] = None
+    ) -> Iterator[EvolutionSnapshot]:
+        """Stream an evolution chain's snapshots for one dataset source.
+
+        The spec is validated and the chain resolved *before* the first
+        snapshot is yielded (so the HTTP route can turn a bad spec into a
+        4xx instead of a torn stream), and the dataset's pooled engine is
+        held for the duration of the stream — exactly the one-unit-at-a-time
+        contract batch units run under. Warm chains are served straight from
+        the shared store's lineage artifacts.
+        """
+        spec = EvolveSpec() if spec is None else spec
+        if not isinstance(spec, EvolveSpec):
+            raise SpecError(
+                f"evolve_stream needs an EvolveSpec, got {type(spec).__name__}"
+            )
+        key = self._source_key(source)
+        engine = self.engine_for(source)
+        lock = self._engine_lock(key)
+        with lock:
+            iterator = engine.evolve_iter(spec)
+
+        def stream() -> Iterator[EvolutionSnapshot]:
+            with lock:
+                for snapshot in iterator:
+                    yield snapshot
+
+        return stream()
 
     # ---------------------------------------------------------------- lifecycle
     def close(self) -> None:

@@ -29,6 +29,16 @@ Endpoints
       summary record, so clients can tell a complete stream from a
       truncated one.
 
+``POST /v1/evolve``
+    Temporal-chain serving: one JSON object ``{"source": ..., "spec":
+    {...}}`` (an ``EvolveSpec`` wire form; ``"type"`` may be omitted) —
+    validated before dispatch, then streamed back as
+    ``application/x-ndjson`` with **one record per snapshot in chain
+    order** (``{"status": "ok", "snapshot": {...}}``) and a final ``done``
+    summary carrying per-mode tallies. Exact cumulative chains are served
+    by the incremental delta engine, warm snapshots straight from the
+    store's lineage artifacts.
+
 ``GET /v1/health``
     Liveness: version, uptime, in-flight batches.
 
@@ -95,6 +105,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro import __version__
+from repro.api.config import EvolveSpec, spec_from_dict
 from repro.api.registry import DatasetRegistry
 from repro.exceptions import ReproError, SpecError
 from repro.obs import metrics as obs_metrics
@@ -120,7 +131,7 @@ LOGGER = get_logger("repro.store.server")
 
 #: Routes the service answers; anything else is labeled "other" in metrics
 #: (unknown paths must not mint unbounded label values).
-KNOWN_ROUTES = ("/v1/batch", "/v1/health", "/v1/stats", "/v1/metrics")
+KNOWN_ROUTES = ("/v1/batch", "/v1/evolve", "/v1/health", "/v1/stats", "/v1/metrics")
 
 #: Content type of the Prometheus text exposition format.
 METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -229,6 +240,9 @@ class ServiceStats:
         self.batches_completed = 0
         self.results_streamed = 0
         self.errors_streamed = 0
+        self.evolve_accepted = 0
+        self.evolve_completed = 0
+        self.snapshots_streamed = 0
 
     def as_dict(self) -> Dict[str, Any]:
         with self._lock:
@@ -240,6 +254,9 @@ class ServiceStats:
                 "batches_completed": self.batches_completed,
                 "results_streamed": self.results_streamed,
                 "errors_streamed": self.errors_streamed,
+                "evolve_accepted": self.evolve_accepted,
+                "evolve_completed": self.evolve_completed,
+                "snapshots_streamed": self.snapshots_streamed,
             }
 
     def count(self, name: str, delta: int = 1) -> None:
@@ -367,6 +384,63 @@ class MotifService:
                 ) from error
         return requests
 
+    def parse_evolve(self, body: bytes) -> "tuple[str, EvolveSpec]":
+        """Validate a ``POST /v1/evolve`` body into ``(source, spec)``.
+
+        The body is one JSON object with a ``source`` (dataset name or file
+        path) and either a nested ``spec`` object (``EvolveSpec`` wire form;
+        ``"type"`` defaults to ``"evolve"`` here) or the spec's fields
+        inlined beside ``source``. Raises :class:`RequestRejected` (4xx) on
+        malformed bodies, unknown/incompatible ``spec_version`` tags,
+        unknown fields and invalid parameter combinations — all before any
+        dataset is touched.
+        """
+        if len(body) > MAX_BODY_BYTES:
+            raise RequestRejected(
+                413, "BodyTooLarge", f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise RequestRejected(
+                400, "MalformedBody", f"invalid JSON body: {error}"
+            ) from error
+        if not isinstance(document, dict):
+            raise RequestRejected(
+                400,
+                "MalformedBody",
+                '"/v1/evolve" takes one JSON object with "source" and "spec"',
+            )
+        record = dict(document)
+        source = record.pop("source", None)
+        if not isinstance(source, str) or not source:
+            raise RequestRejected(400, "SpecError", 'missing or invalid "source"')
+        spec_mapping = record.pop("spec", None)
+        if spec_mapping is None:
+            spec_mapping = record  # terse form: spec fields beside "source"
+        elif record:
+            raise RequestRejected(
+                400,
+                "SpecError",
+                f'unexpected keys {sorted(record)} next to "spec"',
+            )
+        if not isinstance(spec_mapping, dict):
+            raise RequestRejected(400, "SpecError", '"spec" must be a JSON object')
+        spec_mapping = dict(spec_mapping)
+        spec_mapping.setdefault("type", "evolve")
+        try:
+            spec = spec_from_dict(spec_mapping)
+        except ReproError as error:
+            raise RequestRejected(400, type(error).__name__, str(error)) from error
+        if not isinstance(spec, EvolveSpec):
+            raise RequestRejected(
+                400,
+                "SpecError",
+                f'"/v1/evolve" serves EvolveSpec only, got spec type '
+                f"{spec_mapping.get('type')!r}",
+            )
+        return source, spec
+
     @staticmethod
     def _extract_records(text: str) -> List[Any]:
         """The list of request records in a JSON or JSONL body."""
@@ -480,6 +554,79 @@ class MotifService:
             done["request_id"] = request_id
         yield done
 
+    def stream_evolve(
+        self,
+        source: str,
+        spec: EvolveSpec,
+        request_id: Optional[str] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Serve one evolution chain, yielding wire records in chain order.
+
+        One ``{"status": "ok", "snapshot": {...}}`` record per snapshot,
+        then a ``done`` summary with per-mode tallies. A failure while
+        resolving the dataset or mid-chain becomes a single structured
+        ``error`` record followed by the ``done`` summary — the stream
+        always terminates with its protocol footer.
+        """
+        self.stats.count("evolve_accepted")
+        log_event(
+            LOGGER,
+            "server.evolve_accepted",
+            level=logging.INFO,
+            source=source,
+            mode=spec.mode,
+        )
+        started = time.perf_counter()
+        count = errors = 0
+        modes: Dict[str, int] = {}
+        try:
+            for snapshot in self._server.evolve_stream(source, spec):
+                count += 1
+                modes[snapshot.mode] = modes.get(snapshot.mode, 0) + 1
+                self.stats.count("snapshots_streamed")
+                record: Dict[str, Any] = {
+                    "status": "ok",
+                    "snapshot": snapshot.to_dict(),
+                }
+                if request_id is not None:
+                    record["request_id"] = request_id
+                yield record
+        except Exception as error:  # noqa: BLE001 - becomes a wire record
+            errors += 1
+            self.stats.count("errors_streamed")
+            record = {
+                "status": "error",
+                "error": {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                    "retryable": False,
+                },
+            }
+            if request_id is not None:
+                record["request_id"] = request_id
+            yield record
+        elapsed = time.perf_counter() - started
+        self.stats.count("evolve_completed")
+        log_event(
+            LOGGER,
+            "server.evolve_done",
+            level=logging.INFO,
+            source=source,
+            snapshots=count,
+            errors=errors,
+            seconds=round(elapsed, 6),
+        )
+        done: Dict[str, Any] = {
+            "status": "done",
+            "count": count,
+            "errors": errors,
+            "modes": modes,
+            "elapsed_seconds": elapsed,
+        }
+        if request_id is not None:
+            done["request_id"] = request_id
+        yield done
+
     # -------------------------------------------------------------- observation
     def health(self) -> Dict[str, Any]:
         return {
@@ -539,12 +686,12 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         if self._drop_connection():
             return
         service = self.server.service
-        if self.path != "/v1/batch":
+        if self.path not in ("/v1/batch", "/v1/evolve"):
             self._send_json(404, _not_found(self.path))
             return
-        # The trace id for this batch: the client's X-Request-Id when it sent
-        # one (ServiceClient always does), otherwise minted here. Bound as a
-        # contextvar for the whole request so every layer underneath —
+        # The trace id for this request: the client's X-Request-Id when it
+        # sent one (ServiceClient always does), otherwise minted here. Bound
+        # as a contextvar for the whole request so every layer underneath —
         # parsing, dispatch, engines, store tiers, structured events — sees
         # it without threading it through signatures.
         self.request_id = self.headers.get(REQUEST_ID_HEADER) or new_request_id()
@@ -554,7 +701,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                     try:
                         parse_started = time.perf_counter()
                         body = self._read_body()
-                        requests = service.parse_batch(body)
+                        if self.path == "/v1/evolve":
+                            source, evolve_spec = service.parse_evolve(body)
+                        else:
+                            requests = service.parse_batch(body)
                         STAGE_SECONDS.observe(
                             time.perf_counter() - parse_started, stage="parse"
                         )
@@ -566,7 +716,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                         # desynchronize the connection.
                         self._send_json(error.status, error.payload, error=error)
                         return
-                    self._stream_batch(service, requests)
+                    if self.path == "/v1/evolve":
+                        self._stream_evolve(service, source, evolve_spec)
+                    else:
+                        self._stream_batch(service, requests)
             except RequestRejected as error:
                 # Admission refused the batch before its body was read:
                 # answer 429 + Retry-After and close (the unread body is
@@ -662,6 +815,49 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             # pool closed by a drain timeout). Terminate the stream with an
             # explicit abort record rather than silent truncation.
             LOGGER.exception("batch stream aborted")
+            try:
+                self._write_chunk(
+                    json.dumps(
+                        {
+                            "status": "aborted",
+                            "error": {
+                                "type": type(error).__name__,
+                                "message": str(error),
+                                "retryable": False,
+                            },
+                        }
+                    )
+                    + "\n"
+                )
+                self._write_last_chunk()
+            except OSError:
+                pass
+
+    def _stream_evolve(
+        self, service: MotifService, source: str, spec: EvolveSpec
+    ) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header(REQUEST_ID_HEADER, self.request_id)
+        self.end_headers()
+        stream_started = time.perf_counter()
+        try:
+            for record in service.stream_evolve(
+                source, spec, request_id=self.request_id
+            ):
+                self._write_chunk(json.dumps(record) + "\n")
+            self._write_last_chunk()
+            STAGE_SECONDS.observe(
+                time.perf_counter() - stream_started, stage="stream"
+            )
+            HTTP_REQUESTS_TOTAL.inc(route="/v1/evolve", status="200")
+        except (BrokenPipeError, ConnectionResetError):
+            LOGGER.debug("client disconnected mid-stream")
+        except Exception as error:
+            # stream_evolve converts chain failures to wire records itself,
+            # so reaching here means the transport layer broke mid-write.
+            LOGGER.exception("evolve stream aborted")
             try:
                 self._write_chunk(
                     json.dumps(

@@ -375,3 +375,49 @@ class TestServiceChaos:
         assert client.health()["status"] == "ok"
         assert client.counters.retries >= 1
         assert client.counters.connections_opened >= 2
+
+
+class TestLineageChainChaos:
+    """A crash between the count write and its lineage sidecar tears the
+    chain — which must degrade to a recount, never serve a wrong count."""
+
+    def test_crash_mid_lineage_put_degrades_to_recount(self, tmp_path):
+        from repro.api import EvolveSpec, MotifEngine, SNAPSHOT_MODE_CACHED
+        from repro.generators.temporal import generate_temporal_coauthorship
+        from repro.store import codecs
+
+        temporal = generate_temporal_coauthorship(
+            num_years=4, initial_authors=30, initial_papers=15, seed=21
+        )
+        store_dir = tmp_path / "store"
+
+        # Cold chain with every lineage manifest append failing: the counts
+        # land on disk, the sidecars degrade to the memory tier only —
+        # exactly the torn state a crash between the two writes leaves.
+        with faults.injected("store.manifest_append", key="lineage", times=None):
+            crashed = MotifEngine(temporal, store=ArtifactStore(store_dir)).evolve(
+                EvolveSpec()
+            )
+        assert len(crashed.snapshots) > 2
+
+        # A fresh process over the same directory sees counts but no
+        # lineage proof beyond the root: nothing non-root serves cached.
+        survivor_store = ArtifactStore(store_dir)
+        kinds = {entry.kind for entry in survivor_store.entries()}
+        assert codecs.KIND_COUNT in kinds
+        assert codecs.KIND_LINEAGE not in kinds
+        rerun = MotifEngine(temporal, store=survivor_store).evolve(EvolveSpec())
+        modes = [snapshot.mode for snapshot in rerun.snapshots]
+        assert SNAPSHOT_MODE_CACHED not in modes[1:]
+        for a, b in zip(crashed.snapshots, rerun.snapshots):
+            assert a.fingerprint == b.fingerprint
+            np.testing.assert_array_equal(a.counts.to_array(), b.counts.to_array())
+
+        # The recount re-persisted the sidecars: the chain self-heals and a
+        # third run serves fully warm.
+        healed = MotifEngine(temporal, store=ArtifactStore(store_dir)).evolve(
+            EvolveSpec()
+        )
+        assert set(healed.snapshot_modes()) == {SNAPSHOT_MODE_CACHED}
+        for a, b in zip(rerun.snapshots, healed.snapshots):
+            np.testing.assert_array_equal(a.counts.to_array(), b.counts.to_array())

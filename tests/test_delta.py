@@ -1,0 +1,143 @@
+"""Parity pins for the incremental delta engine (:mod:`repro.fastcore.delta`).
+
+The delta engine's whole contract is one sentence: after any sequence of
+``apply_delta`` calls, ``state.counts`` is **bit-identical** to a
+from-scratch exact count of the accumulated graph. Every test here holds
+the engine to that sentence — against the reference counter, across batch
+splits, node reshuffles, fresh nodes, and empty deltas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.counting.exact import count_exact
+from repro.exceptions import EmptyHyperedgeError
+from repro.fastcore.delta import DeltaState, apply_delta, initial_state
+from repro.hypergraph import Hypergraph
+from repro.utils.rng import ensure_rng
+
+
+def random_edges(rng, num_edges, num_nodes, max_size=5):
+    """Distinct random hyperedges (h-motifs require distinct edges)."""
+    seen = set()
+    edges = []
+    while len(edges) < num_edges:
+        size = int(rng.integers(1, max_size + 1))
+        edge = frozenset(
+            int(n) for n in rng.choice(num_nodes, size=size, replace=False)
+        )
+        if edge not in seen:
+            seen.add(edge)
+            edges.append(edge)
+    return edges
+
+
+def reference_counts(edges):
+    if not edges:
+        return np.zeros(26, dtype=np.float64)
+    return count_exact(Hypergraph(list(edges))).to_array()
+
+
+class TestDeltaParity:
+    def test_initial_state_matches_reference(self):
+        rng = ensure_rng(7)
+        edges = random_edges(rng, 60, 25)
+        state = initial_state(edges)
+        np.testing.assert_array_equal(state.counts, reference_counts(edges))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("batch", [1, 3, 17])
+    def test_growing_chain_is_bit_identical_at_every_step(self, seed, batch):
+        rng = ensure_rng(seed)
+        edges = random_edges(rng, 90, 30)
+        state = initial_state()
+        accumulated = []
+        for start in range(0, len(edges), batch):
+            delta = edges[start : start + batch]
+            accumulated.extend(delta)
+            apply_delta(state, delta)
+            np.testing.assert_array_equal(
+                state.counts,
+                reference_counts(accumulated),
+                err_msg=f"diverged after {len(accumulated)} edges (batch={batch})",
+            )
+
+    def test_split_point_never_changes_the_answer(self):
+        """One big delta == many small ones == from-scratch, bitwise."""
+        rng = ensure_rng(11)
+        edges = random_edges(rng, 70, 24)
+        one_shot = initial_state(edges)
+        for split in (1, 7, 35, 69):
+            state = initial_state(edges[:split])
+            apply_delta(state, edges[split:])
+            np.testing.assert_array_equal(state.counts, one_shot.counts)
+
+    def test_deltas_that_introduce_fresh_nodes(self):
+        """Added edges over entirely-new node labels extend the id map."""
+        base = [frozenset({"a", "b"}), frozenset({"b", "c", "d"})]
+        state = initial_state(base)
+        delta = [frozenset({"x", "y", "z"}), frozenset({"a", "x"}), frozenset({"q"})]
+        stats = apply_delta(state, delta)
+        assert stats.added_nodes == 4  # x, y, z, q
+        np.testing.assert_array_equal(state.counts, reference_counts(base + delta))
+
+    def test_counts_invariant_under_node_relabeling(self):
+        """Shuffled node labels count identically (size/intersection only)."""
+        rng = ensure_rng(3)
+        edges = random_edges(rng, 50, 20)
+        relabel = {old: new for new, old in enumerate(rng.permutation(20))}
+        shuffled = [frozenset(relabel[int(n)] for n in edge) for edge in edges]
+        plain, renamed = initial_state(), initial_state()
+        for start in range(0, len(edges), 10):
+            apply_delta(plain, edges[start : start + 10])
+            apply_delta(renamed, shuffled[start : start + 10])
+        np.testing.assert_array_equal(plain.counts, renamed.counts)
+
+    def test_empty_delta_is_a_noop(self):
+        rng = ensure_rng(5)
+        edges = random_edges(rng, 30, 15)
+        state = initial_state(edges)
+        before = state.counts.copy()
+        stats = apply_delta(state, [])
+        assert stats.added_edges == 0 and stats.affected_anchors == 0
+        np.testing.assert_array_equal(state.counts, before)
+        assert state.num_edges == len(edges)
+
+    def test_empty_hyperedge_in_delta_is_rejected(self):
+        state = initial_state([frozenset({1, 2})])
+        with pytest.raises(EmptyHyperedgeError):
+            apply_delta(state, [frozenset()])
+
+
+class TestDeltaStats:
+    def test_stats_account_for_the_work_done(self):
+        base = [frozenset({1, 2, 3}), frozenset({4, 5}), frozenset({6, 7})]
+        state = initial_state(base)
+        # One added edge overlapping the first two base edges: both become
+        # invalidated anchors; the disjoint third edge stays untouched.
+        stats = apply_delta(state, [frozenset({2, 4})])
+        assert stats.added_edges == 1
+        assert stats.total_edges == 4
+        assert stats.invalidated_anchors == 2
+        assert stats.affected_anchors == 3  # the two old anchors + the new edge
+        np.testing.assert_array_equal(
+            state.counts, reference_counts(base + [frozenset({2, 4})])
+        )
+
+    def test_disjoint_delta_invalidates_nothing(self):
+        base = [frozenset({1, 2}), frozenset({2, 3})]
+        state = initial_state(base)
+        stats = apply_delta(state, [frozenset({10, 11})])
+        assert stats.invalidated_anchors == 0
+        assert stats.affected_anchors == 1
+        np.testing.assert_array_equal(
+            state.counts, reference_counts(base + [frozenset({10, 11})])
+        )
+
+    def test_state_starts_empty_and_reports_edges(self):
+        state = initial_state()
+        assert isinstance(state, DeltaState)
+        assert state.num_edges == 0
+        np.testing.assert_array_equal(state.counts, np.zeros(26))

@@ -114,3 +114,42 @@ class TestTemporalHypergraph:
         assert len(temporal) == 5
         assert len(list(temporal)) == 5
         assert "2014" in repr(temporal)
+
+    def test_construction_order_does_not_change_identity(self):
+        """Regression: the same (timestamp, edge) pairs fed in any order
+        must produce identical fingerprints and identical slices.
+
+        Temporal pairs are canonically ordered internally; before that,
+        shuffled construction reshuffled ``cumulative()`` edge lists and
+        with them every content fingerprint — breaking warm store lookups
+        and lineage chains for datasets loaded from differently-ordered
+        files.
+        """
+        import random
+
+        pairs = [
+            (2014, [1, 2, 3]),
+            (2014, [2, 5]),
+            (2015, [3, 4]),
+            (2015, [1, 4, 5]),
+            (2016, [2, 3, 4]),
+            (2016, [5, 6]),
+            (2017, [1, 6]),
+        ]
+        reference = TemporalHypergraph(pairs, name="ref")
+        rng = random.Random(42)
+        for _ in range(5):
+            shuffled = list(pairs)
+            rng.shuffle(shuffled)
+            other = TemporalHypergraph(shuffled, name="shuffled")
+            assert other.fingerprint() == reference.fingerprint()
+            assert list(other) == list(reference)
+            for stamp in reference.timestamps():
+                assert (
+                    other.cumulative(stamp).fingerprint()
+                    == reference.cumulative(stamp).fingerprint()
+                )
+                assert (
+                    other.snapshot(stamp).fingerprint()
+                    == reference.snapshot(stamp).fingerprint()
+                )

@@ -151,7 +151,7 @@ class TestExperiment:
             num_years=4,
             initial_authors=90,
             initial_papers=60,
-            seed=2,
+            seed=3,
         )
 
     def test_dataset_construction(self, temporal):
